@@ -1,0 +1,207 @@
+//! Global (Needleman–Wunsch) alignment with traceback, unit costs.
+
+use std::fmt;
+
+/// One step of an alignment between a reference `a` and a query `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// `a[i] == b[j]`: both cursors advance.
+    Match,
+    /// `a[i] != b[j]`: both cursors advance, `b` disagrees.
+    Substitute,
+    /// `a[i]` has no counterpart in `b` (a deletion in `b`).
+    Delete,
+    /// `b[j]` has no counterpart in `a` (an insertion in `b`).
+    Insert,
+}
+
+impl fmt::Display for AlignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            AlignOp::Match => '=',
+            AlignOp::Substitute => 'X',
+            AlignOp::Delete => 'D',
+            AlignOp::Insert => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A global alignment between two sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// The edit script, in left-to-right order over the reference.
+    pub ops: Vec<AlignOp>,
+    /// The unit-cost distance (number of non-`Match` ops).
+    pub distance: usize,
+}
+
+impl Alignment {
+    /// For each reference position `i`, the query position aligned to it
+    /// (`None` when the reference symbol was deleted from the query).
+    /// Used by iterative consensus to collect per-position votes.
+    pub fn query_positions(&self) -> Vec<Option<usize>> {
+        let mut out = Vec::new();
+        let mut j = 0usize;
+        for op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Substitute => {
+                    out.push(Some(j));
+                    j += 1;
+                }
+                AlignOp::Delete => out.push(None),
+                AlignOp::Insert => j += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Computes a global alignment of `b` against the reference `a` with unit
+/// costs, preferring (in tie-breaks) `Match/Substitute` over `Delete` over
+/// `Insert` so scripts are stable. O(|a|·|b|) time and memory.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::{align, AlignOp};
+///
+/// let al = align(b"ACGT", b"AGT");
+/// assert_eq!(al.distance, 1);
+/// assert_eq!(al.ops, vec![AlignOp::Match, AlignOp::Delete, AlignOp::Match, AlignOp::Match]);
+/// ```
+pub fn align<T: Eq>(a: &[T], b: &[T]) -> Alignment {
+    let (m, n) = (a.len(), b.len());
+    let width = n + 1;
+    // DP over (m+1) × (n+1); store cost (u32) and backpointer (u8).
+    let mut cost = vec![0u32; (m + 1) * width];
+    let mut from = vec![0u8; (m + 1) * width]; // 0=diag, 1=up(delete), 2=left(insert)
+    for j in 1..=n {
+        cost[j] = j as u32;
+        from[j] = 2;
+    }
+    for i in 1..=m {
+        cost[i * width] = i as u32;
+        from[i * width] = 1;
+        for j in 1..=n {
+            let sub = cost[(i - 1) * width + j - 1] + u32::from(a[i - 1] != b[j - 1]);
+            let del = cost[(i - 1) * width + j] + 1;
+            let ins = cost[i * width + j - 1] + 1;
+            let (c, f) = if sub <= del && sub <= ins {
+                (sub, 0)
+            } else if del <= ins {
+                (del, 1)
+            } else {
+                (ins, 2)
+            };
+            cost[i * width + j] = c;
+            from[i * width + j] = f;
+        }
+    }
+    let mut ops = Vec::with_capacity(m.max(n));
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        match from[i * width + j] {
+            0 if i > 0 && j > 0 => {
+                ops.push(if a[i - 1] == b[j - 1] {
+                    AlignOp::Match
+                } else {
+                    AlignOp::Substitute
+                });
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                ops.push(AlignOp::Delete);
+                i -= 1;
+            }
+            _ => {
+                ops.push(AlignOp::Insert);
+                j -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    Alignment {
+        ops,
+        distance: cost[m * width + n] as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance;
+
+    #[test]
+    fn distance_matches_edit_distance() {
+        let pairs: [(&[u8], &[u8]); 5] = [
+            (b"ACGT", b"ACGT"),
+            (b"ACGT", b""),
+            (b"", b"TTTT"),
+            (b"GATTACA", b"GCATGCT"),
+            (b"AAAACCCC", b"CCCCAAAA"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(align(a, b).distance, edit_distance(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn script_replays_query_from_reference() {
+        // Applying the ops to `a` must reconstruct `b`.
+        let a = b"GATTACA";
+        let b = b"GCATGCT";
+        let al = align(a, b);
+        let mut rebuilt = Vec::new();
+        let mut i = 0usize;
+        let mut j = 0usize;
+        for op in &al.ops {
+            match op {
+                AlignOp::Match => {
+                    rebuilt.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Substitute => {
+                    rebuilt.push(b[j]);
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Delete => i += 1,
+                AlignOp::Insert => {
+                    rebuilt.push(b[j]);
+                    j += 1;
+                }
+            }
+        }
+        assert_eq!(rebuilt, b);
+        assert_eq!(i, a.len());
+        assert_eq!(j, b.len());
+    }
+
+    #[test]
+    fn query_positions_cover_reference() {
+        let a = b"ACGTAC";
+        let b = b"AGTTAC";
+        let qp = align(a, b).query_positions();
+        assert_eq!(qp.len(), a.len());
+        // Aligned query positions must be strictly increasing.
+        let mut last = None;
+        for p in qp.into_iter().flatten() {
+            if let Some(l) = last {
+                assert!(p > l);
+            }
+            last = Some(p);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(align::<u8>(&[], &[]).ops.len(), 0);
+        let al = align(b"", b"AC");
+        assert_eq!(al.ops, vec![AlignOp::Insert, AlignOp::Insert]);
+        let al = align(b"AC", b"");
+        assert_eq!(al.ops, vec![AlignOp::Delete, AlignOp::Delete]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Unit-cost Levenshtein distance.
+
+/// The edit (Levenshtein) distance between `a` and `b`: the minimum number
+/// of insertions, deletions, and substitutions converting one into the
+/// other. Runs in O(|a|·|b|) time and O(min(|a|,|b|)) space.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::edit_distance;
+///
+/// assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+/// assert_eq!(edit_distance(b"", b"abc"), 3);
+/// ```
+pub fn edit_distance<T: Eq>(a: &[T], b: &[T]) -> usize {
+    // Keep the shorter sequence as the DP row.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let n = b.len();
+    if n == 0 {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=n).collect();
+    for (i, ai) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, bj) in b.iter().enumerate() {
+            let cost = usize::from(ai != bj);
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[n]
+}
+
+/// Myers' bit-parallel edit distance for byte-like alphabets, processing
+/// 64 pattern symbols per word operation — the fast path for clustering
+/// large read pools. Patterns up to 64 symbols run in the single-word
+/// variant; longer inputs fall back to [`edit_distance`].
+///
+/// Symbols are mapped through `key` into a small alphabet (DNA: 4 values);
+/// `key` must return values `< 8`.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::{edit_distance, edit_distance_myers};
+///
+/// let a = b"ACGTACGTACGTAC";
+/// let b = b"ACGAACGTAGTAC";
+/// assert_eq!(
+///     edit_distance_myers(a, b, |&c| (c % 8)),
+///     edit_distance(a, b),
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds when `key` yields a value ≥ 8.
+pub fn edit_distance_myers<T: Eq, F: Fn(&T) -> u8>(a: &[T], b: &[T], key: F) -> usize {
+    // Use the shorter sequence as the pattern so it fits one word.
+    let (pat, txt) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let m = pat.len();
+    if m == 0 {
+        return txt.len();
+    }
+    if m > 64 {
+        return edit_distance(a, b);
+    }
+    // Per-symbol match masks.
+    let mut peq = [0u64; 8];
+    for (i, c) in pat.iter().enumerate() {
+        let k = key(c);
+        debug_assert!(k < 8, "key must map into 0..8");
+        peq[usize::from(k & 7)] |= 1u64 << i;
+    }
+    let mut pv = !0u64; // vertical positive deltas
+    let mut mv = 0u64; // vertical negative deltas
+    let mut score = m;
+    let high = 1u64 << (m - 1);
+    for c in txt {
+        let eq = peq[usize::from(key(c) & 7)];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & high != 0 {
+            score += 1;
+        }
+        if mh & high != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        let mh = mh << 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+/// Edit distance with an early-exit `bound`: returns `Some(d)` when
+/// `d ≤ bound`, `None` otherwise. Runs in O((2·bound+1)·min(|a|,|b|)) time
+/// (Ukkonen's banded algorithm), which is what makes clustering large read
+/// pools affordable.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::edit_distance_bounded;
+///
+/// assert_eq!(edit_distance_bounded(b"ACGTACGT", b"ACGAACGT", 2), Some(1));
+/// assert_eq!(edit_distance_bounded(b"AAAAAAAA", b"TTTTTTTT", 3), None);
+/// ```
+pub fn edit_distance_bounded<T: Eq>(a: &[T], b: &[T], bound: usize) -> Option<usize> {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let (m, n) = (a.len(), b.len());
+    if m - n > bound {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // row[j] = distance for prefix (i, j); only |i−j| ≤ bound is inhabited.
+    let mut row = vec![BIG; n + 1];
+    for (j, slot) in row.iter_mut().enumerate().take(bound.min(n) + 1) {
+        *slot = j;
+    }
+    for i in 1..=m {
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = (i + bound).min(n);
+        if lo > hi {
+            return None;
+        }
+        let mut prev_diag = if lo == 1 { i - 1 } else { row[lo - 1] };
+        let left_edge = if lo == 1 { i } else { BIG };
+        let mut left = left_edge;
+        if lo > 1 {
+            row[lo - 1] = BIG; // fell out of the band
+        }
+        let mut row_min = BIG;
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let val = (prev_diag + cost).min(left + 1).min(row[j] + 1);
+            prev_diag = row[j];
+            row[j] = val;
+            left = val;
+            row_min = row_min.min(val);
+        }
+        if hi < n {
+            row[hi + 1] = BIG;
+        }
+        if row_min > bound {
+            return None;
+        }
+    }
+    (row[n] <= bound).then_some(row[n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"a", b""), 1);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(edit_distance(b"ACGT", b"AGGT"), 1); // sub
+        assert_eq!(edit_distance(b"ACGT", b"ACGGT"), 1); // ins
+        assert_eq!(edit_distance(b"ACGT", b"AGT"), 1); // del
+    }
+
+    #[test]
+    fn symmetric() {
+        let pairs: [(&[u8], &[u8]); 3] =
+            [(b"ACCGT", b"AGT"), (b"", b"TTT"), (b"GATTACA", b"GCATGCU")];
+        for (a, b) in pairs {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn bounded_agrees_with_full_when_within_bound() {
+        let strings: [&[u8]; 5] = [b"ACGTACGTAC", b"ACGTACGT", b"ACTTACGTAC", b"TTTTTTTTTT", b""];
+        for a in strings {
+            for b in strings {
+                let full = edit_distance(a, b);
+                for bound in 0..=12 {
+                    let bd = edit_distance_bounded(a, b, bound);
+                    if full <= bound {
+                        assert_eq!(bd, Some(full), "a={a:?} b={b:?} bound={bound}");
+                    } else {
+                        assert_eq!(bd, None, "a={a:?} b={b:?} bound={bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_non_byte_symbols() {
+        let a = [1u16, 2, 3, 4];
+        let b = [1u16, 3, 4];
+        assert_eq!(edit_distance(&a, &b), 1);
+        assert_eq!(edit_distance_bounded(&a, &b, 1), Some(1));
+    }
+
+    #[test]
+    fn myers_matches_classic_dp_on_dna() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let la = rng.gen_range(0..70);
+            let lb = rng.gen_range(0..70);
+            let a: Vec<u8> = (0..la).map(|_| rng.gen_range(0..4)).collect();
+            let b: Vec<u8> = (0..lb).map(|_| rng.gen_range(0..4)).collect();
+            assert_eq!(
+                edit_distance_myers(&a, &b, |&c| c),
+                edit_distance(&a, &b),
+                "a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn myers_falls_back_beyond_64_symbols() {
+        let a = vec![1u8; 100];
+        let mut b = vec![1u8; 100];
+        b[50] = 2;
+        b.push(3);
+        assert_eq!(edit_distance_myers(&a, &b, |&c| c), 2);
+    }
+
+    #[test]
+    fn myers_handles_edge_cases() {
+        assert_eq!(edit_distance_myers::<u8, _>(&[], &[], |&c| c), 0);
+        assert_eq!(edit_distance_myers(&[1u8], &[], |&c| c), 1);
+        assert_eq!(edit_distance_myers(&[], &[1u8, 2], |&c| c), 2);
+        // Exactly 64 pattern symbols (the single-word boundary).
+        let a: Vec<u8> = (0..64).map(|i| i % 4).collect();
+        let mut b = a.clone();
+        b[63] = (b[63] + 1) % 4;
+        assert_eq!(edit_distance_myers(&a, &b, |&c| c), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Sequence alignment substrate for DNA storage decoding.
+//!
+//! DNA storage pipelines lean on **edit distance** everywhere: reads are
+//! clustered by edit-distance similarity, consensus algorithms align noisy
+//! copies, and the theoretical object behind trace reconstruction is the
+//! (constrained) edit-distance median. This crate provides the shared
+//! machinery: unit-cost Levenshtein distance (full, bounded/banded), global
+//! alignment with traceback, and a greedy clusterer.
+//!
+//! All distance/alignment functions are generic over the symbol type, so
+//! they serve both DNA ([`dna_strand::Base`]) and the binary alphabet the
+//! paper uses for its optimal-reconstruction study (Fig. 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_align::edit_distance;
+//!
+//! assert_eq!(edit_distance(b"ACGT", b"AGT"), 1);  // one deletion
+//! assert_eq!(edit_distance(b"ACGT", b"ACGT"), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alignment;
+mod cluster;
+mod distance;
+
+pub use alignment::{align, AlignOp, Alignment};
+pub use cluster::{ClusterResult, GreedyClusterer};
+pub use distance::{edit_distance, edit_distance_bounded, edit_distance_myers};

@@ -1,0 +1,67 @@
+//! Property tests: edit distance is a metric; bounded distance agrees with
+//! full; alignment distance equals edit distance.
+
+use dna_align::{align, edit_distance, edit_distance_bounded, edit_distance_myers};
+use proptest::prelude::*;
+
+fn dna_seq() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 0..40)
+}
+
+proptest! {
+    #[test]
+    fn identity_of_indiscernibles(a in dna_seq()) {
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn symmetry(a in dna_seq(), b in dna_seq()) {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality(a in dna_seq(), b in dna_seq(), c in dna_seq()) {
+        let ab = edit_distance(&a, &b);
+        let bc = edit_distance(&b, &c);
+        let ac = edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+    }
+
+    #[test]
+    fn bounded_by_length_difference_and_max_len(a in dna_seq(), b in dna_seq()) {
+        let d = edit_distance(&a, &b);
+        let diff = a.len().abs_diff(b.len());
+        prop_assert!(d >= diff);
+        prop_assert!(d <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn bounded_matches_full(a in dna_seq(), b in dna_seq(), bound in 0usize..50) {
+        let full = edit_distance(&a, &b);
+        match edit_distance_bounded(&a, &b, bound) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(full > bound),
+        }
+    }
+
+    #[test]
+    fn alignment_distance_equals_edit_distance(a in dna_seq(), b in dna_seq()) {
+        prop_assert_eq!(align(&a, &b).distance, edit_distance(&a, &b));
+    }
+
+    #[test]
+    fn myers_agrees_with_classic_dp(a in dna_seq(), b in dna_seq()) {
+        prop_assert_eq!(edit_distance_myers(&a, &b, |&c| c), edit_distance(&a, &b));
+    }
+
+    #[test]
+    fn single_substitution_costs_one(a in proptest::collection::vec(0u8..4, 1..40), idx in any::<prop::sample::Index>()) {
+        let i = idx.index(a.len());
+        let mut b = a.clone();
+        b[i] = (b[i] + 1) % 4;
+        prop_assert_eq!(edit_distance(&a, &b), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the substrate components.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dna_align::edit_distance;
+use dna_channel::{ErrorModel, IdsChannel};
+use dna_consensus::{BmaTwoWay, IterativeReconstructor, TraceReconstructor};
+use dna_crypto::ChaCha20;
+use dna_gf::Field;
+use dna_media::{GrayImage, JpegLikeCodec};
+use dna_reed_solomon::ReedSolomon;
+use dna_strand::DnaString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_gf(c: &mut Criterion) {
+    let f = Field::gf256();
+    let pairs: Vec<(u16, u16)> = (0..1024).map(|i| ((i * 7 % 255 + 1), (i * 13 % 255 + 1))).collect();
+    c.bench_function("gf256_mul_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for &(x, y) in &pairs {
+                acc ^= f.mul(x, y);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let rs = ReedSolomon::new(Field::gf256(), 208, 47).expect("params");
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u16> = (0..208).map(|_| rng.gen_range(0..256)).collect();
+    let clean = rs.encode(&data).expect("encode");
+    c.bench_function("rs_encode_208_47", |b| b.iter(|| black_box(rs.encode(&data).unwrap())));
+    c.bench_function("rs_decode_20_errors", |b| {
+        b.iter_batched(
+            || {
+                let mut cw = clean.clone();
+                for k in 0..20 {
+                    cw[k * 12] ^= 0x3C;
+                }
+                cw
+            },
+            |mut cw| {
+                rs.decode(&mut cw, &[]).unwrap();
+                black_box(cw)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_align_and_consensus(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = DnaString::random(124, &mut rng);
+    let channel = IdsChannel::new(ErrorModel::uniform(0.06));
+    let b_read = channel.transmit(&a, &mut rng);
+    c.bench_function("edit_distance_124", |b| {
+        b.iter(|| black_box(edit_distance(a.as_slice(), b_read.as_slice())))
+    });
+    let reads = channel.transmit_many(&a, 10, &mut rng);
+    c.bench_function("consensus_two_way_n10_l124", |b| {
+        b.iter(|| black_box(BmaTwoWay::default().reconstruct(&reads, 124)))
+    });
+    c.bench_function("consensus_iterative_n10_l124", |b| {
+        b.iter(|| black_box(IterativeReconstructor::default().reconstruct(&reads, 124)))
+    });
+}
+
+fn bench_crypto_and_media(c: &mut Criterion) {
+    c.bench_function("chacha20_64kib", |b| {
+        b.iter_batched(
+            || vec![0u8; 65536],
+            |mut buf| {
+                ChaCha20::from_seed(3).apply_keystream(&mut buf);
+                black_box(buf)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let img = GrayImage::synthetic_photo(64, 48, 4);
+    let codec = JpegLikeCodec::new(80).expect("quality");
+    let bytes = codec.encode(&img).expect("encode");
+    c.bench_function("jpeg_like_encode_64x48", |b| {
+        b.iter(|| black_box(codec.encode(&img).unwrap()))
+    });
+    c.bench_function("jpeg_like_decode_64x48", |b| {
+        b.iter(|| black_box(codec.decode(&bytes).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gf, bench_rs, bench_align_and_consensus, bench_crypto_and_media
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the end-to-end pipeline at laptop scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dna_channel::{CoverageModel, ErrorModel};
+use dna_storage::{CodecParams, Layout, Pipeline};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let params = CodecParams::laptop().expect("params");
+    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 256) as u8).collect();
+    for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }, Layout::DnaMapper] {
+        let name = layout.name();
+        let pipeline = Pipeline::new(params.clone(), layout.clone()).expect("pipeline");
+        c.bench_function(&format!("encode_unit_{name}"), |b| {
+            b.iter(|| black_box(pipeline.encode_unit(&payload).unwrap()))
+        });
+    }
+    let pipeline =
+        Pipeline::new(params, Layout::Gini { excluded_rows: vec![] }).expect("pipeline");
+    let unit = pipeline.encode_unit(&payload).expect("encode");
+    let pool = pipeline.sequence(&unit, ErrorModel::uniform(0.03), CoverageModel::Fixed(10), 5);
+    let clusters = pool.clusters().to_vec();
+    c.bench_function("decode_unit_cov10_p3pct", |b| {
+        b.iter(|| black_box(pipeline.decode_unit(&clusters).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Shared harness utilities for the figure-reproduction benches.
+//!
+//! Every `fig*` bench target regenerates one figure of *Managing
+//! Reliability Bias in DNA Storage* (ISCA '22): it prints the series as a
+//! TSV table to stdout and writes `target/figures/<name>.csv`. Experiment
+//! sizes follow the `DNA_REPRO_SCALE` environment variable:
+//!
+//! - `smoke` — seconds-long sanity runs;
+//! - *(unset)* — laptop-default sizes (the EXPERIMENTS.md numbers);
+//! - `paper` — the paper's trial counts (and, where affordable, sizes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dna_media::{GrayImage, JpegLikeCodec};
+use dna_storage::{Archive, FileEntry};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Experiment size preset, from `DNA_REPRO_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs.
+    Smoke,
+    /// Laptop defaults (minutes for the heaviest figures).
+    Default,
+    /// Paper-level trial counts.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("DNA_REPRO_SCALE").unwrap_or_default().as_str() {
+            "smoke" => Scale::Smoke,
+            "paper" | "full" => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Picks a size by scale.
+    pub fn pick(&self, smoke: usize, default: usize, paper: usize) -> usize {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Collects a figure's series and writes stdout + CSV.
+#[derive(Debug)]
+pub struct FigureOutput {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl FigureOutput {
+    /// Starts a figure with the given column names.
+    pub fn new(name: &str, header: &[&str]) -> FigureOutput {
+        FigureOutput {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one data row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for numeric rows.
+    pub fn row_f64(&mut self, cells: &[f64]) {
+        self.row(&cells.iter().map(|v| format!("{v:.6}")).collect::<Vec<_>>());
+    }
+
+    /// Prints the TSV table and writes `target/figures/<name>.csv`.
+    pub fn finish(self) {
+        println!("\n# {}", self.name);
+        println!("{}", self.header.join("\t"));
+        for r in &self.rows {
+            println!("{}", r.join("\t"));
+        }
+        // Anchor at the workspace root regardless of the bench's CWD.
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("target/figures");
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.csv", self.name));
+            if let Ok(mut f) = fs::File::create(&path) {
+                let _ = writeln!(f, "{}", self.header.join(","));
+                for r in &self.rows {
+                    let _ = writeln!(f, "{}", r.join(","));
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// The image corpus used by the storage figures: a mix of sizes and
+/// content, mirroring the paper's "10 images of different resolutions and
+/// qualities" at laptop scale.
+pub struct ImageCorpus {
+    /// The image codec shared by all files.
+    pub codec: JpegLikeCodec,
+    /// Original (pre-encode) images.
+    pub images: Vec<GrayImage>,
+    /// The archive of encoded files (named `img0`, `img1`, …).
+    pub archive: Archive,
+}
+
+impl ImageCorpus {
+    /// Builds `count` synthetic images of varied shapes, deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal codec misuse (image dims are validated).
+    pub fn build(count: usize, seed: u64) -> ImageCorpus {
+        // Quality 60: a web-JPEG operating point whose residual codec MSE
+        // keeps storage-induced losses on the paper's dB scale.
+        let codec = JpegLikeCodec::new(60).expect("valid quality");
+        let mut images = Vec::with_capacity(count);
+        for i in 0..count {
+            let s = seed.wrapping_add(i as u64);
+            let img = match i % 3 {
+                0 => GrayImage::synthetic_photo(64 + 8 * (i as u32 % 4), 48, s),
+                1 => GrayImage::plasma(48, 64 + 8 * (i as u32 % 3), s),
+                _ => GrayImage::synthetic_photo(56, 56, s),
+            };
+            images.push(img);
+        }
+        let files = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| {
+                FileEntry::new(format!("img{i}"), codec.encode(img).expect("encode"))
+            })
+            .collect();
+        let archive = Archive::new(files).expect("non-empty archive");
+        ImageCorpus {
+            codec,
+            images,
+            archive,
+        }
+    }
+
+    /// Mean PSNR quality loss (dB) of a retrieved archive against the
+    /// originals, with 48 dB charged for wholly unreadable archives (the
+    /// catastrophic-loss convention used across the figures).
+    pub fn mean_loss_db(&self, retrieved: Option<&Archive>) -> f64 {
+        let Some(retrieved) = retrieved else { return 48.0 };
+        let mut total = 0.0;
+        for (i, original) in self.images.iter().enumerate() {
+            let name = format!("img{i}");
+            let clean = self.codec.decode_with_expected(
+                &self.archive.file(&name).expect("stored file").bytes,
+                original.width(),
+                original.height(),
+            );
+            let bytes = retrieved
+                .file(&name)
+                .map(|f| f.bytes.clone())
+                .unwrap_or_default();
+            let got =
+                self.codec
+                    .decode_with_expected(&bytes, original.width(), original.height());
+            let base = original.psnr(&clean).min(60.0);
+            total += (base - original.psnr(&got).min(60.0)).max(0.0);
+        }
+        total / self.images.len() as f64
+    }
+}

@@ -1,0 +1,148 @@
+//! The per-position insertion/deletion/substitution channel.
+
+use crate::ErrorModel;
+use dna_strand::{Base, DnaString};
+use rand::Rng;
+
+/// The IDS channel of paper §3: every source position independently suffers
+/// a deletion, an insertion (of a uniform base, before the position), a
+/// substitution (by a uniform *different* base), or none.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdsChannel {
+    model: ErrorModel,
+}
+
+impl IdsChannel {
+    /// Creates a channel with the given error model.
+    pub fn new(model: ErrorModel) -> IdsChannel {
+        IdsChannel { model }
+    }
+
+    /// The channel's error model.
+    pub fn model(&self) -> &ErrorModel {
+        &self.model
+    }
+
+    /// Produces one noisy read of `strand`.
+    pub fn transmit<R: Rng + ?Sized>(&self, strand: &DnaString, rng: &mut R) -> DnaString {
+        let (ps, pi, pd) = (
+            self.model.sub_rate(),
+            self.model.ins_rate(),
+            self.model.del_rate(),
+        );
+        let mut out = DnaString::with_capacity(strand.len() + 4);
+        for &b in strand.iter() {
+            let u: f64 = rng.gen();
+            if u < pd {
+                // deletion: drop the base
+            } else if u < pd + pi {
+                // insertion before this base, base itself is kept
+                out.push(Base::from_bits(rng.gen()));
+                out.push(b);
+            } else if u < pd + pi + ps {
+                // substitution by one of the three other bases
+                let shift = rng.gen_range(1u8..4);
+                out.push(Base::from_bits(b.to_bits().wrapping_add(shift)));
+            } else {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Produces `n` independent noisy reads.
+    pub fn transmit_many<R: Rng + ?Sized>(
+        &self,
+        strand: &DnaString,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<DnaString> {
+        (0..n).map(|_| self.transmit(strand, rng)).collect()
+    }
+}
+
+impl Default for IdsChannel {
+    fn default() -> Self {
+        IdsChannel::new(ErrorModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_align::edit_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_channel_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = DnaString::random(300, &mut rng);
+        let ch = IdsChannel::new(ErrorModel::noiseless());
+        assert_eq!(ch.transmit(&s, &mut rng), s);
+    }
+
+    #[test]
+    fn substitutions_never_keep_the_original_base() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = DnaString::random(2000, &mut rng);
+        let ch = IdsChannel::new(ErrorModel::substitutions_only(1.0));
+        let read = ch.transmit(&s, &mut rng);
+        assert_eq!(read.len(), s.len());
+        for (a, b) in s.iter().zip(read.iter()) {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn expected_length_shift_matches_rates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = DnaString::random(1000, &mut rng);
+        // Insertion-heavy channel grows reads; deletion-heavy shrinks them.
+        let grow = IdsChannel::new(ErrorModel::new(0.0, 0.2, 0.0).unwrap());
+        let shrink = IdsChannel::new(ErrorModel::new(0.0, 0.0, 0.2).unwrap());
+        let mean = |ch: &IdsChannel, rng: &mut StdRng| -> f64 {
+            let n = 200;
+            (0..n).map(|_| ch.transmit(&s, rng).len()).sum::<usize>() as f64 / n as f64
+        };
+        let g = mean(&grow, &mut rng);
+        let k = mean(&shrink, &mut rng);
+        assert!((g - 1200.0).abs() < 30.0, "grow mean {g}");
+        assert!((k - 800.0).abs() < 30.0, "shrink mean {k}");
+    }
+
+    #[test]
+    fn measured_error_rate_tracks_configuration() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = DnaString::random(500, &mut rng);
+        let ch = IdsChannel::new(ErrorModel::uniform(0.06));
+        let mut total_ed = 0usize;
+        let trials = 100;
+        for _ in 0..trials {
+            let read = ch.transmit(&s, &mut rng);
+            total_ed += edit_distance(s.as_slice(), read.as_slice());
+        }
+        let per_base = total_ed as f64 / (trials as f64 * s.len() as f64);
+        // Edit distance slightly undercounts (adjacent errors can cancel),
+        // so allow a generous band around 6%.
+        assert!(
+            (0.04..=0.07).contains(&per_base),
+            "measured per-base error {per_base}"
+        );
+    }
+
+    #[test]
+    fn transmit_many_produces_independent_reads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = DnaString::random(200, &mut rng);
+        let ch = IdsChannel::new(ErrorModel::uniform(0.10));
+        let reads = ch.transmit_many(&s, 8, &mut rng);
+        assert_eq!(reads.len(), 8);
+        // With 10% error on 200 bases, collisions are essentially impossible.
+        for i in 0..reads.len() {
+            for j in i + 1..reads.len() {
+                assert_ne!(reads[i], reads[j], "reads {i} and {j} identical");
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-base insertion/deletion/substitution rates.
+
+use crate::ChannelError;
+
+/// Per-base IDS error rates of the channel.
+///
+/// At each source position exactly one of four events happens: deletion
+/// (probability `del`), insertion of a uniformly random base before it
+/// (`ins`), substitution by a uniformly random *different* base (`sub`), or
+/// faithful copy (the remainder). This matches the channel model of paper
+/// §3 ("we assume that each of the error types occurs with probability
+/// p/3, but our model can be easily generalized").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    sub: f64,
+    ins: f64,
+    del: f64,
+}
+
+impl ErrorModel {
+    /// A custom rate mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidRates`] when any rate is negative,
+    /// non-finite, or the total exceeds 1.
+    pub fn new(sub: f64, ins: f64, del: f64) -> Result<ErrorModel, ChannelError> {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        if !ok(sub) || !ok(ins) || !ok(del) || sub + ins + del > 1.0 {
+            return Err(ChannelError::InvalidRates { sub, ins, del });
+        }
+        Ok(ErrorModel { sub, ins, del })
+    }
+
+    /// The paper's default: total error rate `p` split evenly across the
+    /// three types (`p/3` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn uniform(p: f64) -> ErrorModel {
+        ErrorModel::new(p / 3.0, p / 3.0, p / 3.0)
+            .expect("uniform error rate must lie in [0, 1]")
+    }
+
+    /// Substitutions only (the paper's skew-free control, Fig. 5 brown line).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn substitutions_only(p: f64) -> ErrorModel {
+        ErrorModel::new(p, 0.0, 0.0).expect("substitution rate must lie in [0, 1]")
+    }
+
+    /// Indels only, split evenly (Fig. 5 purple line: 5% INS + 5% DEL).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn indels_only(p: f64) -> ErrorModel {
+        ErrorModel::new(0.0, p / 2.0, p / 2.0).expect("indel rate must lie in [0, 1]")
+    }
+
+    /// An NGS-like mix at total rate `p`: ~72% substitutions, ~28% indels
+    /// (paper §8 reports 25–30% indels for NGS workflows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn ngs(p: f64) -> ErrorModel {
+        ErrorModel::new(0.72 * p, 0.14 * p, 0.14 * p).expect("NGS rate must lie in [0, 1]")
+    }
+
+    /// The wetlab validation point: NGS at 0.3% total error (paper §6.2).
+    pub fn wetlab_ngs() -> ErrorModel {
+        ErrorModel::ngs(0.003)
+    }
+
+    /// A nanopore-like mix at total rate `p`: ~38% substitutions, ~62%
+    /// indels (paper §8 reports over 60% indels for nanopore workflows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn nanopore(p: f64) -> ErrorModel {
+        ErrorModel::new(0.38 * p, 0.31 * p, 0.31 * p).expect("nanopore rate must lie in [0, 1]")
+    }
+
+    /// An enzymatic-synthesis-like mix at total rate `p`: indel-dominated
+    /// with an insertion bias (§8: enzymatic synthesis "dramatically
+    /// inflates the number of indels", e.g. ACGT → AAACTT).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn enzymatic(p: f64) -> ErrorModel {
+        ErrorModel::new(0.1 * p, 0.55 * p, 0.35 * p)
+            .expect("enzymatic rate must lie in [0, 1]")
+    }
+
+    /// A noiseless channel.
+    pub fn noiseless() -> ErrorModel {
+        ErrorModel {
+            sub: 0.0,
+            ins: 0.0,
+            del: 0.0,
+        }
+    }
+
+    /// Substitution rate.
+    pub fn sub_rate(&self) -> f64 {
+        self.sub
+    }
+
+    /// Insertion rate.
+    pub fn ins_rate(&self) -> f64 {
+        self.ins
+    }
+
+    /// Deletion rate.
+    pub fn del_rate(&self) -> f64 {
+        self.del
+    }
+
+    /// Total per-base error rate.
+    pub fn total_rate(&self) -> f64 {
+        self.sub + self.ins + self.del
+    }
+
+    /// Fraction of errors that are indels (0 when noiseless).
+    pub fn indel_fraction(&self) -> f64 {
+        let t = self.total_rate();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.ins + self.del) / t
+        }
+    }
+}
+
+impl Default for ErrorModel {
+    /// The paper's headline stress point: uniform thirds at 9% total.
+    fn default() -> Self {
+        ErrorModel::uniform(0.09)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let m = ErrorModel::uniform(0.09);
+        assert!((m.sub_rate() - 0.03).abs() < 1e-12);
+        assert!((m.ins_rate() - 0.03).abs() < 1e-12);
+        assert!((m.del_rate() - 0.03).abs() < 1e-12);
+        assert!((m.total_rate() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_hit_documented_indel_fractions() {
+        assert!((ErrorModel::ngs(0.01).indel_fraction() - 0.28).abs() < 1e-9);
+        assert!((ErrorModel::nanopore(0.12).indel_fraction() - 0.62).abs() < 1e-9);
+        assert!(ErrorModel::enzymatic(0.1).indel_fraction() > 0.8);
+        assert_eq!(ErrorModel::substitutions_only(0.1).indel_fraction(), 0.0);
+        assert_eq!(ErrorModel::indels_only(0.1).indel_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rejects_invalid_rates() {
+        assert!(ErrorModel::new(-0.1, 0.0, 0.0).is_err());
+        assert!(ErrorModel::new(0.5, 0.4, 0.2).is_err());
+        assert!(ErrorModel::new(f64::NAN, 0.0, 0.0).is_err());
+        assert!(ErrorModel::new(0.4, 0.3, 0.3).is_ok());
+    }
+
+    #[test]
+    fn noiseless_is_zero() {
+        assert_eq!(ErrorModel::noiseless().total_rate(), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulation of the DNA read/write channel.
+//!
+//! Synthesis, storage, and sequencing distort strands with insertions,
+//! deletions, and substitutions (IDS noise), and each original molecule is
+//! observed as a *cluster* of noisy reads whose size — the sequencing
+//! coverage — follows a Gamma distribution (paper §4.1, §6.1.2). This crate
+//! provides:
+//!
+//! - [`ErrorModel`]: per-base IDS rates, with presets matching the paper's
+//!   experiments (uniform thirds, substitution-only, indel-only) and the
+//!   technology mixes discussed in §8 (NGS ≈ 25–30% indels, nanopore ≥ 60%
+//!   indels, enzymatic synthesis ≫ indels);
+//! - [`IdsChannel`]: the per-position distortion process of §3;
+//! - [`CoverageModel`]: fixed or Gamma-distributed cluster sizes;
+//! - [`ReadPool`]: a pre-generated pool of noisy reads per strand that can
+//!   be *progressively* drawn down to simulate lower coverage, exactly as
+//!   the paper's methodology describes (§6.1.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_channel::{ErrorModel, IdsChannel};
+//! use dna_strand::DnaString;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let strand = DnaString::random(200, &mut rng);
+//! let channel = IdsChannel::new(ErrorModel::uniform(0.05));
+//! let read = channel.transmit(&strand, &mut rng);
+//! // ~5% of 200 positions disturbed; the read is a noisy variant.
+//! assert!(read.len() > 150 && read.len() < 250);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod coverage;
+mod error_model;
+mod pool;
+
+pub use channel::IdsChannel;
+pub use coverage::CoverageModel;
+pub use error_model::ErrorModel;
+pub use pool::{Cluster, ReadPool};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring the channel simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// Error rates must be non-negative and sum to at most 1.
+    InvalidRates {
+        /// Substitution rate.
+        sub: f64,
+        /// Insertion rate.
+        ins: f64,
+        /// Deletion rate.
+        del: f64,
+    },
+    /// Coverage parameters must be positive and finite.
+    InvalidCoverage(f64),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidRates { sub, ins, del } => {
+                write!(f, "invalid IDS rates sub={sub} ins={ins} del={del}")
+            }
+            ChannelError::InvalidCoverage(c) => write!(f, "invalid coverage parameter {c}"),
+        }
+    }
+}
+
+impl Error for ChannelError {}

@@ -1,0 +1,382 @@
+//! Library backing the `dnastore` command-line tool: encode files into
+//! DNA strand lists, decode them back, and run end-to-end channel
+//! simulations — all through the reliability-skew-aware pipeline.
+//!
+//! The strand list format is deliberately simple (one `ACGT…` strand per
+//! line, `#`-prefixed comments carrying the geometry header), so encoded
+//! payloads can be inspected, subsetted, or piped through external tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dna_channel::{CoverageModel, ErrorModel};
+use dna_storage::{CodecParams, DecodeReport, Layout, Pipeline, StorageError};
+use dna_strand::DnaString;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown flag, missing value, or malformed argument.
+    Usage(String),
+    /// Pipeline-level failure.
+    Storage(StorageError),
+    /// Malformed strand file.
+    Parse(String),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Storage(e) => write!(f, "storage error: {e}"),
+            CliError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<StorageError> for CliError {
+    fn from(e: StorageError) -> Self {
+        CliError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The data organization selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutChoice {
+    /// Paper Fig. 1.
+    Baseline,
+    /// Paper Fig. 8 (full interleaving).
+    Gini,
+    /// Paper Fig. 9.
+    DnaMapper,
+}
+
+impl LayoutChoice {
+    /// The pipeline layout for this choice.
+    pub fn to_layout(self) -> Layout {
+        match self {
+            LayoutChoice::Baseline => Layout::Baseline,
+            LayoutChoice::Gini => Layout::Gini { excluded_rows: vec![] },
+            LayoutChoice::DnaMapper => Layout::DnaMapper,
+        }
+    }
+}
+
+impl FromStr for LayoutChoice {
+    type Err = CliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "baseline" => Ok(LayoutChoice::Baseline),
+            "gini" => Ok(LayoutChoice::Gini),
+            "dnamapper" => Ok(LayoutChoice::DnaMapper),
+            other => Err(CliError::Usage(format!(
+                "unknown layout {other:?} (expected baseline|gini|dnamapper)"
+            ))),
+        }
+    }
+}
+
+/// A parsed error-model choice, e.g. `uniform:0.06`, `ngs:0.01`,
+/// `nanopore:0.12`, `subs:0.1`, `indels:0.1`.
+pub fn parse_error_model(s: &str) -> Result<ErrorModel, CliError> {
+    let (kind, rate) = s
+        .split_once(':')
+        .ok_or_else(|| CliError::Usage(format!("error model {s:?} must be kind:rate")))?;
+    let p: f64 = rate
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad error rate {rate:?}")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::Usage(format!("error rate {p} outside [0, 1]")));
+    }
+    Ok(match kind {
+        "uniform" => ErrorModel::uniform(p),
+        "ngs" => ErrorModel::ngs(p),
+        "nanopore" => ErrorModel::nanopore(p),
+        "subs" => ErrorModel::substitutions_only(p),
+        "indels" => ErrorModel::indels_only(p),
+        "enzymatic" => ErrorModel::enzymatic(p),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown error model {other:?} (uniform|ngs|nanopore|subs|indels|enzymatic)"
+            )))
+        }
+    })
+}
+
+/// Splits a payload across as many units as needed and encodes each.
+fn encode_units(pipeline: &Pipeline, payload: &[u8]) -> Result<Vec<Vec<DnaString>>, CliError> {
+    let cap = pipeline.payload_capacity();
+    let n_units = payload.len().div_ceil(cap).max(1);
+    let mut units = Vec::with_capacity(n_units);
+    for u in 0..n_units {
+        let lo = (u * cap).min(payload.len());
+        let hi = ((u + 1) * cap).min(payload.len());
+        let unit = pipeline.encode_unit(&payload[lo..hi])?;
+        units.push(unit.strands().to_vec());
+    }
+    Ok(units)
+}
+
+/// Serializes units into the strand-list text format.
+pub fn to_strand_list(
+    layout: LayoutChoice,
+    payload_len: usize,
+    units: &[Vec<DnaString>],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# dnastore v1 layout={layout:?} bytes={payload_len} units={}\n",
+        units.len()
+    ));
+    for (u, strands) in units.iter().enumerate() {
+        out.push_str(&format!("# unit {u}\n"));
+        for s in strands {
+            out.push_str(&s.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses the strand-list text format back into header + units.
+pub fn from_strand_list(
+    text: &str,
+) -> Result<(LayoutChoice, usize, Vec<Vec<DnaString>>), CliError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CliError::Parse("empty strand file".into()))?;
+    if !header.starts_with("# dnastore v1 ") {
+        return Err(CliError::Parse("missing dnastore v1 header".into()));
+    }
+    let mut layout = LayoutChoice::Baseline;
+    let mut payload_len = 0usize;
+    for field in header.trim_start_matches("# dnastore v1 ").split_whitespace() {
+        if let Some(v) = field.strip_prefix("layout=") {
+            layout = match v {
+                "Baseline" => LayoutChoice::Baseline,
+                "Gini" => LayoutChoice::Gini,
+                "DnaMapper" => LayoutChoice::DnaMapper,
+                other => return Err(CliError::Parse(format!("bad layout {other:?}"))),
+            };
+        } else if let Some(v) = field.strip_prefix("bytes=") {
+            payload_len = v
+                .parse()
+                .map_err(|_| CliError::Parse(format!("bad byte count {v:?}")))?;
+        }
+    }
+    let mut units: Vec<Vec<DnaString>> = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("# unit") {
+            units.push(Vec::new());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let strand: DnaString = line
+            .parse()
+            .map_err(|e| CliError::Parse(format!("bad strand line: {e}")))?;
+        if units.is_empty() {
+            units.push(Vec::new());
+        }
+        units
+            .last_mut()
+            .expect("at least one unit after push")
+            .push(strand);
+    }
+    if units.is_empty() {
+        return Err(CliError::Parse("no strands in file".into()));
+    }
+    Ok((layout, payload_len, units))
+}
+
+/// `encode`: file bytes → strand list.
+pub fn encode(payload: &[u8], layout: LayoutChoice) -> Result<String, CliError> {
+    let pipeline = Pipeline::new(CodecParams::laptop()?, layout.to_layout())?;
+    let units = encode_units(&pipeline, payload)?;
+    Ok(to_strand_list(layout, payload.len(), &units))
+}
+
+/// `decode`: strand list (perfect molecules, coverage 1) → file bytes.
+/// Each listed strand is treated as one error-free read of its molecule.
+pub fn decode(text: &str) -> Result<(Vec<u8>, Vec<DecodeReport>), CliError> {
+    let (layout, payload_len, units) = from_strand_list(text)?;
+    let pipeline = Pipeline::new(CodecParams::laptop()?, layout.to_layout())?;
+    let mut payload = Vec::with_capacity(payload_len);
+    let mut reports = Vec::new();
+    for strands in &units {
+        let clusters: Vec<dna_channel::Cluster> = strands
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| dna_channel::Cluster {
+                source: i,
+                reads: vec![s],
+            })
+            .collect();
+        let (bytes, report) = pipeline.decode_unit(&clusters)?;
+        payload.extend_from_slice(&bytes);
+        reports.push(report);
+    }
+    payload.truncate(payload_len);
+    Ok((payload, reports))
+}
+
+/// Summary of a `simulate` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Whether every byte round-tripped exactly.
+    pub exact: bool,
+    /// Fraction of payload bytes recovered correctly.
+    pub byte_accuracy: f64,
+    /// Total corrected symbols across all units.
+    pub corrected: usize,
+    /// Total failed codewords across all units.
+    pub failed_codewords: usize,
+    /// Total molecules lost (no surviving reads).
+    pub lost_molecules: usize,
+}
+
+/// `simulate`: full encode → noisy channel → decode round trip.
+pub fn simulate(
+    payload: &[u8],
+    layout: LayoutChoice,
+    model: ErrorModel,
+    coverage: f64,
+    seed: u64,
+) -> Result<SimulationOutcome, CliError> {
+    let pipeline = Pipeline::new(CodecParams::laptop()?, layout.to_layout())?;
+    let cap = pipeline.payload_capacity();
+    let n_units = payload.len().div_ceil(cap).max(1);
+    let mut decoded = Vec::with_capacity(payload.len());
+    let mut corrected = 0usize;
+    let mut failed = 0usize;
+    let mut lost = 0usize;
+    for u in 0..n_units {
+        let lo = (u * cap).min(payload.len());
+        let hi = ((u + 1) * cap).min(payload.len());
+        let unit = pipeline.encode_unit(&payload[lo..hi])?;
+        let pool = pipeline.sequence(
+            &unit,
+            model,
+            CoverageModel::Gamma {
+                mean: coverage,
+                shape: 6.0,
+            },
+            seed ^ (u as u64) << 11,
+        );
+        let (bytes, report) = pipeline.decode_unit(&pool.at_coverage(coverage))?;
+        decoded.extend_from_slice(&bytes[..hi - lo]);
+        corrected += report.total_corrected();
+        failed += report.failed_codewords();
+        lost += report.lost_columns;
+    }
+    let matches = payload
+        .iter()
+        .zip(decoded.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    Ok(SimulationOutcome {
+        exact: decoded == payload,
+        byte_accuracy: if payload.is_empty() {
+            1.0
+        } else {
+            matches as f64 / payload.len() as f64
+        },
+        corrected,
+        failed_codewords: failed,
+        lost_molecules: lost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i * 31 % 256) as u8).collect();
+        for layout in [LayoutChoice::Baseline, LayoutChoice::Gini, LayoutChoice::DnaMapper] {
+            let text = encode(&payload, layout).unwrap();
+            assert!(text.starts_with("# dnastore v1"));
+            let (decoded, reports) = decode(&text).unwrap();
+            assert_eq!(decoded, payload, "{layout:?}");
+            assert!(reports.iter().all(DecodeReport::is_error_free));
+            assert_eq!(reports.len(), 2, "9000 bytes need two laptop units");
+        }
+    }
+
+    #[test]
+    fn strand_list_format_is_stable_and_parseable() {
+        let payload = b"format stability".to_vec();
+        let text = encode(&payload, LayoutChoice::Gini).unwrap();
+        let (layout, len, units) = from_strand_list(&text).unwrap();
+        assert_eq!(layout, LayoutChoice::Gini);
+        assert_eq!(len, payload.len());
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].len(), 255);
+        assert!(units[0].iter().all(|s| s.len() == 124));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_strand_list("").is_err());
+        assert!(from_strand_list("not a header\nACGT\n").is_err());
+        assert!(from_strand_list("# dnastore v1 layout=Baseline bytes=4\nACXT\n").is_err());
+    }
+
+    #[test]
+    fn error_model_parsing() {
+        assert!(parse_error_model("uniform:0.06").is_ok());
+        assert!(parse_error_model("nanopore:0.12").is_ok());
+        assert!(parse_error_model("subs:1.5").is_err());
+        assert!(parse_error_model("uniform").is_err());
+        assert!(parse_error_model("martian:0.1").is_err());
+        let m = parse_error_model("indels:0.1").unwrap();
+        assert_eq!(m.indel_fraction(), 1.0);
+    }
+
+    #[test]
+    fn simulation_reports_sane_outcomes() {
+        let payload: Vec<u8> = (0..4000u32).map(|i| (i % 256) as u8).collect();
+        let clean = simulate(
+            &payload,
+            LayoutChoice::Gini,
+            ErrorModel::noiseless(),
+            3.0,
+            7,
+        )
+        .unwrap();
+        assert!(clean.exact);
+        assert_eq!(clean.byte_accuracy, 1.0);
+        let noisy = simulate(
+            &payload,
+            LayoutChoice::Gini,
+            ErrorModel::uniform(0.06),
+            14.0,
+            7,
+        )
+        .unwrap();
+        assert!(noisy.exact, "gini at 6%/coverage 14 should decode: {noisy:?}");
+        assert!(noisy.corrected > 0);
+    }
+}

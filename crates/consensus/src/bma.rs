@@ -1,0 +1,317 @@
+//! Bitwise-majority alignment with lookahead: the paper's §3.1 consensus.
+
+use crate::TraceReconstructor;
+use dna_strand::{Base, DnaString};
+
+/// The one-way (left-to-right) majority-with-lookahead reconstruction.
+///
+/// At each output position the active reads vote with their current
+/// character; disagreeing reads are *repaired* under the most plausible
+/// hypothesis — substitution, deletion, or insertion — chosen by comparing
+/// a small lookahead window against the estimated upcoming consensus, and
+/// their cursors adjusted accordingly. A wrong hypothesis misaligns the
+/// read for subsequent votes, which is exactly how error accumulates
+/// toward the far end of the strand (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BmaOneWay {
+    lookahead: usize,
+}
+
+impl BmaOneWay {
+    /// Creates the reconstructor with a lookahead window of `lookahead`
+    /// characters (the paper's worked example uses 2).
+    pub fn new(lookahead: usize) -> BmaOneWay {
+        BmaOneWay {
+            lookahead: lookahead.max(1),
+        }
+    }
+
+    /// The lookahead window length.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+}
+
+impl Default for BmaOneWay {
+    fn default() -> Self {
+        BmaOneWay::new(2)
+    }
+}
+
+/// Plurality vote over an iterator of bases; ties break toward the
+/// lexicographically smallest base so the procedure is deterministic.
+fn plurality<I: IntoIterator<Item = Base>>(items: I) -> Option<Base> {
+    let mut counts = [0usize; 4];
+    let mut any = false;
+    for b in items {
+        counts[b as usize] += 1;
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+    let mut best = Base::A;
+    let mut best_count = 0usize;
+    for b in Base::ALL {
+        if counts[b as usize] > best_count {
+            best = b;
+            best_count = counts[b as usize];
+        }
+    }
+    Some(best)
+}
+
+impl TraceReconstructor for BmaOneWay {
+    fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString {
+        let mut cursors = vec![0usize; reads.len()];
+        let mut out = DnaString::with_capacity(target_len);
+        let w = self.lookahead;
+        for _ in 0..target_len {
+            // 1. Current-character vote among active reads.
+            let votes = reads
+                .iter()
+                .zip(cursors.iter())
+                .filter(|(r, &c)| c < r.len())
+                .map(|(r, &c)| r[c]);
+            let Some(consensus) = plurality(votes) else {
+                // All reads exhausted: pad deterministically.
+                out.push(Base::A);
+                continue;
+            };
+
+            // 2. Estimate the upcoming window from reads that agree now.
+            let mut window = Vec::with_capacity(w);
+            for d in 1..=w {
+                let upcoming = reads
+                    .iter()
+                    .zip(cursors.iter())
+                    .filter(|(r, &c)| c < r.len() && r[c] == consensus && c + d < r.len())
+                    .map(|(r, &c)| r[c + d]);
+                window.push(plurality(upcoming));
+            }
+
+            // 3. Advance agreeing reads; diagnose and repair outliers.
+            for (r, cursor) in reads.iter().zip(cursors.iter_mut()) {
+                if *cursor >= r.len() {
+                    continue;
+                }
+                if r[*cursor] == consensus {
+                    *cursor += 1;
+                    continue;
+                }
+                // Score each hypothesis by how well the read matches the
+                // estimated upcoming window after the corresponding repair.
+                let score = |offset: usize| -> usize {
+                    let mut s = 0usize;
+                    for (d, expected) in window.iter().enumerate() {
+                        let Some(expected) = expected else { continue };
+                        let pos = *cursor + offset + d;
+                        if pos < r.len() && r[pos] == *expected {
+                            s += 1;
+                        }
+                    }
+                    s
+                };
+                // substitution: wrong char here, rest aligned → skip 1
+                let sub_score = score(1);
+                // deletion: the true char vanished, so the read's *current*
+                // char must already be the upcoming consensus char (gate);
+                // the rest of the window then aligns at offset 0
+                let del_gate = matches!(window.first(), Some(Some(m)) if r[*cursor] == *m);
+                let del_score = if del_gate { score(0) } else { 0 };
+                // insertion: spurious char here, so the *next* read char
+                // must be the current consensus char (gate); the rest of
+                // the window then aligns at offset 2
+                let ins_gate = *cursor + 1 < r.len() && r[*cursor + 1] == consensus;
+                let ins_score = if ins_gate { score(2) + 1 } else { 0 };
+
+                // Tie order favors the simplest explanation: substitution,
+                // then deletion, then insertion. The gates keep pure
+                // substitution noise from being misread as indels, which
+                // would permanently misalign the read (paper Fig. 5: the
+                // substitution-only channel must reconstruct cleanly).
+                if sub_score >= del_score && sub_score >= ins_score {
+                    *cursor += 1;
+                } else if del_score >= ins_score {
+                    // stay
+                } else {
+                    *cursor = (*cursor + 2).min(r.len());
+                }
+            }
+            out.push(consensus);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "bma-one-way"
+    }
+}
+
+/// The two-sided reconstruction of paper §3.1/Fig. 2f: run the one-way
+/// procedure from the left on the reads and from the right on the reversed
+/// reads, then keep the left half of the forward estimate and the right
+/// half of the backward estimate — "the best of both worlds". Error then
+/// peaks in the middle (Fig. 4), which is the skew shape all the storage
+/// experiments build on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BmaTwoWay {
+    inner: BmaOneWay,
+}
+
+impl BmaTwoWay {
+    /// Creates the two-sided reconstructor with the given lookahead.
+    pub fn new(lookahead: usize) -> BmaTwoWay {
+        BmaTwoWay {
+            inner: BmaOneWay::new(lookahead),
+        }
+    }
+
+    /// The underlying one-way procedure.
+    pub fn one_way(&self) -> &BmaOneWay {
+        &self.inner
+    }
+}
+
+impl TraceReconstructor for BmaTwoWay {
+    fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString {
+        let forward = self.inner.reconstruct(reads, target_len);
+        let reversed: Vec<DnaString> = reads.iter().map(DnaString::reversed).collect();
+        let backward_rev = self.inner.reconstruct(&reversed, target_len);
+        let backward = backward_rev.reversed();
+        let split = target_len.div_ceil(2);
+        let mut out = forward.slice(0, split);
+        out.extend(backward.slice(split, target_len).into_bases());
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "bma-two-way"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_channel::{ErrorModel, IdsChannel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn substitution_only_noise_is_fixed_by_majority() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let original = DnaString::random(150, &mut rng);
+        let ch = IdsChannel::new(ErrorModel::substitutions_only(0.10));
+        let reads = ch.transmit_many(&original, 7, &mut rng);
+        for algo in [BmaOneWay::default().name(), BmaTwoWay::default().name()] {
+            let got = match algo {
+                "bma-one-way" => BmaOneWay::default().reconstruct(&reads, original.len()),
+                _ => BmaTwoWay::default().reconstruct(&reads, original.len()),
+            };
+            assert_eq!(got, original, "{algo} failed on substitution-only noise");
+        }
+    }
+
+    #[test]
+    fn clean_reads_reconstruct_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = DnaString::random(80, &mut rng);
+        let reads = vec![original.clone(); 3];
+        assert_eq!(BmaOneWay::default().reconstruct(&reads, 80), original);
+        assert_eq!(BmaTwoWay::default().reconstruct(&reads, 80), original);
+    }
+
+    #[test]
+    fn paper_worked_example_recovers_original() {
+        // Figure 2b of the paper: five noisy copies of ACGTACGTACGT.
+        let original: DnaString = "ACGTACGTACGT".parse().unwrap();
+        let reads: Vec<DnaString> = [
+            "TCGTACGTACGT",  // substitution at position 0
+            "AGTACGTACG",    // deletion of C (and a trailing deletion)
+            "ACGTGACGTACGT", // insertion of G
+            "ACGTATGTACGT",  // substitution
+            "ACAGTACAGTACGT", // two insertions of A
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let got = BmaTwoWay::default().reconstruct(&reads, original.len());
+        assert_eq!(got, original);
+    }
+
+    #[test]
+    fn output_always_has_target_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = DnaString::random(60, &mut rng);
+        let ch = IdsChannel::new(ErrorModel::uniform(0.3));
+        for n in [1usize, 2, 5] {
+            let reads = ch.transmit_many(&original, n, &mut rng);
+            for len in [1usize, 59, 60, 61, 80] {
+                assert_eq!(BmaOneWay::default().reconstruct(&reads, len).len(), len);
+                assert_eq!(BmaTwoWay::default().reconstruct(&reads, len).len(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_read_set_pads_deterministically() {
+        let got = BmaTwoWay::default().reconstruct(&[], 10);
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|&b| b == Base::A));
+    }
+
+    #[test]
+    fn one_way_error_grows_with_position() {
+        // The defining property of the skew (Fig. 3): the far end of the
+        // strand is reconstructed worse than the near end.
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = 200;
+        let trials = 150;
+        let ch = IdsChannel::new(ErrorModel::uniform(0.05));
+        let algo = BmaOneWay::default();
+        let mut first_half_err = 0usize;
+        let mut second_half_err = 0usize;
+        for _ in 0..trials {
+            let original = DnaString::random(l, &mut rng);
+            let reads = ch.transmit_many(&original, 5, &mut rng);
+            let got = algo.reconstruct(&reads, l);
+            for i in 0..l {
+                if got[i] != original[i] {
+                    if i < l / 2 {
+                        first_half_err += 1;
+                    } else {
+                        second_half_err += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            second_half_err > first_half_err * 2,
+            "first half {first_half_err}, second half {second_half_err}"
+        );
+    }
+
+    #[test]
+    fn two_way_peaks_in_the_middle() {
+        // Fig. 4: with the two-sided procedure, the middle third is worse
+        // than both outer thirds.
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = 150;
+        let trials = 200;
+        let ch = IdsChannel::new(ErrorModel::uniform(0.06));
+        let algo = BmaTwoWay::default();
+        let mut errs = vec![0usize; 3];
+        for _ in 0..trials {
+            let original = DnaString::random(l, &mut rng);
+            let reads = ch.transmit_many(&original, 5, &mut rng);
+            let got = algo.reconstruct(&reads, l);
+            for i in 0..l {
+                if got[i] != original[i] {
+                    errs[i * 3 / l] += 1;
+                }
+            }
+        }
+        assert!(errs[1] > errs[0], "middle {} vs left {}", errs[1], errs[0]);
+        assert!(errs[1] > errs[2], "middle {} vs right {}", errs[1], errs[2]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Trace reconstruction (consensus finding) over noisy DNA reads — the
+//! algorithmic step whose position-dependent accuracy *is* the reliability
+//! skew studied by *Managing Reliability Bias in DNA Storage* (ISCA '22).
+//!
+//! After clustering, each cluster holds `N` noisy copies of an unknown
+//! strand of length `L`; the decoder must find the most likely original.
+//! With insertions and deletions present, aligning characters to their
+//! original positions forces sequential guesses, and wrong guesses
+//! propagate — so reconstruction accuracy *decays with position*:
+//!
+//! - [`BmaOneWay`]: the left-to-right majority-with-lookahead procedure of
+//!   paper §3.1 (error grows monotonically with position — Fig. 3);
+//! - [`BmaTwoWay`]: runs it from both ends and keeps each half from its
+//!   better side (error peaks in the middle — Fig. 4). This is the
+//!   consensus used by the state-of-the-art storage pipeline the paper
+//!   builds on;
+//! - [`IterativeReconstructor`]: a stronger realign-and-vote algorithm in
+//!   the spirit of Sabary et al. (Fig. 5: the skew persists);
+//! - [`ConstrainedMedian`]: *exact* constrained edit-distance median by
+//!   branch-and-bound with an adversarial tie-break (Fig. 6: the skew is
+//!   fundamental, not an algorithm artifact);
+//! - [`profile`]: harnesses measuring per-position error probability.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_channel::{ErrorModel, IdsChannel};
+//! use dna_consensus::{BmaTwoWay, TraceReconstructor};
+//! use dna_strand::DnaString;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let original = DnaString::random(120, &mut rng);
+//! let channel = IdsChannel::new(ErrorModel::uniform(0.03));
+//! let reads = channel.transmit_many(&original, 8, &mut rng);
+//! let consensus = BmaTwoWay::default().reconstruct(&reads, original.len());
+//! let mismatches = consensus.hamming_distance(&original).unwrap();
+//! assert!(mismatches <= 6, "got {mismatches} mismatches");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bma;
+mod iterative;
+mod median;
+pub mod profile;
+
+pub use bma::{BmaOneWay, BmaTwoWay};
+pub use iterative::IterativeReconstructor;
+pub use median::{distort_symbols, ConstrainedMedian, MedianOutcome, TieBreak};
+
+use dna_strand::DnaString;
+
+/// A trace-reconstruction algorithm: estimates the original strand of known
+/// length `target_len` from noisy reads.
+///
+/// Implementations must return a strand of exactly `target_len` bases and
+/// must tolerate empty or short read sets (returning a best-effort guess);
+/// the storage pipeline treats entirely missing clusters as erasures
+/// *before* consensus, but robustness here keeps failure injection simple.
+pub trait TraceReconstructor {
+    /// Estimates the original strand.
+    fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString;
+
+    /// A short human-readable name for reports and figures.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}

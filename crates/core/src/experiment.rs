@@ -1,0 +1,324 @@
+//! Experiment harnesses: minimum-coverage search and quality sweeps.
+//!
+//! These implement the paper's two measurement loops: "minimum sequencing
+//! coverage required for error-free decoding" (Figs. 12–13) and image
+//! quality loss versus coverage (Figs. 14, 16), both averaged over
+//! repeated trials with independent noise realizations (§6.1.2 uses 50
+//! trials per point; the trial count here is a parameter). Trials run in
+//! parallel; results are deterministic in the seed.
+
+use crate::archive::{Archive, ArchiveCodec};
+use crate::pipeline::{Pipeline, RetrieveOptions};
+use crate::StorageError;
+use dna_channel::{Cluster, CoverageModel, ErrorModel};
+
+/// Options for [`min_coverage`].
+#[derive(Debug, Clone)]
+pub struct MinCoverageOptions {
+    /// Candidate mean coverages, ascending (e.g. `3.0..=30.0`).
+    pub coverages: Vec<f64>,
+    /// Independent noise realizations per point; **all** must decode
+    /// error-free for a coverage to qualify.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Draw cluster sizes from a Gamma distribution (the realistic mode);
+    /// `false` uses fixed per-cluster coverage.
+    pub gamma: bool,
+    /// Molecules to erase deliberately (Fig. 13's effective-redundancy
+    /// reduction).
+    pub forced_erasures: Vec<usize>,
+}
+
+impl Default for MinCoverageOptions {
+    fn default() -> Self {
+        MinCoverageOptions {
+            coverages: (3..=30).map(|c| c as f64).collect(),
+            trials: 5,
+            seed: 1,
+            gamma: true,
+            forced_erasures: Vec::new(),
+        }
+    }
+}
+
+/// Finds the smallest candidate coverage at which **every** trial decodes
+/// the payload exactly — the paper's minimum-coverage metric. `None` when
+/// even the largest candidate fails.
+///
+/// Each trial draws one read pool at the maximum candidate coverage and
+/// re-decodes progressively larger draws of it, exactly as the paper's
+/// methodology prescribes; a trial's success is assumed monotone in
+/// coverage (decoding is retried at ascending coverages until it first
+/// succeeds).
+///
+/// # Errors
+///
+/// Propagates substrate failures ([`StorageError`]); decode failures are
+/// part of the measurement, not errors.
+pub fn min_coverage(
+    pipeline: &Pipeline,
+    payload: &[u8],
+    model: ErrorModel,
+    opts: &MinCoverageOptions,
+) -> Result<Option<f64>, StorageError> {
+    if opts.coverages.is_empty() || opts.trials == 0 {
+        return Ok(None);
+    }
+    let unit = pipeline.encode_unit(payload)?;
+    let mut expected = payload.to_vec();
+    expected.resize(pipeline.payload_capacity(), 0);
+    let max_cov = *opts
+        .coverages
+        .last()
+        .expect("non-empty coverage candidates");
+    let retrieve = RetrieveOptions {
+        forced_erasures: opts.forced_erasures.clone(),
+        ..RetrieveOptions::default()
+    };
+
+    // Per trial: the index of the first succeeding coverage (or None).
+    let firsts = parallel_map(opts.trials, |t| -> Result<Option<usize>, StorageError> {
+        let coverage_model = if opts.gamma {
+            CoverageModel::Gamma {
+                mean: max_cov,
+                shape: 6.0,
+            }
+        } else {
+            CoverageModel::Fixed(max_cov.round() as usize)
+        };
+        let pool = pipeline.sequence(&unit, model, coverage_model, opts.seed ^ (t as u64) << 17);
+        for (i, &cov) in opts.coverages.iter().enumerate() {
+            let clusters = pool.at_coverage(cov);
+            let (decoded, report) = pipeline.decode_unit_with(&clusters, &retrieve)?;
+            if report.is_error_free() && decoded == expected {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    });
+    let mut worst = 0usize;
+    for first in firsts {
+        match first? {
+            Some(i) => worst = worst.max(i),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(opts.coverages[worst]))
+}
+
+/// One point of a quality-versus-coverage sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityPoint {
+    /// Mean sequencing coverage of the point.
+    pub coverage: f64,
+    /// Mean loss (dB) across trials, as computed by the caller's `eval`.
+    pub mean_loss_db: f64,
+    /// Trials in which the archive could not be reconstructed at all.
+    pub failed_decodes: usize,
+}
+
+/// Sweeps coverage for an archive and reports the mean quality loss per
+/// point (paper Figs. 14/16). `eval(original, decoded)` returns the loss
+/// in dB; `decoded` is `None` when the directory was unrecoverable
+/// (catastrophic loss — eval decides the penalty).
+///
+/// # Errors
+///
+/// Propagates substrate failures.
+pub fn quality_sweep<F>(
+    codec: &ArchiveCodec,
+    archive: &Archive,
+    model: ErrorModel,
+    coverages: &[f64],
+    trials: usize,
+    seed: u64,
+    eval: F,
+) -> Result<Vec<QualityPoint>, StorageError>
+where
+    F: Fn(&Archive, Option<&Archive>) -> f64 + Sync,
+{
+    let units = codec.encode(archive)?;
+    let max_cov = coverages.iter().copied().fold(1.0f64, f64::max);
+    let per_trial = parallel_map(trials, |t| -> Result<Vec<(f64, bool)>, StorageError> {
+        let pools = codec.sequence(
+            &units,
+            model,
+            CoverageModel::Gamma {
+                mean: max_cov,
+                shape: 6.0,
+            },
+            seed ^ (t as u64) << 13,
+        );
+        let mut out = Vec::with_capacity(coverages.len());
+        for &cov in coverages {
+            let clusters: Vec<Vec<Cluster>> =
+                pools.iter().map(|p| p.at_coverage(cov)).collect();
+            match codec.decode(&clusters, &RetrieveOptions::default()) {
+                Ok((decoded, _)) => out.push((eval(archive, Some(&decoded)), false)),
+                Err(StorageError::DirectoryUnreadable) => {
+                    out.push((eval(archive, None), true));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    });
+    let mut points: Vec<QualityPoint> = coverages
+        .iter()
+        .map(|&coverage| QualityPoint {
+            coverage,
+            mean_loss_db: 0.0,
+            failed_decodes: 0,
+        })
+        .collect();
+    let mut ok_trials = 0usize;
+    for trial in per_trial {
+        let trial = trial?;
+        ok_trials += 1;
+        for (point, (loss, failed)) in points.iter_mut().zip(trial) {
+            point.mean_loss_db += loss;
+            point.failed_decodes += usize::from(failed);
+        }
+    }
+    for point in &mut points {
+        point.mean_loss_db /= ok_trials.max(1) as f64;
+    }
+    Ok(points)
+}
+
+/// Runs `f(0..n)` across threads, preserving order.
+fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut results;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let (mine, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (off, slot) in mine.iter_mut().enumerate() {
+                    *slot = Some(f(lo + off));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("experiment worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{FileEntry, RankingPolicy};
+    use crate::params::CodecParams;
+    use crate::pipeline::Layout;
+
+    #[test]
+    fn min_coverage_is_one_for_noiseless_channel() {
+        let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30).collect();
+        let opts = MinCoverageOptions {
+            coverages: vec![1.0, 2.0, 3.0],
+            trials: 3,
+            seed: 5,
+            gamma: false,
+            forced_erasures: vec![],
+        };
+        let got = min_coverage(&pipeline, &payload, ErrorModel::noiseless(), &opts).unwrap();
+        assert_eq!(got, Some(1.0));
+    }
+
+    #[test]
+    fn min_coverage_none_when_noise_overwhelms() {
+        let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30).collect();
+        let opts = MinCoverageOptions {
+            coverages: vec![2.0, 3.0],
+            trials: 2,
+            seed: 6,
+            gamma: false,
+            forced_erasures: vec![],
+        };
+        let got = min_coverage(&pipeline, &payload, ErrorModel::uniform(0.30), &opts).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn min_coverage_rises_with_error_rate() {
+        let pipeline =
+            Pipeline::new(CodecParams::tiny().unwrap(), Layout::Gini { excluded_rows: vec![] })
+                .unwrap();
+        let payload: Vec<u8> = (0..30).map(|i| i * 7).collect();
+        let opts = MinCoverageOptions {
+            coverages: (1..=25).map(f64::from).collect(),
+            trials: 4,
+            seed: 7,
+            gamma: false,
+            forced_erasures: vec![],
+        };
+        let low = min_coverage(&pipeline, &payload, ErrorModel::uniform(0.02), &opts)
+            .unwrap()
+            .expect("low noise decodable");
+        let high = min_coverage(&pipeline, &payload, ErrorModel::uniform(0.10), &opts)
+            .unwrap()
+            .expect("high noise decodable");
+        assert!(high > low, "high-noise coverage {high} vs low-noise {low}");
+    }
+
+    #[test]
+    fn quality_sweep_improves_with_coverage() {
+        let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::DnaMapper).unwrap();
+        let codec = ArchiveCodec::new(pipeline, RankingPolicy::PositionPriority);
+        let archive = Archive::new(vec![FileEntry::new("f", (0..60u8).collect())]).unwrap();
+        let points = quality_sweep(
+            &codec,
+            &archive,
+            ErrorModel::uniform(0.08),
+            &[2.0, 12.0],
+            4,
+            8,
+            |original, decoded| match decoded {
+                Some(d) => {
+                    let orig = &original.files()[0].bytes;
+                    let got = d.file("f").map(|f| f.bytes.as_slice()).unwrap_or(&[]);
+                    let wrong = orig
+                        .iter()
+                        .zip(got.iter().chain(std::iter::repeat(&0)))
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    wrong as f64
+                }
+                None => original.files()[0].bytes.len() as f64,
+            },
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].mean_loss_db <= points[0].mean_loss_db,
+            "loss at cov 12 ({}) should not exceed loss at cov 2 ({})",
+            points[1].mean_loss_db,
+            points[0].mean_loss_db
+        );
+    }
+}

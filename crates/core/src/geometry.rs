@@ -1,0 +1,260 @@
+//! Codeword geometries: where each Reed–Solomon codeword lives in the
+//! matrix.
+//!
+//! The baseline architecture (paper Fig. 1) makes every **row** a
+//! codeword, so the unreliable middle rows concentrate all mid-strand
+//! errors in a few codewords. **Gini** (paper Fig. 8) stripes codewords
+//! *diagonally*, wrapping to the next column at the bottom edge, so every
+//! codeword samples every row nearly equally — and still touches each
+//! column at most once, preserving the baseline's erasure resilience
+//! (a lost molecule costs every codeword exactly one symbol).
+
+use std::fmt;
+
+/// Assigns matrix cells to codewords.
+///
+/// Contract (enforced by tests): the `codeword_count()` position lists
+/// form a partition of all `rows × (data_cols + parity_cols)` cells; each
+/// list has exactly `data_cols` data positions followed by `parity_cols`
+/// parity positions; and no codeword touches a column twice.
+pub trait CodewordGeometry: fmt::Debug {
+    /// Number of codewords (always `rows` in this architecture).
+    fn codeword_count(&self) -> usize;
+
+    /// The cells of codeword `k`: `data_cols` data cells followed by
+    /// `parity_cols` parity cells, as `(row, col)` pairs.
+    fn codeword_positions(&self, k: usize) -> Vec<(usize, usize)>;
+}
+
+/// The baseline geometry: codeword `k` = row `k` (paper Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowGeometry {
+    rows: usize,
+    data_cols: usize,
+    parity_cols: usize,
+}
+
+impl RowGeometry {
+    /// Creates the row geometry for an `rows × (data_cols + parity_cols)`
+    /// unit.
+    pub fn new(rows: usize, data_cols: usize, parity_cols: usize) -> RowGeometry {
+        RowGeometry {
+            rows,
+            data_cols,
+            parity_cols,
+        }
+    }
+}
+
+impl CodewordGeometry for RowGeometry {
+    fn codeword_count(&self) -> usize {
+        self.rows
+    }
+
+    fn codeword_positions(&self, k: usize) -> Vec<(usize, usize)> {
+        assert!(k < self.rows, "codeword index out of range");
+        (0..self.data_cols + self.parity_cols).map(|c| (k, c)).collect()
+    }
+}
+
+/// Gini's diagonal geometry (paper Fig. 8), with optional reliability
+/// classes: rows listed in `excluded_rows` stay row-codewords (Fig. 8b),
+/// while the remaining rows are covered by one continuous diagonal walk.
+///
+/// The walk visits data cells `(t mod S', (t + cycle) mod M)` — stepping
+/// one row down and one column right per symbol, continuing "from the next
+/// column" on wraparound (paper §4.2). When `gcd(S', M) = d > 1` the walk
+/// closes after `lcm(S', M)` steps, so each of the `d` cycles offsets the
+/// column by one; the cycles partition cells by `(col − row) mod d`,
+/// making the walk a bijection onto the included data region. Parity for
+/// diagonal codeword `k` sits at `(row (k + e) mod S', parity column e)`,
+/// so parity columns also meet each codeword exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagonalGeometry {
+    rows: usize,
+    data_cols: usize,
+    parity_cols: usize,
+    /// Sorted list of interleaved (included) rows.
+    included: Vec<usize>,
+    /// Sorted list of excluded rows (kept as row-codewords).
+    excluded: Vec<usize>,
+}
+
+impl DiagonalGeometry {
+    /// Creates the Gini geometry; `excluded_rows` may be empty (full
+    /// interleaving) or list rows to keep as dedicated row-codewords.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an excluded row is out of range, duplicated, or no
+    /// rows remain to interleave.
+    pub fn new(
+        rows: usize,
+        data_cols: usize,
+        parity_cols: usize,
+        excluded_rows: &[usize],
+    ) -> DiagonalGeometry {
+        let mut excluded = excluded_rows.to_vec();
+        excluded.sort_unstable();
+        excluded.windows(2).for_each(|w| {
+            assert_ne!(w[0], w[1], "duplicate excluded row {}", w[0]);
+        });
+        if let Some(&max) = excluded.last() {
+            assert!(max < rows, "excluded row {max} out of range");
+        }
+        let included: Vec<usize> = (0..rows).filter(|r| !excluded.contains(r)).collect();
+        assert!(
+            !included.is_empty(),
+            "at least one row must remain interleaved"
+        );
+        DiagonalGeometry {
+            rows,
+            data_cols,
+            parity_cols,
+            included,
+            excluded,
+        }
+    }
+
+    /// The rows covered by the diagonal walk.
+    pub fn included_rows(&self) -> &[usize] {
+        &self.included
+    }
+
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            Self::gcd(b, a % b)
+        }
+    }
+}
+
+impl CodewordGeometry for DiagonalGeometry {
+    fn codeword_count(&self) -> usize {
+        self.rows
+    }
+
+    fn codeword_positions(&self, k: usize) -> Vec<(usize, usize)> {
+        assert!(k < self.rows, "codeword index out of range");
+        let m = self.data_cols;
+        // Excluded rows are ordinary row-codewords.
+        if let Ok(x) = self.excluded.binary_search(&k) {
+            let row = self.excluded[x];
+            return (0..m + self.parity_cols).map(|c| (row, c)).collect();
+        }
+        // Diagonal codeword: its rank among included rows.
+        let rank = self
+            .included
+            .iter()
+            .position(|&r| r == k)
+            .expect("non-excluded codeword indexes an included row");
+        let s = self.included.len();
+        let l = s / Self::gcd(s, m) * m; // lcm(S', M)
+        let mut out = Vec::with_capacity(m + self.parity_cols);
+        let start = rank * m;
+        for t in start..start + m {
+            let cycle = t / l;
+            out.push((self.included[t % s], (t + cycle) % m));
+        }
+        for e in 0..self.parity_cols {
+            out.push((self.included[(rank + e) % s], m + e));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_contract(geom: &dyn CodewordGeometry, rows: usize, cols: usize, data_cols: usize) {
+        let mut seen = HashSet::new();
+        for k in 0..geom.codeword_count() {
+            let pos = geom.codeword_positions(k);
+            assert_eq!(pos.len(), cols, "codeword {k} length");
+            // No column touched twice by the same codeword.
+            let col_set: HashSet<usize> = pos.iter().map(|&(_, c)| c).collect();
+            assert_eq!(col_set.len(), cols, "codeword {k} repeats a column");
+            // Data positions lie in the data region, parity in parity region.
+            for (i, &(r, c)) in pos.iter().enumerate() {
+                assert!(r < rows && c < cols);
+                if i < data_cols {
+                    assert!(c < data_cols, "codeword {k} data cell in parity region");
+                } else {
+                    assert!(c >= data_cols, "codeword {k} parity cell in data region");
+                }
+                assert!(seen.insert((r, c)), "cell ({r},{c}) claimed twice");
+            }
+        }
+        assert_eq!(seen.len(), rows * cols, "cells not fully covered");
+    }
+
+    #[test]
+    fn row_geometry_satisfies_contract() {
+        check_contract(&RowGeometry::new(6, 10, 5), 6, 15, 10);
+    }
+
+    #[test]
+    fn diagonal_geometry_satisfies_contract_coprime() {
+        // gcd(S, M) = 1 (paper's own shape: gcd(82, 53477·…) — here 6, 11).
+        check_contract(&DiagonalGeometry::new(6, 11, 4, &[]), 6, 15, 11);
+    }
+
+    #[test]
+    fn diagonal_geometry_satisfies_contract_non_coprime() {
+        // gcd(6, 10) = 2: exercises the cycle-offset wraparound.
+        check_contract(&DiagonalGeometry::new(6, 10, 5, &[]), 6, 15, 10);
+        // gcd(4, 12) = 4.
+        check_contract(&DiagonalGeometry::new(4, 12, 3, &[]), 4, 15, 12);
+    }
+
+    #[test]
+    fn diagonal_geometry_with_reliability_classes() {
+        // Fig. 8b: first and last rows excluded, the rest interleaved.
+        let geom = DiagonalGeometry::new(6, 10, 5, &[0, 5]);
+        check_contract(&geom, 6, 15, 10);
+        // Excluded rows are pure row-codewords.
+        for k in [0usize, 5] {
+            let pos = geom.codeword_positions(k);
+            assert!(pos.iter().all(|&(r, _)| r == k));
+        }
+        // Interleaved codewords never touch excluded rows.
+        for k in [1usize, 2, 3, 4] {
+            let pos = geom.codeword_positions(k);
+            assert!(pos.iter().all(|&(r, _)| r != 0 && r != 5));
+        }
+    }
+
+    #[test]
+    fn diagonal_codeword_spreads_across_rows() {
+        // Every diagonal codeword must sample every included row with near
+        // equal frequency (the de-biasing property).
+        let geom = DiagonalGeometry::new(5, 50, 10, &[]);
+        for k in 0..5 {
+            let pos = geom.codeword_positions(k);
+            let mut per_row = [0usize; 5];
+            for &(r, _) in &pos[..50] {
+                per_row[r] += 1;
+            }
+            for (r, &count) in per_row.iter().enumerate() {
+                assert_eq!(count, 10, "codeword {k} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_codeword_is_one_row() {
+        let geom = RowGeometry::new(4, 8, 2);
+        let pos = geom.codeword_positions(2);
+        assert!(pos.iter().all(|&(r, _)| r == 2));
+        assert_eq!(pos.len(), 10);
+    }
+
+    #[test]
+    fn paper_scale_shapes_are_consistent() {
+        // Laptop scale (30, 208, 47): gcd(30, 208) = 2.
+        check_contract(&DiagonalGeometry::new(30, 208, 47, &[]), 30, 255, 208);
+    }
+}

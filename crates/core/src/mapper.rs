@@ -1,0 +1,141 @@
+//! Data mappers: the order in which the payload symbol stream fills the
+//! data region of the matrix.
+//!
+//! The baseline (paper Fig. 1) fills molecules one by one (column-major).
+//! DnaMapper (paper Fig. 9) fills *reliability classes*: the payload is
+//! already priority-sorted, and the mapper sends the most important
+//! symbols to the most reliable rows — alternating between the two ends of
+//! the molecule and converging on the unreliable middle.
+
+use std::fmt;
+
+/// A bijection between payload stream order and data-region cells.
+pub trait DataMapper: fmt::Debug {
+    /// Cell of the `p`-th payload symbol, as `(row, col)` with
+    /// `col < data_cols`.
+    fn place(&self, p: usize, rows: usize, data_cols: usize) -> (usize, usize);
+
+    /// The full placement list (stream order → cells).
+    fn placement(&self, rows: usize, data_cols: usize) -> Vec<(usize, usize)> {
+        (0..rows * data_cols)
+            .map(|p| self.place(p, rows, data_cols))
+            .collect()
+    }
+}
+
+/// Column-major placement: molecule 0 top-to-bottom, then molecule 1, …
+/// (paper Fig. 1: `D[0..S)` is the first data molecule).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineMapper;
+
+impl DataMapper for BaselineMapper {
+    fn place(&self, p: usize, rows: usize, _data_cols: usize) -> (usize, usize) {
+        (p % rows, p / rows)
+    }
+}
+
+/// DnaMapper's priority placement (paper Fig. 9): priority group `g`
+/// (the `g`-th chunk of `data_cols` symbols) goes to the `g`-th most
+/// reliable row; within a group, symbols fill columns left to right.
+///
+/// Row reliability order (index lives at the very front of the strand,
+/// before row 0): last row, first row, second-to-last, second, … middle
+/// last.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PriorityMapper;
+
+impl PriorityMapper {
+    /// The row holding priority group `g` of `rows` (see Fig. 9): even
+    /// groups descend from the bottom, odd groups ascend from the top.
+    pub fn row_for_group(g: usize, rows: usize) -> usize {
+        assert!(g < rows, "priority group out of range");
+        if g % 2 == 0 {
+            rows - 1 - g / 2
+        } else {
+            (g - 1) / 2
+        }
+    }
+
+    /// Inverse of [`PriorityMapper::row_for_group`]: the reliability rank
+    /// of a row (0 = most reliable).
+    pub fn group_for_row(row: usize, rows: usize) -> usize {
+        assert!(row < rows, "row out of range");
+        let from_bottom = rows - 1 - row;
+        if from_bottom <= row {
+            2 * from_bottom
+        } else {
+            2 * row + 1
+        }
+    }
+}
+
+impl DataMapper for PriorityMapper {
+    fn place(&self, p: usize, rows: usize, data_cols: usize) -> (usize, usize) {
+        let group = p / data_cols;
+        let col = p % data_cols;
+        (Self::row_for_group(group, rows), col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_bijection(mapper: &dyn DataMapper, rows: usize, cols: usize) {
+        let cells: HashSet<(usize, usize)> =
+            mapper.placement(rows, cols).into_iter().collect();
+        assert_eq!(cells.len(), rows * cols, "placement is not a bijection");
+        assert!(cells.iter().all(|&(r, c)| r < rows && c < cols));
+    }
+
+    #[test]
+    fn both_mappers_are_bijections() {
+        for (rows, cols) in [(6, 10), (30, 208), (5, 7), (1, 4)] {
+            check_bijection(&BaselineMapper, rows, cols);
+            check_bijection(&PriorityMapper, rows, cols);
+        }
+    }
+
+    #[test]
+    fn baseline_is_column_major() {
+        let p = BaselineMapper.placement(3, 2);
+        assert_eq!(p, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn priority_rows_follow_figure_9() {
+        // 6 rows: group order bottom, top, 2nd-bottom, 2nd-top, …
+        let order: Vec<usize> = (0..6).map(|g| PriorityMapper::row_for_group(g, 6)).collect();
+        assert_eq!(order, vec![5, 0, 4, 1, 3, 2]);
+        // Odd row count: middle row is last.
+        let order5: Vec<usize> = (0..5).map(|g| PriorityMapper::row_for_group(g, 5)).collect();
+        assert_eq!(order5, vec![4, 0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn group_for_row_is_inverse() {
+        for rows in [1usize, 2, 5, 6, 30, 82] {
+            for g in 0..rows {
+                let r = PriorityMapper::row_for_group(g, rows);
+                assert_eq!(PriorityMapper::group_for_row(r, rows), g, "rows={rows} g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn highest_priority_symbols_land_in_last_row() {
+        // Paper: "We therefore strip 2M most important data bits across M
+        // molecules, placing them in … the last base of each molecule."
+        let rows = 6;
+        let cols = 10;
+        for p in 0..cols {
+            let (r, c) = PriorityMapper.place(p, rows, cols);
+            assert_eq!(r, rows - 1);
+            assert_eq!(c, p);
+        }
+        // The next group sits right after the index (row 0).
+        let (r, _) = PriorityMapper.place(cols, rows, cols);
+        assert_eq!(r, 0);
+    }
+}

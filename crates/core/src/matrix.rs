@@ -1,0 +1,99 @@
+//! The unit's symbol matrix: columns are molecules, rows are per-molecule
+//! symbol positions.
+
+/// A dense `rows × cols` matrix of GF(2^m) symbols (stored as `u16`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl SymbolMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> SymbolMatrix {
+        SymbolMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Number of rows (symbols per molecule).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (molecules).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the symbol at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u16 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Writes the symbol at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: u16) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The symbols of column `col`, top to bottom (the molecule payload).
+    pub fn column(&self, col: usize) -> Vec<u16> {
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Overwrites column `col` from a slice of `rows` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `symbols.len() != rows` or `col` is out of bounds.
+    pub fn set_column(&mut self, col: usize, symbols: &[u16]) {
+        assert_eq!(symbols.len(), self.rows, "column length mismatch");
+        for (r, &s) in symbols.iter().enumerate() {
+            self.set(r, col, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = SymbolMatrix::zeros(3, 4);
+        m.set(2, 3, 99);
+        m.set(0, 0, 1);
+        assert_eq!(m.get(2, 3), 99);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(1, 1), 0);
+    }
+
+    #[test]
+    fn column_accessors() {
+        let mut m = SymbolMatrix::zeros(3, 2);
+        m.set_column(1, &[7, 8, 9]);
+        assert_eq!(m.column(1), vec![7, 8, 9]);
+        assert_eq!(m.column(0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        SymbolMatrix::zeros(2, 2).get(2, 0);
+    }
+}

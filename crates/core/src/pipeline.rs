@@ -1,0 +1,632 @@
+//! The end-to-end single-unit pipeline: payload → matrix → strands →
+//! channel → clusters → consensus → Reed–Solomon → payload.
+
+use crate::geometry::{CodewordGeometry, DiagonalGeometry, RowGeometry};
+use crate::mapper::{BaselineMapper, DataMapper, PriorityMapper};
+use crate::matrix::SymbolMatrix;
+use crate::params::CodecParams;
+use crate::report::{CodewordReport, DecodeReport};
+use crate::StorageError;
+use dna_align::edit_distance_bounded;
+use dna_channel::{Cluster, CoverageModel, ErrorModel, IdsChannel, ReadPool};
+use dna_consensus::{BmaTwoWay, TraceReconstructor};
+use dna_reed_solomon::{ReedSolomon, RsError};
+use dna_strand::codec::DirectCodec;
+use dna_strand::{bits, decode_index, encode_index, DnaString, Primer, PrimerLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Which of the paper's data organizations a unit uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// Paper Fig. 1: row codewords, column-major data (skew-oblivious).
+    Baseline,
+    /// Paper Fig. 8: diagonal codeword interleaving. `excluded_rows` may
+    /// reserve rows as dedicated reliability classes (Fig. 8b).
+    Gini {
+        /// Rows kept as row-codewords outside the interleaving.
+        excluded_rows: Vec<usize>,
+    },
+    /// Paper Fig. 9: priority zig-zag data mapping over row codewords
+    /// (parity is computed after mapping and never remapped).
+    DnaMapper,
+}
+
+impl Layout {
+    /// A short name for figures and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layout::Baseline => "baseline",
+            Layout::Gini { .. } => "gini",
+            Layout::DnaMapper => "dnamapper",
+        }
+    }
+}
+
+/// One encoded unit: the synthesized molecules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedUnit {
+    strands: Vec<DnaString>,
+}
+
+impl EncodedUnit {
+    /// The molecules, in column order (index `c` holds column `c`).
+    pub fn strands(&self) -> &[DnaString] {
+        &self.strands
+    }
+
+    /// Number of molecules.
+    pub fn len(&self) -> usize {
+        self.strands.len()
+    }
+
+    /// Whether the unit is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strands.is_empty()
+    }
+
+    /// Total bases synthesized (the paper's synthesis-cost proxy).
+    pub fn total_bases(&self) -> usize {
+        self.strands.iter().map(DnaString::len).sum()
+    }
+}
+
+/// Decode-time options.
+#[derive(Debug, Clone, Default)]
+pub struct RetrieveOptions {
+    /// Columns to erase regardless of reads — the paper's Fig. 13 knob for
+    /// reducing *effective redundancy* in a controlled way.
+    pub forced_erasures: Vec<usize>,
+    /// Place columns by [`Cluster::source`] instead of parsing the strand
+    /// index. Legitimate under the paper's perfect-clustering methodology
+    /// (§6.1.2), where cluster identity is known by construction; used by
+    /// the no-ECC ranking study, which has no parity to absorb
+    /// index-corruption column losses.
+    pub trust_cluster_sources: bool,
+}
+
+/// The single-unit storage pipeline.
+#[derive(Clone)]
+pub struct Pipeline {
+    params: CodecParams,
+    layout: Layout,
+    geometry: Arc<dyn CodewordGeometry + Send + Sync>,
+    mapper: Arc<dyn DataMapper + Send + Sync>,
+    rs: Option<ReedSolomon>,
+    consensus: Arc<dyn TraceReconstructor + Send + Sync>,
+    primers: Option<(Primer, Primer)>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("params", &self.params)
+            .field("layout", &self.layout)
+            .field("consensus", &self.consensus.name())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Builds a pipeline for `params` with the given `layout`, two-sided
+    /// BMA consensus (the paper's choice, §6.1.2), and deterministic
+    /// primers when `params.primer_len() > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] when the RS code or primers cannot be
+    /// constructed for these parameters.
+    pub fn new(params: CodecParams, layout: Layout) -> Result<Pipeline, StorageError> {
+        let geometry: Arc<dyn CodewordGeometry + Send + Sync> = match &layout {
+            Layout::Gini { excluded_rows } => Arc::new(DiagonalGeometry::new(
+                params.rows(),
+                params.data_cols(),
+                params.parity_cols(),
+                excluded_rows,
+            )),
+            _ => Arc::new(RowGeometry::new(
+                params.rows(),
+                params.data_cols(),
+                params.parity_cols(),
+            )),
+        };
+        let mapper: Arc<dyn DataMapper + Send + Sync> = match &layout {
+            Layout::DnaMapper => Arc::new(PriorityMapper),
+            _ => Arc::new(BaselineMapper),
+        };
+        let rs = if params.parity_cols() > 0 {
+            Some(ReedSolomon::new(
+                params.field().clone(),
+                params.data_cols(),
+                params.parity_cols(),
+            )?)
+        } else {
+            None
+        };
+        let primers = if params.primer_len() > 0 {
+            let mut rng = StdRng::seed_from_u64(0xD2_A7_2022);
+            let lib = PrimerLibrary::generate(
+                2,
+                params.primer_len(),
+                params.primer_len() / 3,
+                &mut rng,
+            )?;
+            Some((lib.primers()[0].clone(), lib.primers()[1].clone()))
+        } else {
+            None
+        };
+        Ok(Pipeline {
+            params,
+            layout,
+            geometry,
+            mapper,
+            rs,
+            consensus: Arc::new(BmaTwoWay::default()),
+            primers,
+        })
+    }
+
+    /// Replaces the consensus algorithm (e.g. the iterative reconstructor).
+    pub fn with_consensus(
+        mut self,
+        consensus: Arc<dyn TraceReconstructor + Send + Sync>,
+    ) -> Pipeline {
+        self.consensus = consensus;
+        self
+    }
+
+    /// The unit geometry.
+    pub fn params(&self) -> &CodecParams {
+        &self.params
+    }
+
+    /// The data organization in use.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Bytes of payload one unit holds.
+    pub fn payload_capacity(&self) -> usize {
+        self.params.payload_bytes()
+    }
+
+    /// Encodes `payload` (at most [`Pipeline::payload_capacity`] bytes;
+    /// shorter payloads are zero-padded) into one unit of molecules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::PayloadTooLarge`] when the payload exceeds
+    /// the unit capacity.
+    pub fn encode_unit(&self, payload: &[u8]) -> Result<EncodedUnit, StorageError> {
+        let capacity = self.payload_capacity();
+        if payload.len() > capacity {
+            return Err(StorageError::PayloadTooLarge {
+                offered: payload.len(),
+                capacity,
+            });
+        }
+        let mut padded = payload.to_vec();
+        padded.resize(capacity, 0);
+        let m = self.params.symbol_bits();
+        let symbols = bits::bytes_to_symbols(&padded, m)?;
+        debug_assert_eq!(symbols.len(), self.params.rows() * self.params.data_cols());
+
+        let mut matrix = SymbolMatrix::zeros(self.params.rows(), self.params.cols());
+        for (p, &sym) in symbols.iter().enumerate() {
+            let (r, c) = self
+                .mapper
+                .place(p, self.params.rows(), self.params.data_cols());
+            matrix.set(r, c, sym);
+        }
+        if let Some(rs) = &self.rs {
+            let m_cols = self.params.data_cols();
+            for k in 0..self.geometry.codeword_count() {
+                let pos = self.geometry.codeword_positions(k);
+                let data: Vec<u16> = pos[..m_cols].iter().map(|&(r, c)| matrix.get(r, c)).collect();
+                let cw = rs.encode(&data)?;
+                for (i, &(r, c)) in pos[m_cols..].iter().enumerate() {
+                    matrix.set(r, c, cw[m_cols + i]);
+                }
+            }
+        }
+        // Assemble strands: [primer] index | column symbols [primer].
+        let mut strands = Vec::with_capacity(self.params.cols());
+        for c in 0..self.params.cols() {
+            let mut strand = DnaString::with_capacity(self.params.strand_bases());
+            if let Some((left, _)) = &self.primers {
+                strand.extend(left.strand().iter().copied());
+            }
+            strand.extend(encode_index(c as u32, self.params.index_bits())?.into_bases());
+            for r in 0..self.params.rows() {
+                strand.extend(
+                    DirectCodec
+                        .encode_symbol(matrix.get(r, c), m)?
+                        .into_bases(),
+                );
+            }
+            if let Some((_, right)) = &self.primers {
+                strand.extend(right.strand().iter().copied());
+            }
+            debug_assert_eq!(strand.len(), self.params.strand_bases());
+            strands.push(strand);
+        }
+        Ok(EncodedUnit { strands })
+    }
+
+    /// Simulates synthesis + sequencing of a unit: a [`ReadPool`] holding
+    /// noisy reads per molecule at up to `coverage`'s mean, supporting the
+    /// paper's progressive coverage draws.
+    pub fn sequence(
+        &self,
+        unit: &EncodedUnit,
+        model: ErrorModel,
+        coverage: CoverageModel,
+        seed: u64,
+    ) -> ReadPool {
+        let channel = IdsChannel::new(model);
+        ReadPool::generate(&unit.strands, &channel, coverage, seed)
+    }
+
+    /// Decodes one unit from its clusters with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] on substrate failures; codeword decode
+    /// failures are *not* errors — they are recorded in the report and the
+    /// affected symbols pass through uncorrected (graceful degradation).
+    pub fn decode_unit(&self, clusters: &[Cluster]) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        self.decode_unit_with(clusters, &RetrieveOptions::default())
+    }
+
+    /// Decodes one unit with explicit [`RetrieveOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::decode_unit`].
+    pub fn decode_unit_with(
+        &self,
+        clusters: &[Cluster],
+        opts: &RetrieveOptions,
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        let cols = self.params.cols();
+        let rows = self.params.rows();
+        let m = self.params.symbol_bits();
+        let index_bases = usize::from(self.params.index_bits()) / 2;
+        let sym_bases = usize::from(m) / 2;
+        let mut columns: Vec<Option<Vec<u16>>> = vec![None; cols];
+        let mut report = DecodeReport::default();
+
+        for cluster in clusters {
+            let reads = self.filter_reads(cluster);
+            if reads.is_empty() {
+                continue;
+            }
+            let full = self
+                .consensus
+                .reconstruct(&reads, self.params.strand_bases());
+            // Trim primers (their content is known; only the payload matters).
+            let p = self.params.primer_len();
+            let strand = full.slice(p, full.len() - p);
+            let idx = if opts.trust_cluster_sources {
+                cluster.source as u32
+            } else {
+                decode_index(strand.slice(0, index_bases).as_slice(), self.params.index_bits())?
+            };
+            let idx = idx as usize;
+            if idx >= cols {
+                report.invalid_indexes += 1;
+                continue;
+            }
+            if columns[idx].is_some() {
+                report.index_conflicts += 1;
+                continue;
+            }
+            let mut symbols = Vec::with_capacity(rows);
+            for r in 0..rows {
+                let start = index_bases + r * sym_bases;
+                let sym = DirectCodec
+                    .decode_symbol(strand.slice(start, start + sym_bases).as_slice(), m)?;
+                symbols.push(sym);
+            }
+            columns[idx] = Some(symbols);
+        }
+        for &c in &opts.forced_erasures {
+            if c < cols {
+                columns[c] = None;
+            }
+        }
+        let erased: Vec<bool> = columns.iter().map(Option::is_none).collect();
+        report.lost_columns = erased.iter().filter(|&&e| e).count();
+
+        let mut matrix = SymbolMatrix::zeros(rows, cols);
+        for (c, col) in columns.iter().enumerate() {
+            if let Some(symbols) = col {
+                matrix.set_column(c, symbols);
+            }
+        }
+
+        if let Some(rs) = &self.rs {
+            for k in 0..self.geometry.codeword_count() {
+                let pos = self.geometry.codeword_positions(k);
+                let mut received: Vec<u16> = pos.iter().map(|&(r, c)| matrix.get(r, c)).collect();
+                let erasures: Vec<usize> = pos
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, c))| erased[c])
+                    .map(|(i, _)| i)
+                    .collect();
+                let declared = erasures.len();
+                match rs.decode(&mut received, &erasures) {
+                    Ok(correction) => {
+                        for (&(r, c), &sym) in pos.iter().zip(received.iter()) {
+                            matrix.set(r, c, sym);
+                        }
+                        report.codewords.push(CodewordReport {
+                            corrected_errors: correction.errors,
+                            corrected_erasures: correction.erasures,
+                            declared_erasures: declared,
+                            failed: false,
+                        });
+                    }
+                    Err(RsError::TooManyErrors) | Err(RsError::TooManyErasures { .. }) => {
+                        report.codewords.push(CodewordReport {
+                            declared_erasures: declared,
+                            failed: true,
+                            ..CodewordReport::default()
+                        });
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        } else {
+            report
+                .codewords
+                .extend((0..rows).map(|_| CodewordReport::default()));
+        }
+
+        // Unmap the (best-effort corrected) data region.
+        let n_symbols = rows * self.params.data_cols();
+        let mut symbols = Vec::with_capacity(n_symbols);
+        for p in 0..n_symbols {
+            let (r, c) = self.mapper.place(p, rows, self.params.data_cols());
+            symbols.push(matrix.get(r, c));
+        }
+        let payload = bits::symbols_to_bytes(&symbols, m, self.payload_capacity())?;
+        Ok((payload, report))
+    }
+
+    /// Drops reads that fail the primer check (when primers are enabled):
+    /// the read must begin with something close to the left primer.
+    fn filter_reads(&self, cluster: &Cluster) -> Vec<DnaString> {
+        let Some((left, _)) = &self.primers else {
+            return cluster.reads.clone();
+        };
+        let p = left.len();
+        let slack = (p / 5).max(2);
+        cluster
+            .reads
+            .iter()
+            .filter(|read| {
+                let prefix = read.slice(0, (p + slack / 2).min(read.len()));
+                edit_distance_bounded(left.strand().as_slice(), prefix.as_slice(), slack + slack / 2)
+                    .is_some()
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(layout: Layout, p: f64, coverage: usize, seed: u64) -> (Vec<u8>, Vec<u8>, DecodeReport) {
+        let params = CodecParams::tiny().unwrap();
+        let pipeline = Pipeline::new(params, layout).unwrap();
+        let payload: Vec<u8> = (0..pipeline.payload_capacity())
+            .map(|i| (i * 31 + 7) as u8)
+            .collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(
+            &unit,
+            ErrorModel::uniform(p),
+            CoverageModel::Fixed(coverage),
+            seed,
+        );
+        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        (payload, decoded, report)
+    }
+
+    #[test]
+    fn noiseless_round_trip_all_layouts() {
+        for layout in [
+            Layout::Baseline,
+            Layout::Gini { excluded_rows: vec![] },
+            Layout::Gini { excluded_rows: vec![0, 5] },
+            Layout::DnaMapper,
+        ] {
+            let (original, decoded, report) = roundtrip(layout.clone(), 0.0, 1, 1);
+            assert_eq!(original, decoded, "layout {:?}", layout);
+            assert!(report.is_error_free());
+            assert_eq!(report.total_corrected(), 0);
+        }
+    }
+
+    #[test]
+    fn noisy_round_trip_corrects_errors() {
+        for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }, Layout::DnaMapper] {
+            let (original, decoded, report) = roundtrip(layout.clone(), 0.02, 10, 2);
+            assert_eq!(original, decoded, "layout {:?}", layout);
+            assert!(report.is_error_free());
+        }
+    }
+
+    #[test]
+    fn strand_geometry_matches_params() {
+        let params = CodecParams::tiny().unwrap();
+        let pipeline = Pipeline::new(params.clone(), Layout::Baseline).unwrap();
+        let unit = pipeline.encode_unit(&[1, 2, 3]).unwrap();
+        assert_eq!(unit.len(), params.cols());
+        assert!(unit.strands().iter().all(|s| s.len() == params.strand_bases()));
+        assert_eq!(unit.total_bases(), params.cols() * params.strand_bases());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
+        let too_big = vec![0u8; pipeline.payload_capacity() + 1];
+        assert!(matches!(
+            pipeline.encode_unit(&too_big),
+            Err(StorageError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn lost_molecules_become_erasures_and_are_recovered() {
+        let params = CodecParams::tiny().unwrap(); // E = 5
+        for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }] {
+            let pipeline = Pipeline::new(params.clone(), layout.clone()).unwrap();
+            let payload: Vec<u8> = (0..30).collect();
+            let unit = pipeline.encode_unit(&payload).unwrap();
+            let pool = pipeline.sequence(
+                &unit,
+                ErrorModel::noiseless(),
+                CoverageModel::Fixed(3),
+                3,
+            );
+            let mut clusters = pool.clusters().to_vec();
+            // Lose 5 molecules = E erasures per codeword: still decodable.
+            for c in [0usize, 3, 7, 11, 14] {
+                clusters[c].reads.clear();
+            }
+            let (decoded, report) = pipeline.decode_unit(&clusters).unwrap();
+            assert_eq!(decoded[..30], payload[..], "layout {:?}", layout);
+            assert!(report.is_error_free());
+            assert_eq!(report.lost_columns, 5);
+        }
+    }
+
+    #[test]
+    fn six_lost_molecules_exceed_capacity() {
+        let params = CodecParams::tiny().unwrap(); // E = 5
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 4);
+        let mut clusters = pool.clusters().to_vec();
+        for c in 0..6 {
+            clusters[c].reads.clear();
+        }
+        let (_, report) = pipeline.decode_unit(&clusters).unwrap();
+        assert!(!report.is_error_free());
+        assert_eq!(report.failed_codewords(), 6); // every row codeword fails
+    }
+
+    #[test]
+    fn forced_erasures_reduce_effective_redundancy() {
+        // The Fig. 13 mechanism: erasing parity molecules on purpose.
+        let params = CodecParams::tiny().unwrap();
+        let pipeline = Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] }).unwrap();
+        let payload: Vec<u8> = (0..30).map(|i| i * 3).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 5);
+        let opts = RetrieveOptions {
+            forced_erasures: vec![10, 11, 12], // 3 of the 5 parity molecules
+            ..RetrieveOptions::default()
+        };
+        let (decoded, report) = pipeline
+            .decode_unit_with(&pool.clusters().to_vec(), &opts)
+            .unwrap();
+        assert_eq!(decoded[..30], payload[..]);
+        assert!(report.is_error_free());
+        assert_eq!(report.lost_columns, 3);
+    }
+
+    #[test]
+    fn no_ecc_mode_round_trips_noiselessly() {
+        let params = CodecParams::new(dna_gf::Field::gf16(), 6, 12, 0, 4).unwrap();
+        let pipeline = Pipeline::new(params, Layout::DnaMapper).unwrap();
+        let payload: Vec<u8> = (0..36).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(2), 6);
+        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        assert_eq!(decoded[..36], payload[..]);
+        assert_eq!(report.codewords.len(), 6);
+    }
+
+    #[test]
+    fn primer_wrapped_strands_round_trip() {
+        let params = CodecParams::tiny().unwrap().with_primer_len(15);
+        let pipeline = Pipeline::new(params.clone(), Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (100..130).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        assert!(unit.strands().iter().all(|s| s.len() == params.strand_bases()));
+        let pool = pipeline.sequence(&unit, ErrorModel::ngs(0.003), CoverageModel::Fixed(6), 7);
+        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        assert_eq!(decoded[..30], payload[..]);
+        assert!(report.is_error_free());
+    }
+
+    #[test]
+    fn trusted_cluster_sources_bypass_index_corruption() {
+        // Corrupt every strand's index region after consensus would read
+        // it: simulate by shuffling cluster.source labels vs reads —
+        // trust_cluster_sources must place columns by label.
+        let params = CodecParams::tiny().unwrap();
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(1), 9);
+        let mut clusters = pool.clusters().to_vec();
+        // Swap the READS of clusters 0 and 1 while keeping source labels:
+        // index parsing would place them wrongly-swapped columns, while
+        // trusted sources place them under their (now wrong) labels.
+        let tmp = clusters[0].reads.clone();
+        clusters[0].reads = clusters[1].reads.clone();
+        clusters[1].reads = tmp;
+        let opts = RetrieveOptions {
+            trust_cluster_sources: true,
+            ..RetrieveOptions::default()
+        };
+        let (decoded, report) = pipeline.decode_unit_with(&clusters, &opts).unwrap();
+        // Columns 0/1 hold each other's data: the RS layer sees 2 errors
+        // per codeword — within capacity (E=5 corrects 2), so the decode
+        // still succeeds, proving placement came from the labels.
+        assert_eq!(decoded[..30], payload[..]);
+        assert!(report.is_error_free());
+        assert!(report.total_corrected() > 0);
+    }
+
+    #[test]
+    fn gini_flattens_per_codeword_error_distribution() {
+        // The defining Fig. 11 property at unit-test scale: the max/mean
+        // ratio of corrected symbols per codeword is much larger for the
+        // baseline than for Gini.
+        let params = CodecParams::new(dna_gf::Field::gf256(), 16, 100, 24, 8).unwrap();
+        let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 251) as u8).collect();
+        let mut ratios = Vec::new();
+        for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }] {
+            let pipeline = Pipeline::new(params.clone(), layout).unwrap();
+            let unit = pipeline.encode_unit(&payload).unwrap();
+            let pool = pipeline.sequence(
+                &unit,
+                ErrorModel::uniform(0.09),
+                CoverageModel::Fixed(14),
+                8,
+            );
+            let (_, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+            let per_cw = report.corrected_per_codeword();
+            let max = *per_cw.iter().max().unwrap() as f64;
+            let mean = per_cw.iter().sum::<usize>() as f64 / per_cw.len() as f64;
+            assert!(mean > 0.0, "no errors corrected — noise too low to measure");
+            ratios.push(max / mean);
+        }
+        assert!(
+            ratios[0] > 1.5 * ratios[1],
+            "baseline peak/mean {} vs gini {}",
+            ratios[0],
+            ratios[1]
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Decode reports: what the error-correction layer saw and fixed.
+
+/// Per-codeword decode outcome (regenerates the paper's Fig. 11).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CodewordReport {
+    /// Symbol errors corrected at non-erased positions.
+    pub corrected_errors: usize,
+    /// Erased positions whose symbols needed fixing.
+    pub corrected_erasures: usize,
+    /// Erasures declared for this codeword (lost molecules).
+    pub declared_erasures: usize,
+    /// True when the codeword could not be decoded (left uncorrected).
+    pub failed: bool,
+}
+
+impl CodewordReport {
+    /// Errors detected **and corrected** in this codeword — the quantity
+    /// the paper plots per codeword in Fig. 11.
+    pub fn corrected_symbols(&self) -> usize {
+        self.corrected_errors + self.corrected_erasures
+    }
+}
+
+/// The outcome of decoding one unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodeReport {
+    /// One report per codeword, in codeword order.
+    pub codewords: Vec<CodewordReport>,
+    /// Columns with no surviving reads (erasures for every codeword).
+    pub lost_columns: usize,
+    /// Consensus strands whose decoded index collided with another strand.
+    pub index_conflicts: usize,
+    /// Consensus strands whose decoded index was out of range.
+    pub invalid_indexes: usize,
+}
+
+impl DecodeReport {
+    /// True when every codeword decoded (no failures). Note this does not
+    /// by itself guarantee payload equality — a mis-set index can corrupt
+    /// symbols in ways the RS layer silently absorbs as "corrections".
+    pub fn is_error_free(&self) -> bool {
+        !self.codewords.iter().any(|c| c.failed)
+    }
+
+    /// Number of failed codewords.
+    pub fn failed_codewords(&self) -> usize {
+        self.codewords.iter().filter(|c| c.failed).count()
+    }
+
+    /// Total corrected symbols across codewords.
+    pub fn total_corrected(&self) -> usize {
+        self.codewords.iter().map(CodewordReport::corrected_symbols).sum()
+    }
+
+    /// Per-codeword corrected-symbol counts (the Fig. 11 series).
+    pub fn corrected_per_codeword(&self) -> Vec<usize> {
+        self.codewords.iter().map(CodewordReport::corrected_symbols).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let report = DecodeReport {
+            codewords: vec![
+                CodewordReport {
+                    corrected_errors: 3,
+                    corrected_erasures: 1,
+                    declared_erasures: 2,
+                    failed: false,
+                },
+                CodewordReport {
+                    failed: true,
+                    ..CodewordReport::default()
+                },
+            ],
+            lost_columns: 2,
+            index_conflicts: 0,
+            invalid_indexes: 1,
+        };
+        assert!(!report.is_error_free());
+        assert_eq!(report.failed_codewords(), 1);
+        assert_eq!(report.total_corrected(), 4);
+        assert_eq!(report.corrected_per_codeword(), vec![4, 0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the storage core: geometry partitions, mapper
+//! bijectivity, and zero-noise pipeline round-trips for arbitrary
+//! payloads and layouts.
+
+use dna_channel::{CoverageModel, ErrorModel};
+use dna_storage::{
+    BaselineMapper, CodecParams, CodewordGeometry, DataMapper, DiagonalGeometry, Layout,
+    Pipeline, PriorityMapper, RowGeometry,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn geometry_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    // rows 1..12, data cols 1..20, parity 0..8 with rows ≤ something sane.
+    (1usize..12, 1usize..20, 0usize..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn row_geometry_partitions_cells((rows, m, e) in geometry_shape()) {
+        let geom = RowGeometry::new(rows, m, e);
+        check_partition(&geom, rows, m, e)?;
+    }
+
+    #[test]
+    fn diagonal_geometry_partitions_cells(
+        (rows, m, e) in geometry_shape(),
+        exclude_mask in any::<u16>(),
+    ) {
+        // Derive an excluded-row subset from the mask, keeping ≥ 1 included.
+        let excluded: Vec<usize> = (0..rows)
+            .filter(|r| exclude_mask & (1 << r) != 0)
+            .collect();
+        prop_assume!(excluded.len() < rows);
+        let geom = DiagonalGeometry::new(rows, m, e, &excluded);
+        check_partition(&geom, rows, m, e)?;
+    }
+
+    #[test]
+    fn mappers_are_bijections((rows, m, _) in geometry_shape()) {
+        for mapper in [&BaselineMapper as &dyn DataMapper, &PriorityMapper] {
+            let cells: HashSet<(usize, usize)> =
+                mapper.placement(rows, m).into_iter().collect();
+            prop_assert_eq!(cells.len(), rows * m);
+        }
+    }
+
+    #[test]
+    fn zero_noise_round_trip_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..30),
+        layout_pick in 0usize..4,
+        coverage in 1usize..4,
+    ) {
+        let layout = match layout_pick {
+            0 => Layout::Baseline,
+            1 => Layout::Gini { excluded_rows: vec![] },
+            2 => Layout::Gini { excluded_rows: vec![0, 5] },
+            _ => Layout::DnaMapper,
+        };
+        let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), layout).unwrap();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(
+            &unit,
+            ErrorModel::noiseless(),
+            CoverageModel::Fixed(coverage),
+            42,
+        );
+        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        prop_assert!(report.is_error_free());
+        prop_assert_eq!(&decoded[..payload.len()], &payload[..]);
+        prop_assert!(decoded[payload.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn substitution_noise_within_rs_capacity_round_trips(
+        seed in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 30),
+    ) {
+        // Tiny geometry: E = 5 parity ⇒ 2 symbol errors per codeword are
+        // always correctable. Low substitution noise at coverage 7 stays
+        // far below that.
+        let pipeline = Pipeline::new(
+            CodecParams::tiny().unwrap(),
+            Layout::Gini { excluded_rows: vec![] },
+        )
+        .unwrap();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(
+            &unit,
+            ErrorModel::substitutions_only(0.02),
+            CoverageModel::Fixed(7),
+            seed,
+        );
+        let (decoded, _) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        prop_assert_eq!(&decoded[..], &payload[..]);
+    }
+}
+
+fn check_partition(
+    geom: &dyn CodewordGeometry,
+    rows: usize,
+    data_cols: usize,
+    parity_cols: usize,
+) -> Result<(), TestCaseError> {
+    let cols = data_cols + parity_cols;
+    let mut seen = HashSet::new();
+    for k in 0..geom.codeword_count() {
+        let pos = geom.codeword_positions(k);
+        prop_assert_eq!(pos.len(), cols);
+        let col_set: HashSet<usize> = pos.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(col_set.len(), cols, "codeword {} repeats a column", k);
+        for (i, &(r, c)) in pos.iter().enumerate() {
+            prop_assert!(r < rows && c < cols);
+            prop_assert_eq!(i < data_cols, c < data_cols);
+            prop_assert!(seen.insert((r, c)), "cell ({}, {}) claimed twice", r, c);
+        }
+    }
+    prop_assert_eq!(seen.len(), rows * cols);
+    Ok(())
+}

@@ -1,0 +1,398 @@
+//! The runtime-parameterized field GF(2^m).
+
+use crate::tables::default_poly;
+use crate::GfError;
+use std::fmt;
+use std::sync::Arc;
+
+/// The finite field GF(2^m), 2 ≤ m ≤ 16, with log/antilog multiplication.
+///
+/// A `Field` is cheap to clone (the tables are shared behind an [`Arc`]).
+/// Elements are `u16` values in `0..order()`; addition is XOR, and
+/// multiplication uses exp/log tables generated from a primitive reduction
+/// polynomial, so all operations are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use dna_gf::Field;
+///
+/// # fn main() -> Result<(), dna_gf::GfError> {
+/// let f = Field::new(8)?; // GF(256) with the default primitive polynomial
+/// assert_eq!(f.order(), 256);
+/// assert_eq!(f.mul(0, 123), 0);
+/// let x = 57;
+/// assert_eq!(f.mul(x, f.inv(x)?), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Field {
+    m: u8,
+    poly: u32,
+    /// exp[i] = α^i for i in 0..2*(order-1), doubled so `mul` avoids a modulo.
+    exp: Arc<[u16]>,
+    /// log[x] = i such that α^i = x, for x in 1..order (log[0] is unused).
+    log: Arc<[u32]>,
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Field")
+            .field("m", &self.m)
+            .field("poly", &format_args!("{:#x}", self.poly))
+            .finish()
+    }
+}
+
+impl PartialEq for Field {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m && self.poly == other.poly
+    }
+}
+
+impl Eq for Field {}
+
+impl Field {
+    /// Creates GF(2^m) with the default primitive polynomial for `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedWidth`] when `m` is outside 2..=16.
+    pub fn new(m: u8) -> Result<Self, GfError> {
+        let poly = default_poly(m).ok_or(GfError::UnsupportedWidth(m))?;
+        Self::with_poly(m, poly)
+    }
+
+    /// Creates GF(2^m) reducing by the caller-provided polynomial
+    /// (including the leading `x^m` term).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedWidth`] for `m` outside 2..=16 and
+    /// [`GfError::NotPrimitive`] when `poly` does not make α = x a generator
+    /// of the multiplicative group.
+    pub fn with_poly(m: u8, poly: u32) -> Result<Self, GfError> {
+        if !(2..=16).contains(&m) {
+            return Err(GfError::UnsupportedWidth(m));
+        }
+        let order = 1usize << m;
+        let group = order - 1;
+        let mut exp = vec![0u16; 2 * group];
+        let mut log = vec![0u32; order];
+        let mut x: u32 = 1;
+        for (i, slot) in exp.iter_mut().take(group).enumerate() {
+            *slot = x as u16;
+            if i > 0 && x == 1 {
+                // α cycled before covering the whole group: not primitive.
+                return Err(GfError::NotPrimitive(poly));
+            }
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        if x != 1 {
+            return Err(GfError::NotPrimitive(poly));
+        }
+        // Check every non-zero element was reached (α is a generator).
+        if log[1..].iter().enumerate().any(|(v, &l)| l == 0 && v + 1 != 1) {
+            return Err(GfError::NotPrimitive(poly));
+        }
+        for i in group..2 * group {
+            exp[i] = exp[i - group];
+        }
+        Ok(Field {
+            m,
+            poly,
+            exp: exp.into(),
+            log: log.into(),
+        })
+    }
+
+    /// GF(2^4): 16 elements, 15-symbol Reed–Solomon codewords.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the default polynomial for m=4 is primitive.
+    pub fn gf16() -> Self {
+        Self::new(4).expect("default GF(16) polynomial is primitive")
+    }
+
+    /// GF(2^8): 256 elements, 255-symbol Reed–Solomon codewords. This is the
+    /// laptop-scale field used by the reproduction's default experiments.
+    pub fn gf256() -> Self {
+        Self::new(8).expect("default GF(256) polynomial is primitive")
+    }
+
+    /// GF(2^16): 65536 elements, 65535-symbol Reed–Solomon codewords — the
+    /// field used by the paper's full-scale storage architecture.
+    pub fn gf65536() -> Self {
+        Self::new(16).expect("default GF(65536) polynomial is primitive")
+    }
+
+    /// The field width m (elements are m bits wide).
+    pub fn width(&self) -> u8 {
+        self.m
+    }
+
+    /// The reduction polynomial, including the leading `x^m` term.
+    pub fn reduction_poly(&self) -> u32 {
+        self.poly
+    }
+
+    /// The number of field elements, 2^m.
+    pub fn order(&self) -> usize {
+        1 << self.m
+    }
+
+    /// The size of the multiplicative group, 2^m − 1. This is also the
+    /// length of a full Reed–Solomon codeword over this field.
+    pub fn group_order(&self) -> usize {
+        self.order() - 1
+    }
+
+    /// Checks that `x` is a field element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::ElementOutOfRange`] when `x ≥ 2^m`.
+    pub fn check(&self, x: u16) -> Result<(), GfError> {
+        if (x as usize) < self.order() {
+            Ok(())
+        } else {
+            Err(GfError::ElementOutOfRange {
+                value: u32::from(x),
+                order: self.order(),
+            })
+        }
+    }
+
+    /// Field addition (and subtraction): bitwise XOR.
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field subtraction; identical to [`Field::add`] in characteristic 2.
+    #[inline]
+    pub fn sub(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication via log/antilog tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an operand is out of range; use
+    /// [`Field::check`] to validate untrusted input.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        debug_assert!((a as usize) < self.order() && (b as usize) < self.order());
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let idx = self.log[a as usize] as usize + self.log[b as usize] as usize;
+        self.exp[idx]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DivisionByZero`] for `x = 0`.
+    #[inline]
+    pub fn inv(&self, x: u16) -> Result<u16, GfError> {
+        if x == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        let group = self.group_order() as u32;
+        Ok(self.exp[(group - self.log[x as usize]) as usize])
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DivisionByZero`] when `b = 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> Result<u16, GfError> {
+        if b == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        if a == 0 {
+            return Ok(0);
+        }
+        let group = self.group_order() as u32;
+        let idx = self.log[a as usize] + group - self.log[b as usize];
+        Ok(self.exp[idx as usize])
+    }
+
+    /// α^i, where α = x is the primitive element. The exponent is reduced
+    /// modulo the group order, so any `i` is accepted.
+    #[inline]
+    pub fn alpha_pow(&self, i: i64) -> u16 {
+        let group = self.group_order() as i64;
+        let e = i.rem_euclid(group) as usize;
+        self.exp[e]
+    }
+
+    /// The discrete logarithm of `x` to base α.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DivisionByZero`] for `x = 0`, which has no logarithm.
+    #[inline]
+    pub fn log(&self, x: u16) -> Result<u32, GfError> {
+        if x == 0 {
+            return Err(GfError::DivisionByZero);
+        }
+        Ok(self.log[x as usize])
+    }
+
+    /// `x` raised to the (possibly negative) integer power `e`.
+    pub fn pow(&self, x: u16, e: i64) -> Result<u16, GfError> {
+        if x == 0 {
+            return match e {
+                0 => Ok(1),
+                e if e > 0 => Ok(0),
+                _ => Err(GfError::DivisionByZero),
+            };
+        }
+        let group = self.group_order() as i64;
+        let l = i64::from(self.log[x as usize]);
+        let idx = (l * e).rem_euclid(group) as usize;
+        Ok(self.exp[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_all_supported_widths() {
+        for m in 2..=16u8 {
+            let f = Field::new(m).unwrap_or_else(|e| panic!("m={m}: {e}"));
+            assert_eq!(f.order(), 1 << m);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert_eq!(Field::new(1).unwrap_err(), GfError::UnsupportedWidth(1));
+        assert_eq!(Field::new(17).unwrap_err(), GfError::UnsupportedWidth(17));
+    }
+
+    #[test]
+    fn rejects_non_primitive_poly() {
+        // x^4 + 1 is not even irreducible.
+        assert!(matches!(
+            Field::with_poly(4, 0x11),
+            Err(GfError::NotPrimitive(_))
+        ));
+        // x^8 + x^4 + x^3 + x + 1 (0x11B, the AES polynomial) is irreducible
+        // but NOT primitive: x has order 51 < 255.
+        assert!(matches!(
+            Field::with_poly(8, 0x11B),
+            Err(GfError::NotPrimitive(_))
+        ));
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_gf16() {
+        // Carry-less multiply reduced by x^4 + x + 1, checked exhaustively.
+        let f = Field::gf16();
+        let slow = |a: u16, b: u16| -> u16 {
+            let mut acc: u32 = 0;
+            for bit in 0..4 {
+                if b & (1 << bit) != 0 {
+                    acc ^= u32::from(a) << bit;
+                }
+            }
+            for bit in (4..8).rev() {
+                if acc & (1 << bit) != 0 {
+                    acc ^= 0x13 << (bit - 4);
+                }
+            }
+            acc as u16
+        };
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(f.mul(a, b), slow(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips_gf256() {
+        let f = Field::gf256();
+        for x in 1..256u32 {
+            let x = x as u16;
+            let ix = f.inv(x).unwrap();
+            assert_eq!(f.mul(x, ix), 1, "x={x}");
+        }
+        assert_eq!(f.inv(0).unwrap_err(), GfError::DivisionByZero);
+    }
+
+    #[test]
+    fn division_agrees_with_inverse_multiplication() {
+        let f = Field::gf256();
+        for a in [0u16, 1, 2, 77, 200, 255] {
+            for b in [1u16, 3, 91, 254, 255] {
+                assert_eq!(f.div(a, b).unwrap(), f.mul(a, f.inv(b).unwrap()));
+            }
+        }
+        assert_eq!(f.div(5, 0).unwrap_err(), GfError::DivisionByZero);
+    }
+
+    #[test]
+    fn alpha_pow_wraps_and_matches_log() {
+        let f = Field::gf256();
+        assert_eq!(f.alpha_pow(0), 1);
+        assert_eq!(f.alpha_pow(1), 2);
+        assert_eq!(f.alpha_pow(255), 1);
+        assert_eq!(f.alpha_pow(-1), f.inv(2).unwrap());
+        for i in 0..255i64 {
+            let x = f.alpha_pow(i);
+            assert_eq!(i64::from(f.log(x).unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn pow_handles_zero_and_negatives() {
+        let f = Field::gf256();
+        assert_eq!(f.pow(0, 0).unwrap(), 1);
+        assert_eq!(f.pow(0, 5).unwrap(), 0);
+        assert!(f.pow(0, -1).is_err());
+        let x = 37;
+        assert_eq!(f.pow(x, 3).unwrap(), f.mul(f.mul(x, x), x));
+        assert_eq!(f.mul(f.pow(x, -2).unwrap(), f.pow(x, 2).unwrap()), 1);
+    }
+
+    #[test]
+    fn gf65536_tables_are_consistent() {
+        let f = Field::gf65536();
+        assert_eq!(f.order(), 65536);
+        assert_eq!(f.mul(f.alpha_pow(40000), f.alpha_pow(40000)), f.alpha_pow(80000 - 65535));
+        let x = 0xBEEF;
+        assert_eq!(f.mul(x, f.inv(x).unwrap()), 1);
+    }
+
+    #[test]
+    fn check_rejects_out_of_range() {
+        let f = Field::gf16();
+        assert!(f.check(15).is_ok());
+        assert!(matches!(
+            f.check(16),
+            Err(GfError::ElementOutOfRange { value: 16, order: 16 })
+        ));
+    }
+
+    #[test]
+    fn field_equality_ignores_tables() {
+        assert_eq!(Field::gf256(), Field::gf256());
+        assert_ne!(Field::gf256(), Field::gf16());
+    }
+}

@@ -1,0 +1,170 @@
+//! Polynomial arithmetic over GF(2^m).
+//!
+//! Polynomials are slices of `u16` coefficients in **ascending** degree
+//! order: `p[0] + p[1]·x + p[2]·x² + …`. These helpers are free functions
+//! taking the [`Field`] explicitly; Reed–Solomon coding composes them.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_gf::{poly, Field};
+//!
+//! let f = Field::gf256();
+//! // (1 + x) · (1 + x) = 1 + x² in characteristic 2
+//! let sq = poly::mul(&f, &[1, 1], &[1, 1]);
+//! assert_eq!(sq, vec![1, 0, 1]);
+//! assert_eq!(poly::eval(&f, &sq, 7), f.add(1, f.mul(7, 7)));
+//! ```
+
+use crate::Field;
+
+/// Evaluates `p` at `x` using Horner's rule.
+pub fn eval(field: &Field, p: &[u16], x: u16) -> u16 {
+    let mut acc = 0u16;
+    for &c in p.iter().rev() {
+        acc = field.add(field.mul(acc, x), c);
+    }
+    acc
+}
+
+/// Adds two polynomials coefficient-wise (XOR), returning a polynomial of
+/// the longer length (no degree normalization is performed).
+pub fn add(_field: &Field, a: &[u16], b: &[u16]) -> Vec<u16> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = long.to_vec();
+    for (o, &s) in out.iter_mut().zip(short.iter()) {
+        *o ^= s;
+    }
+    out
+}
+
+/// Multiplies two polynomials. The zero polynomial is represented by an
+/// empty slice (or any all-zero slice).
+pub fn mul(field: &Field, a: &[u16], b: &[u16]) -> Vec<u16> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u16; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            if bj != 0 {
+                out[i + j] ^= field.mul(ai, bj);
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies every coefficient of `p` by the scalar `s`.
+pub fn scale(field: &Field, p: &[u16], s: u16) -> Vec<u16> {
+    p.iter().map(|&c| field.mul(c, s)).collect()
+}
+
+/// Truncates `p` modulo `x^k` (keeps the low `k` coefficients).
+pub fn mod_xk(p: &[u16], k: usize) -> Vec<u16> {
+    p[..p.len().min(k)].to_vec()
+}
+
+/// The formal derivative of `p`. In characteristic 2 the even-degree terms
+/// vanish: d/dx Σ cᵢxⁱ = Σ_{i odd} cᵢ x^{i−1}.
+pub fn derivative(_field: &Field, p: &[u16]) -> Vec<u16> {
+    if p.len() <= 1 {
+        return Vec::new();
+    }
+    let mut out = vec![0u16; p.len() - 1];
+    for (i, &c) in p.iter().enumerate().skip(1) {
+        if i % 2 == 1 {
+            out[i - 1] = c;
+        }
+    }
+    out
+}
+
+/// The degree of `p`, ignoring trailing zero coefficients; `None` for the
+/// zero polynomial.
+pub fn degree(p: &[u16]) -> Option<usize> {
+    p.iter().rposition(|&c| c != 0)
+}
+
+/// Evaluates `p` at every element α^0 … α^{n−1}; used by Chien-search-style
+/// scans. Returns the vector of evaluations.
+pub fn eval_at_powers(field: &Field, p: &[u16], n: usize) -> Vec<u16> {
+    (0..n).map(|i| eval(field, p, field.alpha_pow(i as i64))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_constant_and_identity() {
+        let f = Field::gf256();
+        assert_eq!(eval(&f, &[42], 17), 42);
+        assert_eq!(eval(&f, &[0, 1], 17), 17); // p(x) = x
+        assert_eq!(eval(&f, &[], 17), 0);
+    }
+
+    #[test]
+    fn add_is_xor_and_length_max() {
+        let f = Field::gf256();
+        assert_eq!(add(&f, &[1, 2, 3], &[1]), vec![0, 2, 3]);
+        assert_eq!(add(&f, &[1], &[1, 2, 3]), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let f = Field::gf256();
+        assert_eq!(mul(&f, &[], &[1, 2]), Vec::<u16>::new());
+        assert_eq!(mul(&f, &[1], &[5, 6, 7]), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn mul_distributes_over_eval() {
+        let f = Field::gf256();
+        let a = [3, 0, 7, 1];
+        let b = [9, 4];
+        let prod = mul(&f, &a, &b);
+        for x in [0u16, 1, 2, 100, 255] {
+            assert_eq!(eval(&f, &prod, x), f.mul(eval(&f, &a, x), eval(&f, &b, x)));
+        }
+    }
+
+    #[test]
+    fn derivative_drops_even_terms() {
+        let f = Field::gf256();
+        // p = c0 + c1 x + c2 x^2 + c3 x^3 → p' = c1 + c3 x^2 (char 2)
+        let d = derivative(&f, &[10, 20, 30, 40]);
+        assert_eq!(d, vec![20, 0, 40]);
+        assert_eq!(derivative(&f, &[5]), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn degree_ignores_trailing_zeros() {
+        assert_eq!(degree(&[0, 0, 0]), None);
+        assert_eq!(degree(&[]), None);
+        assert_eq!(degree(&[1, 0, 2, 0]), Some(2));
+    }
+
+    #[test]
+    fn scale_then_eval_commutes() {
+        let f = Field::gf256();
+        let p = [1, 2, 3];
+        let s = 100;
+        for x in [0u16, 5, 200] {
+            assert_eq!(eval(&f, &scale(&f, &p, s), x), f.mul(s, eval(&f, &p, x)));
+        }
+    }
+
+    #[test]
+    fn eval_at_powers_matches_pointwise() {
+        let f = Field::gf16();
+        let p = [7, 3, 1];
+        let evals = eval_at_powers(&f, &p, 15);
+        for (i, &v) in evals.iter().enumerate() {
+            assert_eq!(v, eval(&f, &p, f.alpha_pow(i as i64)));
+        }
+    }
+}

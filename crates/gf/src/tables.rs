@@ -1,0 +1,48 @@
+//! Default primitive reduction polynomials for GF(2^m).
+//!
+//! The entries are standard primitive polynomials (Lin & Costello, Appendix
+//! B); each is validated at [`Field`](crate::Field) construction time by
+//! checking that α = x generates the full multiplicative group.
+
+/// Returns the default primitive polynomial for GF(2^m), including the
+/// leading `x^m` term, or `None` when `m` is out of the supported range.
+pub(crate) fn default_poly(m: u8) -> Option<u32> {
+    Some(match m {
+        2 => 0x7,      // x^2 + x + 1
+        3 => 0xB,      // x^3 + x + 1
+        4 => 0x13,     // x^4 + x + 1
+        5 => 0x25,     // x^5 + x^2 + 1
+        6 => 0x43,     // x^6 + x + 1
+        7 => 0x89,     // x^7 + x^3 + 1
+        8 => 0x11D,    // x^8 + x^4 + x^3 + x^2 + 1 (the classic RS-255 poly)
+        9 => 0x211,    // x^9 + x^4 + 1
+        10 => 0x409,   // x^10 + x^3 + 1
+        11 => 0x805,   // x^11 + x^2 + 1
+        12 => 0x1053,  // x^12 + x^6 + x^4 + x + 1
+        13 => 0x201B,  // x^13 + x^4 + x^3 + x + 1
+        14 => 0x4443,  // x^14 + x^10 + x^6 + x + 1
+        15 => 0x8003,  // x^15 + x + 1
+        16 => 0x1100B, // x^16 + x^12 + x^3 + x + 1 (used by GF(2^16) RS codecs)
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polys_have_correct_degree() {
+        for m in 2..=16u8 {
+            let p = default_poly(m).expect("supported width");
+            assert_eq!(32 - p.leading_zeros(), u32::from(m) + 1, "degree of poly for m={m}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        assert_eq!(default_poly(0), None);
+        assert_eq!(default_poly(1), None);
+        assert_eq!(default_poly(17), None);
+    }
+}

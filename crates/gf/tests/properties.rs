@@ -1,0 +1,74 @@
+//! Property-based tests: field axioms for GF(2^m).
+
+use dna_gf::{poly, Field};
+use proptest::prelude::*;
+
+fn field_and_elems(max_elems: usize) -> impl Strategy<Value = (Field, Vec<u16>)> {
+    (2u8..=12)
+        .prop_flat_map(move |m| {
+            let f = Field::new(m).expect("supported width");
+            let order = f.order() as u16;
+            (Just(f), proptest::collection::vec(0..order, 3..max_elems))
+        })
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_self_inverse((f, xs) in field_and_elems(8)) {
+        let (a, b) = (xs[0], xs[1]);
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.add(a, a), 0);
+        prop_assert_eq!(f.sub(f.add(a, b), b), a);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative((f, xs) in field_and_elems(8)) {
+        let (a, b, c) = (xs[0], xs[1], xs[2]);
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition((f, xs) in field_and_elems(8)) {
+        let (a, b, c) = (xs[0], xs[1], xs[2]);
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    }
+
+    #[test]
+    fn nonzero_elements_have_inverses((f, xs) in field_and_elems(8)) {
+        for &x in &xs {
+            if x != 0 {
+                let ix = f.inv(x).unwrap();
+                prop_assert_eq!(f.mul(x, ix), 1);
+                prop_assert_eq!(f.div(1, x).unwrap(), ix);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication((f, xs) in field_and_elems(4)) {
+        let x = xs[0];
+        let mut acc = 1u16;
+        for e in 0..6i64 {
+            prop_assert_eq!(f.pow(x, e).unwrap(), acc);
+            acc = f.mul(acc, x);
+        }
+    }
+
+    #[test]
+    fn poly_mul_matches_eval_homomorphism(
+        (f, xs) in field_and_elems(12),
+        split in 1usize..8,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let (a, b) = xs.split_at(split);
+        let prod = poly::mul(&f, a, b);
+        for probe in 0..4u16 {
+            let x = probe % f.order() as u16;
+            prop_assert_eq!(
+                poly::eval(&f, &prod, x),
+                f.mul(poly::eval(&f, a, x), poly::eval(&f, b, x))
+            );
+        }
+    }
+}

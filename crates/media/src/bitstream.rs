@@ -1,0 +1,160 @@
+//! MSB-first bit I/O for the entropy-coded layer.
+
+/// Writes bits MSB-first into a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the partial last byte (0..8).
+    partial: u8,
+}
+
+impl BitWriter {
+    pub(crate) fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    pub(crate) fn write_bits(&mut self, value: u32, count: u8) {
+        debug_assert!(count <= 32);
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.partial == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.partial);
+            self.partial = (self.partial + 1) % 8;
+        }
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns it.
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Zero-pads to the next byte boundary (no-op when already aligned).
+    pub(crate) fn align_to_byte(&mut self) {
+        self.partial = 0;
+    }
+
+    /// Appends raw bytes; the stream must be byte-aligned.
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.partial, 0, "write_bytes requires byte alignment");
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Number of bits written so far.
+    pub(crate) fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial as usize
+        }
+    }
+}
+
+/// Reads bits MSB-first; all reads are total (`None` past the end).
+#[derive(Debug, Clone)]
+pub(crate) struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `count` bits (≤ 32) MSB-first.
+    pub(crate) fn read_bits(&mut self, count: u8) -> Option<u32> {
+        debug_assert!(count <= 32);
+        if self.pos + count as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut out = 0u32;
+        for _ in 0..count {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u32::from(bit);
+            self.pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Advances to the next byte boundary.
+    pub(crate) fn align_to_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// If the (aligned) next bytes are a `[0x00, 0xFF, 0xD0+k]` restart
+    /// marker, consumes it and returns `k`; otherwise leaves the position
+    /// unchanged.
+    pub(crate) fn try_marker(&mut self) -> Option<u8> {
+        debug_assert_eq!(self.pos % 8, 0);
+        let b = self.pos / 8;
+        if b + 3 <= self.bytes.len()
+            && self.bytes[b] == 0x00
+            && self.bytes[b + 1] == 0xFF
+            && (0xD0..=0xD7).contains(&self.bytes[b + 2])
+        {
+            self.pos += 24;
+            return Some(self.bytes[b + 2] - 0xD0);
+        }
+        None
+    }
+
+    /// Scans forward (from the next byte boundary) for a restart marker,
+    /// consuming everything up to and including it; returns its `k`.
+    pub(crate) fn scan_marker(&mut self) -> Option<u8> {
+        let mut b = self.pos.div_ceil(8);
+        while b + 3 <= self.bytes.len() {
+            if self.bytes[b] == 0x00
+                && self.bytes[b + 1] == 0xFF
+                && (0xD0..=0xD7).contains(&self.bytes[b + 2])
+            {
+                self.pos = (b + 3) * 8;
+                return Some(self.bytes[b + 2] - 0xD0);
+            }
+            b += 1;
+        }
+        self.pos = self.bytes.len() * 8;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields: [(u32, u8); 6] = [(1, 1), (0, 1), (0b101, 3), (0xFF, 8), (0x1234, 13), (0, 5)];
+        for (v, c) in fields {
+            w.write_bits(v, c);
+        }
+        assert_eq!(w.bit_len(), 31);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (v, c) in fields {
+            assert_eq!(r.read_bits(c), Some(v), "field ({v}, {c})");
+        }
+    }
+
+    #[test]
+    fn reading_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let bytes = w.into_bytes(); // one padded byte
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1011_0000));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bits(1), None);
+    }
+}

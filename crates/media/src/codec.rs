@@ -1,0 +1,559 @@
+//! The JPEG-like robust transform codec.
+//!
+//! Layout: a 10-byte header (`DJPG`, width u16, height u16, quality u8,
+//! restart interval u8) followed by one entropy-coded bitstream of 8×8
+//! blocks in row-major order. Each block stores a DPCM-coded DC
+//! coefficient and (run, size) coded AC coefficients in zig-zag order,
+//! with JPEG-style amplitude mapping.
+//!
+//! By default there are **no restart markers**, like a stock libjpeg
+//! file: one flipped bit desynchronizes the entropy layer and corrupts
+//! everything after it, so damage cost *decays with file position* —
+//! exactly the profile the paper's Fig. 10 measures and DnaMapper's
+//! position ranking exploits (§5.3). JPEG-style restart markers
+//! (byte-aligned `00 FF D0+k` triples every `restart_interval` blocks,
+//! resetting the DC prediction) can be enabled as an extension; they
+//! localize damage to one interval, which *flattens* the positional
+//! profile — the ablation benches use this to show that position-aware
+//! mapping matters precisely when the data format is position-sensitive.
+//!
+//! Decoding is *total*: any malformed region yields a best-effort image
+//! whose affected blocks repeat the running DC prediction.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::dct;
+use crate::image::MAX_DIM;
+use crate::{GrayImage, MediaError};
+
+const MAGIC: &[u8; 4] = b"DJPG";
+/// Header bytes before the entropy-coded payload.
+pub const HEADER_LEN: usize = 10;
+/// Maximum amplitude size category (quantized coefficients fit 12 bits).
+const MAX_SIZE: u32 = 13;
+
+/// A quality-parameterized JPEG-like codec.
+///
+/// # Examples
+///
+/// ```
+/// use dna_media::{GrayImage, JpegLikeCodec};
+///
+/// # fn main() -> Result<(), dna_media::MediaError> {
+/// let img = GrayImage::plasma(32, 32, 3);
+/// let codec = JpegLikeCodec::new(70)?;
+/// let bytes = codec.encode(&img)?;
+/// assert!(bytes.len() < 32 * 32); // compresses below 1 byte/pixel
+/// let out = codec.decode(&bytes)?;
+/// assert!(img.psnr(&out) > 25.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JpegLikeCodec {
+    quality: u8,
+    /// Blocks per restart interval; 0 disables markers.
+    restart_interval: u8,
+}
+
+impl JpegLikeCodec {
+    /// Creates a codec with `quality` in 1..=100 (higher = better fidelity,
+    /// larger files) and no restart markers (the paper-faithful profile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::InvalidQuality`] outside that range.
+    pub fn new(quality: u8) -> Result<JpegLikeCodec, MediaError> {
+        if !(1..=100).contains(&quality) {
+            return Err(MediaError::InvalidQuality(quality));
+        }
+        Ok(JpegLikeCodec {
+            quality,
+            restart_interval: 0,
+        })
+    }
+
+    /// Sets the restart interval in blocks (`None` disables markers and
+    /// makes every flip catastrophic for the remainder of the stream).
+    pub fn with_restart_interval(mut self, blocks: Option<u8>) -> JpegLikeCodec {
+        self.restart_interval = blocks.unwrap_or(0);
+        self
+    }
+
+    /// The configured quality factor.
+    pub fn quality(&self) -> u8 {
+        self.quality
+    }
+
+    /// The restart interval in blocks (`None` = no markers).
+    pub fn restart_interval(&self) -> Option<u8> {
+        if self.restart_interval == 0 {
+            None
+        } else {
+            Some(self.restart_interval)
+        }
+    }
+
+    /// Encodes an image.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for any valid [`GrayImage`]; the `Result`
+    /// reserves room for future size limits.
+    pub fn encode(&self, image: &GrayImage) -> Result<Vec<u8>, MediaError> {
+        let (w, h) = (image.width(), image.height());
+        let quant = dct::quant_table(self.quality);
+        let mut bits = BitWriter::new();
+        let blocks_x = w.div_ceil(8);
+        let blocks_y = h.div_ceil(8);
+        let interval = usize::from(self.restart_interval);
+        let mut prev_dc: i32 = 0;
+        for by in 0..blocks_y {
+            for bx in 0..blocks_x {
+                let b = (by * blocks_x + bx) as usize;
+                if interval != 0 && b > 0 && b % interval == 0 {
+                    bits.align_to_byte();
+                    bits.write_bytes(&[0x00, 0xFF, 0xD0 + ((b / interval) % 8) as u8]);
+                    prev_dc = 0;
+                }
+                // Gather the block with edge replication.
+                let mut block = [0.0f64; 64];
+                for y in 0..8u32 {
+                    for x in 0..8u32 {
+                        let px = (bx * 8 + x).min(w - 1);
+                        let py = (by * 8 + y).min(h - 1);
+                        block[(y * 8 + x) as usize] = f64::from(image.get(px, py)) - 128.0;
+                    }
+                }
+                let coeffs = dct::forward(&block);
+                let mut q = [0i32; 64];
+                for k in 0..64 {
+                    let c = coeffs[dct::ZIGZAG[k]];
+                    q[k] = (c / f64::from(quant[dct::ZIGZAG[k]])).round() as i32;
+                }
+                // DC: DPCM + size/amplitude.
+                let diff = q[0] - prev_dc;
+                prev_dc = q[0];
+                let (s, amp) = amplitude_encode(diff);
+                bits.write_bits(s, 4);
+                bits.write_bits(amp, s as u8);
+                // AC: (run, size) + amplitude, EOB-terminated.
+                let mut run = 0u32;
+                for &v in q.iter().skip(1) {
+                    if v == 0 {
+                        run += 1;
+                        continue;
+                    }
+                    while run > 15 {
+                        bits.write_bits(15, 4); // ZRL
+                        bits.write_bits(0, 4);
+                        run -= 16;
+                    }
+                    let (s, amp) = amplitude_encode(v);
+                    bits.write_bits(run, 4);
+                    bits.write_bits(s, 4);
+                    bits.write_bits(amp, s as u8);
+                    run = 0;
+                }
+                bits.write_bits(0, 8); // EOB = (0, 0)
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + bits.bit_len() / 8 + 1);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(w as u16).to_be_bytes());
+        out.extend_from_slice(&(h as u16).to_be_bytes());
+        out.push(self.quality);
+        out.push(self.restart_interval);
+        out.extend_from_slice(&bits.into_bytes());
+        Ok(out)
+    }
+
+    /// Decodes a byte stream, tolerating arbitrary corruption of the
+    /// entropy-coded payload (best-effort tail reconstruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::Malformed`] only when the 9-byte header is
+    /// unusable (bad magic, zero/oversized dimensions, short input).
+    pub fn decode(&self, bytes: &[u8]) -> Result<GrayImage, MediaError> {
+        if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
+            return Err(MediaError::Malformed);
+        }
+        let w = u32::from(u16::from_be_bytes([bytes[4], bytes[5]]));
+        let h = u32::from(u16::from_be_bytes([bytes[6], bytes[7]]));
+        if w == 0 || h == 0 || w > MAX_DIM || h > MAX_DIM {
+            return Err(MediaError::Malformed);
+        }
+        // A corrupted quality byte is clamped, not rejected: the pixel
+        // damage is then part of the measured quality loss. Same for the
+        // restart interval.
+        let quality = bytes[8].clamp(1, 100);
+        let interval = usize::from(bytes[9]);
+        let quant = dct::quant_table(quality);
+        let mut bits = BitReader::new(&bytes[HEADER_LEN..]);
+        let blocks_x = w.div_ceil(8) as usize;
+        let blocks_y = h.div_ceil(8) as usize;
+        let n_blocks = blocks_x * blocks_y;
+        let mut pixels = vec![0u8; (w * h) as usize];
+        let mut prev_dc: i32 = 0;
+        let mut fill_dc: i32 = 0;
+        // Blocks before `skip_until` after a resync are lost (their marker
+        // was jumped over); `resynced_at` marks a boundary whose marker the
+        // scan already consumed. `dead` = the stream is exhausted.
+        let mut skip_until = 0usize;
+        let mut resynced_at: Option<usize> = None;
+        let mut dead = false;
+        for b in 0..n_blocks {
+            let at_boundary = interval != 0 && b > 0 && b % interval == 0;
+            if at_boundary && !dead && b >= skip_until {
+                if resynced_at == Some(b) {
+                    resynced_at = None;
+                    prev_dc = 0;
+                } else {
+                    let expected = ((b / interval) % 8) as u8;
+                    bits.align_to_byte();
+                    if bits.try_marker() == Some(expected) {
+                        prev_dc = 0;
+                    } else {
+                        // Lost sync: hunt for the next marker and work out
+                        // (mod 8) how many intervals it skips.
+                        match bits.scan_marker() {
+                            Some(k) => {
+                                let delta = usize::from((8 + k - expected) % 8);
+                                skip_until = b + delta * interval;
+                                // The scan consumed the marker of the
+                                // interval we land in (unless it is this
+                                // very one, already handled here).
+                                resynced_at = (delta > 0).then_some(skip_until);
+                                prev_dc = 0;
+                            }
+                            None => dead = true,
+                        }
+                    }
+                }
+            }
+            let mut q = [0i32; 64];
+            if dead || b < skip_until {
+                q[0] = fill_dc;
+            } else {
+                match decode_block(&mut bits, &mut prev_dc, &mut q) {
+                    Ok(()) => fill_dc = q[0],
+                    Err(BlockError::OutOfBits) => {
+                        dead = true;
+                        q = [0i32; 64];
+                        q[0] = fill_dc;
+                    }
+                    Err(BlockError::Corrupt) => {
+                        q = [0i32; 64];
+                        q[0] = fill_dc;
+                        if interval != 0 {
+                            // Jump to the next marker; blocks in between
+                            // are lost but everything after is clean again.
+                            match bits.scan_marker() {
+                                Some(k) => {
+                                    let next_i = b / interval + 1;
+                                    let delta =
+                                        usize::from((8 + k - ((next_i % 8) as u8)) % 8);
+                                    skip_until = (next_i + delta) * interval;
+                                    resynced_at = Some(skip_until);
+                                    prev_dc = 0;
+                                }
+                                None => dead = true,
+                            }
+                        }
+                        // Without markers: keep parsing from the current
+                        // position (statistical resync only).
+                    }
+                }
+            }
+            // Dequantize + inverse DCT.
+            let mut coeffs = [0.0f64; 64];
+            for k in 0..64 {
+                coeffs[dct::ZIGZAG[k]] = f64::from(q[k]) * f64::from(quant[dct::ZIGZAG[k]]);
+            }
+            let block = dct::inverse(&coeffs);
+            let (bx, by) = (b % blocks_x, b / blocks_x);
+            for y in 0..8usize {
+                for x in 0..8usize {
+                    let px = bx * 8 + x;
+                    let py = by * 8 + y;
+                    if px < w as usize && py < h as usize {
+                        pixels[py * w as usize + px] =
+                            (block[y * 8 + x] + 128.0).clamp(0.0, 255.0) as u8;
+                    }
+                }
+            }
+        }
+        GrayImage::from_pixels(w, h, pixels)
+    }
+
+    /// Decodes with a known expected geometry: hard failures (or decoded
+    /// dimensions that disagree with expectations, e.g. after header
+    /// corruption) produce a mid-gray canvas with whatever overlap decoded,
+    /// so quality metrics stay computable. This is the entry point the
+    /// storage experiments use.
+    pub fn decode_with_expected(&self, bytes: &[u8], width: u32, height: u32) -> GrayImage {
+        let canvas_err = || GrayImage::flat(width.clamp(1, MAX_DIM), height.clamp(1, MAX_DIM), 128);
+        match self.decode(bytes) {
+            Ok(img) if img.width() == width && img.height() == height => img,
+            Ok(img) => {
+                // Overlay the overlapping region on a gray canvas.
+                let canvas = canvas_err();
+                let w = canvas.width().min(img.width());
+                let h = canvas.height().min(img.height());
+                let mut pixels = canvas.pixels().to_vec();
+                for y in 0..h {
+                    for x in 0..w {
+                        pixels[(y * canvas.width() + x) as usize] = img.get(x, y);
+                    }
+                }
+                GrayImage::from_pixels(canvas.width(), canvas.height(), pixels)
+                    .unwrap_or_else(|_| canvas_err())
+            }
+            Err(_) => canvas_err(),
+        }
+    }
+}
+
+impl Default for JpegLikeCodec {
+    /// Quality 75 — a typical web-JPEG operating point — without restart
+    /// markers.
+    fn default() -> Self {
+        JpegLikeCodec {
+            quality: 75,
+            restart_interval: 0,
+        }
+    }
+}
+
+/// JPEG-style amplitude coding: value → (size category, amplitude bits).
+fn amplitude_encode(v: i32) -> (u32, u32) {
+    if v == 0 {
+        return (0, 0);
+    }
+    let s = 32 - v.unsigned_abs().leading_zeros();
+    let amp = if v > 0 {
+        v as u32
+    } else {
+        (v - 1 + (1i32 << s)) as u32
+    };
+    (s, amp & ((1 << s) - 1))
+}
+
+/// Inverse of [`amplitude_encode`].
+fn amplitude_decode(s: u32, amp: u32) -> i32 {
+    if s == 0 {
+        return 0;
+    }
+    if amp < (1 << (s - 1)) {
+        amp as i32 - (1i32 << s) + 1
+    } else {
+        amp as i32
+    }
+}
+
+/// Why a block failed to decode.
+enum BlockError {
+    /// The bit stream ran out: everything further is lost for good.
+    OutOfBits,
+    /// Locally invalid structure: fill the block and try to resync.
+    Corrupt,
+}
+
+/// Decodes one block's coefficients.
+fn decode_block(
+    bits: &mut BitReader<'_>,
+    prev_dc: &mut i32,
+    q: &mut [i32; 64],
+) -> Result<(), BlockError> {
+    let s = bits.read_bits(4).ok_or(BlockError::OutOfBits)?;
+    if s > MAX_SIZE {
+        return Err(BlockError::Corrupt);
+    }
+    let amp = bits.read_bits(s as u8).ok_or(BlockError::OutOfBits)?;
+    *prev_dc += amplitude_decode(s, amp);
+    q[0] = (*prev_dc).clamp(-4096, 4096);
+    *prev_dc = q[0];
+    let mut k = 1usize;
+    loop {
+        let run = bits.read_bits(4).ok_or(BlockError::OutOfBits)? as usize;
+        let s = bits.read_bits(4).ok_or(BlockError::OutOfBits)?;
+        if run == 0 && s == 0 {
+            break; // EOB
+        }
+        if run == 15 && s == 0 {
+            k += 16; // ZRL
+            if k > 64 {
+                return Err(BlockError::Corrupt);
+            }
+            continue;
+        }
+        if s > MAX_SIZE {
+            return Err(BlockError::Corrupt);
+        }
+        let amp = bits.read_bits(s as u8).ok_or(BlockError::OutOfBits)?;
+        k += run;
+        if k >= 64 {
+            return Err(BlockError::Corrupt);
+        }
+        q[k] = amplitude_decode(s, amp).clamp(-4096, 4096);
+        k += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_coding_round_trips() {
+        for v in -2048..=2048 {
+            let (s, amp) = amplitude_encode(v);
+            assert_eq!(amplitude_decode(s, amp), v, "v={v}");
+            if v != 0 {
+                assert!(s >= 1 && s <= 12);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_quality_ladder() {
+        let img = GrayImage::synthetic_photo(72, 56, 11);
+        let mut last_psnr = 0.0f64;
+        let mut last_size = 0usize;
+        for q in [30u8, 60, 90] {
+            let codec = JpegLikeCodec::new(q).unwrap();
+            let bytes = codec.encode(&img).unwrap();
+            let out = codec.decode(&bytes).unwrap();
+            let p = img.psnr(&out);
+            assert!(p > last_psnr, "q={q}: PSNR {p} should beat {last_psnr}");
+            assert!(p > 20.0, "q={q}: PSNR {p}");
+            if q == 90 {
+                assert!(p > 30.0, "q=90 PSNR {p}");
+            }
+            // Higher quality costs more bytes.
+            assert!(bytes.len() > last_size, "q={q}: {} bytes", bytes.len());
+            last_size = bytes.len();
+            last_psnr = p;
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_content() {
+        let img = GrayImage::plasma(128, 128, 2);
+        let bytes = JpegLikeCodec::default().encode(&img).unwrap();
+        assert!(
+            bytes.len() < (128 * 128) / 2,
+            "smooth image should compress ≥2x, got {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn non_multiple_of_eight_dimensions() {
+        let img = GrayImage::gradient(37, 29);
+        let codec = JpegLikeCodec::new(85).unwrap();
+        let out = codec.decode(&codec.encode(&img).unwrap()).unwrap();
+        assert_eq!((out.width(), out.height()), (37, 29));
+        assert!(img.psnr(&out) > 25.0);
+    }
+
+    #[test]
+    fn rejects_garbage_header_but_tolerates_payload_noise() {
+        let codec = JpegLikeCodec::default();
+        assert_eq!(codec.decode(b"nope").unwrap_err(), MediaError::Malformed);
+        let img = GrayImage::plasma(48, 48, 1);
+        let mut bytes = codec.encode(&img).unwrap();
+        // Corrupt the payload heavily: decode must still return an image.
+        for i in (HEADER_LEN + 5..bytes.len()).step_by(3) {
+            bytes[i] ^= 0xA5;
+        }
+        let out = codec.decode(&bytes).unwrap();
+        assert_eq!((out.width(), out.height()), (48, 48));
+    }
+
+    #[test]
+    fn early_flips_hurt_more_than_late_flips() {
+        // The property Fig. 10 is built on.
+        let img = GrayImage::synthetic_photo(96, 96, 9);
+        let codec = JpegLikeCodec::new(80).unwrap();
+        let clean_bytes = codec.encode(&img).unwrap();
+        let clean = codec.decode(&clean_bytes).unwrap();
+        let damage_at = |bit: usize| -> f64 {
+            let mut bytes = clean_bytes.clone();
+            bytes[bit / 8] ^= 1 << (7 - bit % 8);
+            let out = codec.decode_with_expected(&bytes, 96, 96);
+            clean.psnr(&out)
+        };
+        let total_bits = clean_bytes.len() * 8;
+        // Average over several probes per region to smooth variance.
+        let early: f64 = (0..8)
+            .map(|k| damage_at(HEADER_LEN * 8 + 16 + k * 7))
+            .sum::<f64>()
+            / 8.0;
+        let late: f64 = (0..8)
+            .map(|k| damage_at(total_bits - 200 + k * 7))
+            .sum::<f64>()
+            / 8.0;
+        assert!(
+            late > early + 3.0,
+            "late-flip PSNR {late} should exceed early-flip PSNR {early}"
+        );
+    }
+
+    #[test]
+    fn decode_with_expected_never_panics_and_keeps_geometry() {
+        let codec = JpegLikeCodec::default();
+        let out = codec.decode_with_expected(&[0u8; 3], 40, 30);
+        assert_eq!((out.width(), out.height()), (40, 30));
+        // Corrupted header dims: still the expected canvas size.
+        let img = GrayImage::plasma(40, 30, 4);
+        let mut bytes = codec.encode(&img).unwrap();
+        bytes[5] ^= 0xFF; // width byte
+        let out = codec.decode_with_expected(&bytes, 40, 30);
+        assert_eq!((out.width(), out.height()), (40, 30));
+    }
+
+    #[test]
+    fn quality_validation() {
+        assert!(JpegLikeCodec::new(0).is_err());
+        assert!(JpegLikeCodec::new(101).is_err());
+        assert!(JpegLikeCodec::new(1).is_ok());
+        assert!(JpegLikeCodec::new(100).is_ok());
+    }
+
+    #[test]
+    fn restart_markers_round_trip_and_localize_damage() {
+        let img = GrayImage::synthetic_photo(96, 96, 31);
+        let plain = JpegLikeCodec::new(75).unwrap();
+        let marked = plain.with_restart_interval(Some(4));
+        assert_eq!(marked.restart_interval(), Some(4));
+        // Clean round-trip is identical to the unmarked codec's quality.
+        let plain_out = plain.decode(&plain.encode(&img).unwrap()).unwrap();
+        let marked_bytes = marked.encode(&img).unwrap();
+        let marked_out = marked.decode(&marked_bytes).unwrap();
+        assert!((img.psnr(&plain_out) - img.psnr(&marked_out)).abs() < 0.5);
+        // Mid-file flips with markers damage far less than without
+        // (averaged over several flip positions to smooth out benign
+        // amplitude-bit flips).
+        let plain_bytes = plain.encode(&img).unwrap();
+        let damage = |codec: &JpegLikeCodec, bytes: &[u8]| {
+            let mut total = 0.0;
+            let probes = 24;
+            for k in 0..probes {
+                let mut corrupted = bytes.to_vec();
+                let pos = bytes.len() * (30 + k) / 100; // 30%..54% of the file
+                corrupted[pos] ^= 0x10;
+                let out = codec.decode_with_expected(&corrupted, 96, 96);
+                total += img.psnr(&out).min(60.0);
+            }
+            total / probes as f64
+        };
+        let with_markers = damage(&marked, &marked_bytes);
+        let without = damage(&plain, &plain_bytes);
+        assert!(
+            with_markers > without + 5.0,
+            "markers {with_markers} dB vs none {without} dB"
+        );
+    }
+}

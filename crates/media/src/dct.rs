@@ -1,0 +1,137 @@
+//! 8×8 type-II/III DCT, quality-scaled quantization, and zig-zag scan.
+
+use std::f64::consts::PI;
+
+/// The standard JPEG luminance quantization table (Annex K).
+const BASE_QUANT: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zig-zag scan order: position `k` in the scan reads coefficient
+/// `ZIGZAG[k]` of the row-major 8×8 block.
+pub(crate) const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Quality-scaled quantization table (IJG formula: q<50 scales up,
+/// q>50 scales down).
+pub(crate) fn quant_table(quality: u8) -> [u16; 64] {
+    let q = i64::from(quality.clamp(1, 100));
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(BASE_QUANT.iter()) {
+        let v = (i64::from(b) * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Forward 8×8 DCT-II with orthonormal scaling; input pixels are expected
+/// to be level-shifted (−128..127).
+pub(crate) fn forward(block: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let mut sum = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    sum += block[y * 8 + x]
+                        * ((2.0 * x as f64 + 1.0) * u as f64 * PI / 16.0).cos()
+                        * ((2.0 * y as f64 + 1.0) * v as f64 * PI / 16.0).cos();
+                }
+            }
+            out[v * 8 + u] = 0.25 * cu * cv * sum;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (type III), producing level-shifted pixels.
+pub(crate) fn inverse(coeffs: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut sum = 0.0;
+            for v in 0..8 {
+                for u in 0..8 {
+                    let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    sum += cu
+                        * cv
+                        * coeffs[v * 8 + u]
+                        * ((2.0 * x as f64 + 1.0) * u as f64 * PI / 16.0).cos()
+                        * ((2.0 * y as f64 + 1.0) * v as f64 * PI / 16.0).cos();
+                }
+            }
+            out[y * 8 + x] = 0.25 * sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in ZIGZAG.iter() {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // First few entries follow the canonical diagonal walk.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+    }
+
+    #[test]
+    fn dct_round_trips() {
+        let mut block = [0.0f64; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 37) % 256) as f64 - 128.0;
+        }
+        let back = inverse(&forward(&block));
+        for (a, b) in block.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dct_of_flat_block_is_dc_only() {
+        let block = [42.0f64; 64];
+        let coeffs = forward(&block);
+        assert!((coeffs[0] - 42.0 * 8.0).abs() < 1e-9);
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quality_scales_quantization() {
+        let q90 = quant_table(90);
+        let q10 = quant_table(10);
+        let q50 = quant_table(50);
+        assert_eq!(q50[0], BASE_QUANT[0]);
+        assert!(q90[0] < q50[0]);
+        assert!(q10[0] > q50[0]);
+        assert!(q90.iter().all(|&v| v >= 1));
+        assert!(q10.iter().all(|&v| v <= 255));
+    }
+}

@@ -1,0 +1,316 @@
+//! Grayscale images, quality metrics, and synthetic generators.
+
+use crate::MediaError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum supported dimension (each of width, height).
+pub(crate) const MAX_DIM: u32 = 4096;
+
+/// An 8-bit grayscale image.
+///
+/// # Examples
+///
+/// ```
+/// use dna_media::GrayImage;
+///
+/// let a = GrayImage::gradient(16, 16);
+/// let b = a.clone();
+/// assert_eq!(a.psnr(&b), f64::INFINITY);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates an image from raw pixels (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::InvalidDimensions`] or
+    /// [`MediaError::PixelCountMismatch`] for inconsistent input.
+    pub fn from_pixels(width: u32, height: u32, pixels: Vec<u8>) -> Result<GrayImage, MediaError> {
+        if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+            return Err(MediaError::InvalidDimensions { width, height });
+        }
+        let expected = width as usize * height as usize;
+        if pixels.len() != expected {
+            return Err(MediaError::PixelCountMismatch {
+                expected,
+                actual: pixels.len(),
+            });
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// A uniformly mid-gray image — the "nothing decodable" placeholder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions are invalid (zero or beyond 4096).
+    pub fn flat(width: u32, height: u32, level: u8) -> GrayImage {
+        GrayImage::from_pixels(width, height, vec![level; width as usize * height as usize])
+            .expect("caller-provided dimensions must be valid")
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Row-major pixel data.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Mean squared error against `other` (which must have equal dims).
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn mse(&self, other: &GrayImage) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "MSE requires equal dimensions"
+        );
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .zip(other.pixels.iter())
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio in dB against `other`
+    /// (`∞` for identical images) — the paper's quality metric (§7.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn psnr(&self, other: &GrayImage) -> f64 {
+        let mse = self.mse(other);
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+
+    /// Serializes as a binary PGM (P5) file — used to dump the Fig. 15
+    /// example images.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// A horizontal-vertical gradient test card.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions are invalid.
+    pub fn gradient(width: u32, height: u32) -> GrayImage {
+        let pixels = (0..height)
+            .flat_map(|y| {
+                (0..width).map(move |x| {
+                    let v = (u64::from(x) * 160 / u64::from(width.max(1))
+                        + u64::from(y) * 96 / u64::from(height.max(1)))
+                        as u8;
+                    v
+                })
+            })
+            .collect();
+        GrayImage::from_pixels(width, height, pixels).expect("valid dimensions")
+    }
+
+    /// A checkerboard with `cell`-pixel squares (high-frequency content).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions are invalid.
+    pub fn checkerboard(width: u32, height: u32, cell: u32) -> GrayImage {
+        let cell = cell.max(1);
+        let pixels = (0..height)
+            .flat_map(|y| {
+                (0..width).map(move |x| {
+                    if ((x / cell) + (y / cell)) % 2 == 0 {
+                        230u8
+                    } else {
+                        25u8
+                    }
+                })
+            })
+            .collect();
+        GrayImage::from_pixels(width, height, pixels).expect("valid dimensions")
+    }
+
+    /// Smooth multi-octave value noise ("plasma") — the stand-in for
+    /// natural photographic content. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions are invalid.
+    pub fn plasma(width: u32, height: u32, seed: u64) -> GrayImage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random lattice per octave, bilinear interpolation.
+        let octaves: Vec<(u32, f64, Vec<f64>)> = [8u32, 16, 32]
+            .iter()
+            .enumerate()
+            .map(|(k, &cell)| {
+                let gw = width / cell + 2;
+                let gh = height / cell + 2;
+                let lattice: Vec<f64> =
+                    (0..gw * gh).map(|_| rng.gen_range(0.0..1.0)).collect();
+                (cell, 1.0 / f64::from(1 << k), lattice)
+            })
+            .collect();
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = 0.0f64;
+                let mut wsum = 0.0f64;
+                for (cell, weight, lattice) in &octaves {
+                    let gw = width / cell + 2;
+                    let fx = f64::from(x) / f64::from(*cell);
+                    let fy = f64::from(y) / f64::from(*cell);
+                    let (x0, y0) = (fx.floor() as u32, fy.floor() as u32);
+                    let (tx, ty) = (fx.fract(), fy.fract());
+                    let at = |gx: u32, gy: u32| lattice[(gy * gw + gx) as usize];
+                    let top = at(x0, y0) * (1.0 - tx) + at(x0 + 1, y0) * tx;
+                    let bottom = at(x0, y0 + 1) * (1.0 - tx) + at(x0 + 1, y0 + 1) * tx;
+                    v += (top * (1.0 - ty) + bottom * ty) * weight;
+                    wsum += weight;
+                }
+                pixels.push((v / wsum * 255.0).clamp(0.0, 255.0) as u8);
+            }
+        }
+        GrayImage::from_pixels(width, height, pixels).expect("valid dimensions")
+    }
+
+    /// A composite "photograph": plasma background, a gradient sky band,
+    /// and a few Gaussian highlights. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions are invalid.
+    pub fn synthetic_photo(width: u32, height: u32, seed: u64) -> GrayImage {
+        let base = GrayImage::plasma(width, height, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..4)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..f64::from(width)),
+                    rng.gen_range(0.0..f64::from(height)),
+                    rng.gen_range(4.0..f64::from(width.max(8)) / 3.0),
+                    rng.gen_range(-80.0..80.0),
+                )
+            })
+            .collect();
+        let mut pixels = base.pixels;
+        for y in 0..height {
+            for x in 0..width {
+                let idx = (y * width + x) as usize;
+                let mut v = f64::from(pixels[idx]);
+                // Sky band.
+                v = 0.75 * v + 0.25 * (f64::from(y) / f64::from(height) * 200.0 + 30.0);
+                for &(cx, cy, r, amp) in &blobs {
+                    let d2 = (f64::from(x) - cx).powi(2) + (f64::from(y) - cy).powi(2);
+                    v += amp * (-d2 / (2.0 * r * r)).exp();
+                }
+                pixels[idx] = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(GrayImage::from_pixels(0, 4, vec![]).is_err());
+        assert!(GrayImage::from_pixels(5000, 4, vec![0; 20000]).is_err());
+        assert!(matches!(
+            GrayImage::from_pixels(4, 4, vec![0; 15]),
+            Err(MediaError::PixelCountMismatch { expected: 16, actual: 15 })
+        ));
+        assert!(GrayImage::from_pixels(4, 4, vec![0; 16]).is_ok());
+    }
+
+    #[test]
+    fn psnr_known_values() {
+        let a = GrayImage::flat(8, 8, 100);
+        let mut p = a.pixels().to_vec();
+        p[0] = 110; // single pixel off by 10: MSE = 100/64
+        let b = GrayImage::from_pixels(8, 8, p).unwrap();
+        let expected = 10.0 * (255.0f64 * 255.0 / (100.0 / 64.0)).log10();
+        assert!((a.psnr(&b) - expected).abs() < 1e-9);
+        assert_eq!(a.psnr(&a), f64::INFINITY);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(GrayImage::plasma(32, 24, 5), GrayImage::plasma(32, 24, 5));
+        assert_ne!(GrayImage::plasma(32, 24, 5), GrayImage::plasma(32, 24, 6));
+        assert_eq!(
+            GrayImage::synthetic_photo(40, 30, 1),
+            GrayImage::synthetic_photo(40, 30, 1)
+        );
+    }
+
+    #[test]
+    fn generators_produce_varied_content() {
+        let img = GrayImage::synthetic_photo(64, 64, 3);
+        let min = *img.pixels().iter().min().unwrap();
+        let max = *img.pixels().iter().max().unwrap();
+        assert!(max - min > 60, "dynamic range too small: {min}..{max}");
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let img = GrayImage::flat(3, 2, 7);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(&pgm[pgm.len() - 6..], &[7u8; 6]);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = GrayImage::checkerboard(8, 8, 2);
+        assert_eq!(img.get(0, 0), img.get(1, 1));
+        assert_ne!(img.get(0, 0), img.get(2, 0));
+    }
+}

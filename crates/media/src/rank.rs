@@ -1,0 +1,313 @@
+//! Bit-priority ranking for application-aware data mapping (paper §5).
+//!
+//! DnaMapper needs, for every file, a ranking of its bits by reliability
+//! *need*. The paper's proof-of-concept heuristic is position-based: for
+//! entropy-coded formats like JPEG, earlier bits gate the decodability of
+//! everything after them, so priority = file position. It costs zero
+//! metadata and never looks at content, which is what lets **encrypted**
+//! files be stored approximately. The Fig. 16 "oracle" instead profiles
+//! every bit's actual damage by brute force — expensive, content-dependent,
+//! and barely better.
+
+use crate::{GrayImage, JpegLikeCodec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bit-priority ranking heuristic: produces a permutation of a file's
+/// bit indices, **most important first**.
+pub trait BitRanker {
+    /// Ranks the bits of `file` (a permutation of `0..file.len()*8`).
+    fn rank(&self, file: &[u8]) -> Vec<usize>;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// The paper's zero-overhead heuristic: earlier file bits are more
+/// important (§5.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PositionRanker;
+
+impl BitRanker for PositionRanker {
+    fn rank(&self, file: &[u8]) -> Vec<usize> {
+        (0..file.len() * 8).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "position"
+    }
+}
+
+/// The baseline control: file order is storage order (no prioritization);
+/// ranking by position is identical to [`PositionRanker`], so the
+/// *baseline* in experiments is instead "no remapping at all". This
+/// reversed ranker is the pessimal control (latest bits protected most).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReverseRanker;
+
+impl BitRanker for ReverseRanker {
+    fn rank(&self, file: &[u8]) -> Vec<usize> {
+        (0..file.len() * 8).rev().collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "reverse"
+    }
+}
+
+/// A random ranking control, deterministic in its seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomRanker {
+    seed: u64,
+}
+
+impl RandomRanker {
+    /// Creates the ranker with a seed.
+    pub fn new(seed: u64) -> RandomRanker {
+        RandomRanker { seed }
+    }
+}
+
+impl BitRanker for RandomRanker {
+    fn rank(&self, file: &[u8]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..file.len() * 8).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Fisher–Yates.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Measures the PSNR quality loss (dB, against `reference`) of flipping
+/// each bit in `positions` of the encoded `file`: the paper's Fig. 10
+/// profiling method ("flipping one bit at a time, decoding the resulting
+/// image and measuring the quality loss with respect to the original
+/// image"). PSNR values are capped at 60 dB so identical decodes report a
+/// loss of 0 rather than ∞ − ∞.
+pub fn bit_flip_profile(
+    codec: &JpegLikeCodec,
+    file: &[u8],
+    reference: &GrayImage,
+    positions: &[usize],
+) -> Vec<f64> {
+    let clean = codec.decode_with_expected(file, reference.width(), reference.height());
+    let base = reference.psnr(&clean).min(60.0);
+    positions
+        .iter()
+        .map(|&bit| {
+            if bit >= file.len() * 8 {
+                return 0.0;
+            }
+            let mut corrupted = file.to_vec();
+            corrupted[bit / 8] ^= 1 << (7 - bit % 8);
+            let out =
+                codec.decode_with_expected(&corrupted, reference.width(), reference.height());
+            (base - reference.psnr(&out).min(60.0)).max(0.0)
+        })
+        .collect()
+}
+
+/// The brute-force oracle of Fig. 16: ranks bits by their measured damage,
+/// sampling every `stride`-th bit and giving the bits inside a stride
+/// group their group's damage (position-ordered within the group).
+///
+/// Note the paper's own caveat (§7.3): this "oracle" cannot model error
+/// *interactions* and does not visibly outperform the position heuristic,
+/// while requiring an exhaustive profiling pass and per-file metadata.
+#[derive(Debug, Clone)]
+pub struct OracleRanker {
+    codec: JpegLikeCodec,
+    reference: GrayImage,
+    stride: usize,
+}
+
+impl OracleRanker {
+    /// Creates the oracle for files encoding `reference` with `codec`,
+    /// probing every `stride`-th bit (1 = exhaustive).
+    pub fn new(codec: JpegLikeCodec, reference: GrayImage, stride: usize) -> OracleRanker {
+        OracleRanker {
+            codec,
+            reference,
+            stride: stride.max(1),
+        }
+    }
+}
+
+impl BitRanker for OracleRanker {
+    fn rank(&self, file: &[u8]) -> Vec<usize> {
+        let n_bits = file.len() * 8;
+        let probes: Vec<usize> = (0..n_bits).step_by(self.stride).collect();
+        let damage = bit_flip_profile(&self.codec, file, &self.reference, &probes);
+        // Each bit inherits the damage of its probe group.
+        let mut keyed: Vec<(usize, f64)> = (0..n_bits)
+            .map(|bit| {
+                let group = (bit / self.stride).min(probes.len().saturating_sub(1));
+                (bit, damage[group])
+            })
+            .collect();
+        // Sort by damage descending; stable on position for determinism.
+        keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        keyed.into_iter().map(|(bit, _)| bit).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// Merges per-file bit rankings into one global priority list such that
+/// each file receives a share of every reliability class proportional to
+/// its size — the fairest multi-file heuristic the paper found (§6.1.1).
+/// Returns `(file_index, bit_index)` pairs, most important first.
+pub fn merge_rankings(rankings: &[Vec<usize>]) -> Vec<(usize, usize)> {
+    let total: usize = rankings.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for (f, ranking) in rankings.iter().enumerate() {
+        let len = ranking.len().max(1) as f64;
+        for (pos, &bit) in ranking.iter().enumerate() {
+            // Fractional position within the file = reliability class share.
+            out.push((pos as f64 / len, f, bit));
+        }
+    }
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    out.into_iter().map(|(_, f, b)| (f, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&i| {
+                if i >= n || seen[i] {
+                    false
+                } else {
+                    seen[i] = true;
+                    true
+                }
+            })
+    }
+
+    #[test]
+    fn rankers_produce_permutations() {
+        let file = vec![0xABu8; 25];
+        for ranker in [&PositionRanker as &dyn BitRanker, &ReverseRanker, &RandomRanker::new(3)] {
+            assert!(is_permutation(&ranker.rank(&file), 200), "{}", ranker.name());
+        }
+    }
+
+    #[test]
+    fn position_and_reverse_are_opposites() {
+        let file = vec![0u8; 4];
+        let fwd = PositionRanker.rank(&file);
+        let mut rev = ReverseRanker.rank(&file);
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn random_ranker_is_seed_deterministic() {
+        let file = vec![9u8; 16];
+        assert_eq!(RandomRanker::new(5).rank(&file), RandomRanker::new(5).rank(&file));
+        assert_ne!(RandomRanker::new(5).rank(&file), RandomRanker::new(6).rank(&file));
+    }
+
+    #[test]
+    fn bit_flip_profile_shows_positional_decay() {
+        let img = GrayImage::synthetic_photo(80, 80, 21);
+        let codec = JpegLikeCodec::new(80).unwrap();
+        let file = codec.encode(&img).unwrap();
+        let n_bits = file.len() * 8;
+        // Dense probing so region means are stable; skip the 72 header bits
+        // (their damage is maximal but they are a separate mechanism).
+        let probes: Vec<usize> = (72..n_bits).step_by(8).collect();
+        let damage = bit_flip_profile(&codec, &file, &img, &probes);
+        let third = damage.len() / 3;
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let early = mean(&damage[..third]);
+        let late = mean(&damage[damage.len() - third..]);
+        assert!(
+            early > late + 1.5,
+            "early mean damage {early} dB should exceed late mean {late} dB"
+        );
+        // The worst early flips are worse than the worst late flips.
+        let p90 = |s: &[f64]| {
+            let mut v = s.to_vec();
+            v.sort_by(f64::total_cmp);
+            v[(v.len() as f64 * 0.9) as usize]
+        };
+        assert!(
+            p90(&damage[..third]) > p90(&damage[damage.len() - third..]) + 3.0,
+            "early p90 {} vs late p90 {}",
+            p90(&damage[..third]),
+            p90(&damage[damage.len() - third..])
+        );
+        // Structural header bits (magic, width) are catastrophic.
+        let header_damage = bit_flip_profile(&codec, &file, &img, &[4, 36, 44]);
+        assert!(header_damage.iter().all(|&d| d > 20.0), "{header_damage:?}");
+    }
+
+    #[test]
+    fn exhaustive_oracle_ranking_is_consistent_with_measured_damage() {
+        // Stride 1 = the paper's true brute-force oracle, affordable on a
+        // small image.
+        let img = GrayImage::synthetic_photo(32, 32, 22);
+        let codec = JpegLikeCodec::new(60).unwrap();
+        let file = codec.encode(&img).unwrap();
+        let oracle = OracleRanker::new(codec, img.clone(), 1);
+        let order = oracle.rank(&file);
+        assert!(is_permutation(&order, file.len() * 8));
+        // Bits the oracle ranks in the top decile must have strictly higher
+        // measured damage than bottom-decile bits.
+        let decile = order.len() / 10;
+        let top: Vec<usize> = order[..decile].to_vec();
+        let bottom: Vec<usize> = order[order.len() - decile..].to_vec();
+        let top_damage = bit_flip_profile(&codec, &file, &img, &top);
+        let bottom_damage = bit_flip_profile(&codec, &file, &img, &bottom);
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        assert!(
+            mean(&top_damage) > mean(&bottom_damage) + 10.0,
+            "top {} vs bottom {}",
+            mean(&top_damage),
+            mean(&bottom_damage)
+        );
+        // Catastrophic header bits (magic/width) rank in the top half.
+        for header_bit in [2usize, 36] {
+            let pos = order.iter().position(|&b| b == header_bit).unwrap();
+            assert!(pos < order.len() / 2, "header bit {header_bit} ranked at {pos}");
+        }
+        // Coarser strides still produce valid permutations.
+        let coarse = OracleRanker::new(codec, img, 32).rank(&file);
+        assert!(is_permutation(&coarse, file.len() * 8));
+    }
+
+    #[test]
+    fn merge_rankings_is_proportional() {
+        // Files of 8 and 24 bits: in every prefix of the merged list, file 1
+        // should hold ~3x the entries of file 0.
+        let r0: Vec<usize> = (0..8).collect();
+        let r1: Vec<usize> = (0..24).collect();
+        let merged = merge_rankings(&[r0, r1]);
+        assert_eq!(merged.len(), 32);
+        let prefix = &merged[..16];
+        let f0 = prefix.iter().filter(|(f, _)| *f == 0).count();
+        let f1 = prefix.iter().filter(|(f, _)| *f == 1).count();
+        assert_eq!(f0 + f1, 16);
+        assert!((3..=5).contains(&f0), "file0 share {f0}");
+        assert!(f1 >= 11, "file1 share {f1}");
+        // Within a file, bits appear in ranking order.
+        let f1_bits: Vec<usize> = merged.iter().filter(|(f, _)| *f == 1).map(|(_, b)| *b).collect();
+        assert!(f1_bits.windows(2).all(|w| w[0] < w[1]));
+    }
+}

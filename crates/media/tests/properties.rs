@@ -1,0 +1,59 @@
+//! Property tests: the codec round-trips geometry exactly and the decoder
+//! is total under arbitrary corruption — the storage experiments depend on
+//! both.
+
+use dna_media::{GrayImage, JpegLikeCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_preserves_geometry_and_quality(
+        w in 8u32..80,
+        h in 8u32..80,
+        seed in any::<u64>(),
+        quality in 40u8..=95,
+    ) {
+        let img = GrayImage::plasma(w, h, seed);
+        let codec = JpegLikeCodec::new(quality).unwrap();
+        let bytes = codec.encode(&img).unwrap();
+        let out = codec.decode(&bytes).unwrap();
+        prop_assert_eq!((out.width(), out.height()), (w, h));
+        prop_assert!(img.psnr(&out) > 18.0, "psnr {}", img.psnr(&out));
+    }
+
+    #[test]
+    fn decoder_is_total_on_random_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Must never panic; Err is fine.
+        let _ = JpegLikeCodec::default().decode(&bytes);
+        let img = JpegLikeCodec::default().decode_with_expected(&bytes, 24, 24);
+        prop_assert_eq!((img.width(), img.height()), (24, 24));
+    }
+
+    #[test]
+    fn decoder_is_total_on_corrupted_valid_streams(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..40),
+    ) {
+        let img = GrayImage::plasma(32, 32, seed);
+        let codec = JpegLikeCodec::new(70).unwrap();
+        let mut bytes = codec.encode(&img).unwrap();
+        for (byte, bit) in flips {
+            let i = byte as usize % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        let out = codec.decode_with_expected(&bytes, 32, 32);
+        prop_assert_eq!((out.width(), out.height()), (32, 32));
+    }
+
+    #[test]
+    fn truncation_never_panics(seed in any::<u64>(), keep in 0usize..400) {
+        let img = GrayImage::plasma(24, 24, seed);
+        let codec = JpegLikeCodec::new(70).unwrap();
+        let bytes = codec.encode(&img).unwrap();
+        let truncated = &bytes[..keep.min(bytes.len())];
+        let out = codec.decode_with_expected(truncated, 24, 24);
+        prop_assert_eq!((out.width(), out.height()), (24, 24));
+    }
+}

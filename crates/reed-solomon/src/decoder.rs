@@ -1,0 +1,394 @@
+//! Errors-and-erasures decoding: syndromes, erasure locator, Forney
+//! syndromes, Berlekamp–Massey, Chien search, and Forney magnitudes.
+//!
+//! Conventions: a codeword of length `L` maps position `i` (0 = first data
+//! symbol) to the locator `X_i = α^(L−1−i)`, i.e. the codeword is the
+//! polynomial `c(x) = Σ c_i · x^(L−1−i)`. Syndromes use consecutive roots
+//! `α^1 … α^E` (fcr = 1), which keeps the Forney magnitude formula free of
+//! the `X^(1−fcr)` factor.
+
+use crate::code::{Correction, ReedSolomon};
+use crate::RsError;
+use dna_gf::{poly, Field};
+
+/// Computes the `E` syndromes `S_j = r(α^j)`, `j = 1..=E`, by Horner's rule
+/// over the received symbols in transmission order.
+pub(crate) fn syndromes(field: &Field, received: &[u16], parity_len: usize) -> Vec<u16> {
+    (1..=parity_len)
+        .map(|j| {
+            let root = field.alpha_pow(j as i64);
+            let mut acc = 0u16;
+            for &r in received {
+                acc = field.add(field.mul(acc, root), r);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Berlekamp–Massey over the (Forney) syndrome sequence; returns the error
+/// locator Λ(x) in ascending order (Λ[0] = 1).
+fn berlekamp_massey(field: &Field, synd: &[u16]) -> Vec<u16> {
+    let mut lambda = vec![1u16];
+    let mut prev = vec![1u16]; // B(x)
+    let mut l = 0usize; // current LFSR length
+    let mut m = 1usize; // steps since last update
+    let mut b = 1u16; // discrepancy at last update
+    for n in 0..synd.len() {
+        let mut delta = synd[n];
+        for i in 1..=l.min(lambda.len() - 1) {
+            delta ^= field.mul(lambda[i], synd[n - i]);
+        }
+        if delta == 0 {
+            m += 1;
+        } else if 2 * l <= n {
+            let old = lambda.clone();
+            let coef = field
+                .div(delta, b)
+                .expect("b is a recorded non-zero discrepancy");
+            // λ(x) -= coef · x^m · B(x)
+            if lambda.len() < prev.len() + m {
+                lambda.resize(prev.len() + m, 0);
+            }
+            for (i, &p) in prev.iter().enumerate() {
+                lambda[i + m] ^= field.mul(coef, p);
+            }
+            l = n + 1 - l;
+            prev = old;
+            b = delta;
+            m = 1;
+        } else {
+            let coef = field
+                .div(delta, b)
+                .expect("b is a recorded non-zero discrepancy");
+            if lambda.len() < prev.len() + m {
+                lambda.resize(prev.len() + m, 0);
+            }
+            for (i, &p) in prev.iter().enumerate() {
+                lambda[i + m] ^= field.mul(coef, p);
+            }
+            m += 1;
+        }
+    }
+    // Trim trailing zeros but keep at least the constant term.
+    let deg = poly::degree(&lambda).unwrap_or(0);
+    lambda.truncate(deg + 1);
+    lambda
+}
+
+/// The erasure locator Γ(x) = Π_k (1 − X_k·x), ascending coefficients.
+fn erasure_locator(field: &Field, locators: &[u16]) -> Vec<u16> {
+    let mut gamma = vec![1u16];
+    for &x in locators {
+        // multiply by (1 + X·x)
+        let mut next = vec![0u16; gamma.len() + 1];
+        for (i, &g) in gamma.iter().enumerate() {
+            next[i] ^= g;
+            next[i + 1] ^= field.mul(g, x);
+        }
+        gamma = next;
+    }
+    gamma
+}
+
+pub(crate) fn decode(
+    rs: &ReedSolomon,
+    received: &mut [u16],
+    erasures: &[usize],
+) -> Result<Correction, RsError> {
+    let field = rs.field().clone();
+    let l_cw = rs.codeword_len();
+    let e = rs.parity_len();
+    if received.len() != l_cw {
+        return Err(RsError::LengthMismatch {
+            expected: l_cw,
+            actual: received.len(),
+        });
+    }
+    if let Some(bad) = received
+        .iter()
+        .position(|&s| usize::from(s) >= field.order())
+    {
+        return Err(RsError::SymbolOutOfRange {
+            index: bad,
+            value: received[bad],
+        });
+    }
+    let mut seen = vec![false; l_cw];
+    for &pos in erasures {
+        if pos >= l_cw || seen[pos] {
+            return Err(RsError::BadErasure(pos));
+        }
+        seen[pos] = true;
+    }
+    if erasures.len() > e {
+        return Err(RsError::TooManyErasures {
+            erasures: erasures.len(),
+            capacity: e,
+        });
+    }
+
+    let synd = syndromes(&field, received, e);
+    if synd.iter().all(|&s| s == 0) {
+        return Ok(Correction::default());
+    }
+
+    // Erasure locator from position → locator α^(L−1−i).
+    let erasure_locs: Vec<u16> = erasures
+        .iter()
+        .map(|&i| field.alpha_pow((l_cw - 1 - i) as i64))
+        .collect();
+    let gamma = erasure_locator(&field, &erasure_locs);
+
+    // Forney syndromes: coefficients ρ..E−1 of Γ(x)·S(x).
+    let rho = erasures.len();
+    let gs = poly::mul(&field, &gamma, &synd);
+    let forney_synd: Vec<u16> = (rho..e).map(|i| *gs.get(i).unwrap_or(&0)).collect();
+
+    let lambda = berlekamp_massey(&field, &forney_synd);
+    let nu = poly::degree(&lambda).unwrap_or(0);
+    if 2 * nu + rho > e {
+        return Err(RsError::TooManyErrors);
+    }
+
+    // Combined locator Ψ = Λ·Γ and evaluator Ω = S·Ψ mod x^E.
+    let psi = poly::mul(&field, &lambda, &gamma);
+    let omega = poly::mod_xk(&poly::mul(&field, &synd, &psi), e);
+    let psi_deg = poly::degree(&psi).unwrap_or(0);
+
+    // Chien search: position i is corrupted iff Ψ(X_i^{-1}) = 0.
+    let psi_prime = poly::derivative(&field, &psi);
+    let mut fixes: Vec<(usize, u16)> = Vec::with_capacity(psi_deg);
+    for i in 0..l_cw {
+        let x_inv = field.alpha_pow(-((l_cw - 1 - i) as i64));
+        if poly::eval(&field, &psi, x_inv) == 0 {
+            let num = poly::eval(&field, &omega, x_inv);
+            let den = poly::eval(&field, &psi_prime, x_inv);
+            let magnitude = field.div(num, den).map_err(|_| RsError::TooManyErrors)?;
+            fixes.push((i, magnitude));
+        }
+    }
+    if fixes.len() != psi_deg {
+        // The locator does not split over the field: uncorrectable pattern.
+        return Err(RsError::TooManyErrors);
+    }
+
+    // Apply tentatively, verify, and roll back on mis-correction.
+    for &(i, mag) in &fixes {
+        received[i] ^= mag;
+    }
+    if syndromes(&field, received, e).iter().any(|&s| s != 0) {
+        for &(i, mag) in &fixes {
+            received[i] ^= mag;
+        }
+        return Err(RsError::TooManyErrors);
+    }
+
+    let mut correction = Correction::default();
+    for &(i, mag) in &fixes {
+        if mag == 0 {
+            continue; // an erased position that already held the right symbol
+        }
+        if seen[i] {
+            correction.erasures += 1;
+        } else {
+            correction.errors += 1;
+        }
+        correction.positions.push(i);
+    }
+    correction.positions.sort_unstable();
+    Ok(correction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_gf::Field;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code(data: usize, parity: usize) -> ReedSolomon {
+        ReedSolomon::new(Field::gf256(), data, parity).expect("valid params")
+    }
+
+    fn sample_data(rng: &mut StdRng, len: usize, order: u16) -> Vec<u16> {
+        (0..len).map(|_| rng.gen_range(0..order)).collect()
+    }
+
+    #[test]
+    fn clean_codeword_decodes_to_no_corrections() {
+        let rs = code(20, 10);
+        let mut cw = rs.encode(&(0..20).collect::<Vec<_>>()).unwrap();
+        let c = rs.decode(&mut cw, &[]).unwrap();
+        assert_eq!(c, Correction::default());
+    }
+
+    #[test]
+    fn corrects_single_error_at_every_position() {
+        let rs = ReedSolomon::new(Field::gf16(), 9, 6).unwrap();
+        let data = [0u16, 1, 2, 3, 4, 5, 6, 7, 8];
+        let clean = rs.encode(&data).unwrap();
+        for pos in 0..rs.codeword_len() {
+            for mag in [1u16, 7, 15] {
+                let mut cw = clean.clone();
+                cw[pos] ^= mag;
+                let c = rs.decode(&mut cw, &[]).unwrap_or_else(|e| {
+                    panic!("pos={pos} mag={mag}: {e}");
+                });
+                assert_eq!(cw, clean, "pos={pos} mag={mag}");
+                assert_eq!(c.errors, 1);
+                assert_eq!(c.positions, vec![pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_half_parity_errors() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rs = code(40, 16);
+        for trial in 0..50 {
+            let data = sample_data(&mut rng, 40, 256);
+            let clean = rs.encode(&data).unwrap();
+            let mut cw = clean.clone();
+            let nerr = rng.gen_range(1..=8);
+            let mut positions: Vec<usize> = (0..rs.codeword_len()).collect();
+            for k in 0..nerr {
+                let j = rng.gen_range(k..positions.len());
+                positions.swap(k, j);
+                cw[positions[k]] ^= rng.gen_range(1..256) as u16;
+            }
+            let c = rs.decode(&mut cw, &[]).unwrap_or_else(|e| {
+                panic!("trial={trial} nerr={nerr}: {e}");
+            });
+            assert_eq!(cw, clean);
+            assert_eq!(c.errors, nerr);
+        }
+    }
+
+    #[test]
+    fn corrects_full_parity_worth_of_erasures() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let rs = code(30, 12);
+        let data = sample_data(&mut rng, 30, 256);
+        let clean = rs.encode(&data).unwrap();
+        let mut cw = clean.clone();
+        let erased: Vec<usize> = (0..12).map(|k| k * 3).collect();
+        for &pos in &erased {
+            cw[pos] = 0; // decoder convention: erased symbols read as 0
+        }
+        let c = rs.decode(&mut cw, &erased).unwrap();
+        assert_eq!(cw, clean);
+        assert!(c.erasures <= 12 && c.errors == 0);
+    }
+
+    #[test]
+    fn corrects_mixed_errors_and_erasures_within_capacity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rs = code(40, 16);
+        for _ in 0..30 {
+            let data = sample_data(&mut rng, 40, 256);
+            let clean = rs.encode(&data).unwrap();
+            let mut cw = clean.clone();
+            // 2ν + ρ ≤ E: pick ν=5, ρ=6 → 16 ≤ 16.
+            let mut positions: Vec<usize> = (0..rs.codeword_len()).collect();
+            for k in 0..11 {
+                let j = rng.gen_range(k..positions.len());
+                positions.swap(k, j);
+            }
+            let erased: Vec<usize> = positions[..6].to_vec();
+            for &p in &erased {
+                cw[p] = rng.gen_range(0..256) as u16; // garbage, location known
+            }
+            for &p in &positions[6..11] {
+                cw[p] ^= rng.gen_range(1..256) as u16;
+            }
+            rs.decode(&mut cw, &erased).unwrap();
+            assert_eq!(cw, clean);
+        }
+    }
+
+    #[test]
+    fn beyond_capacity_fails_and_leaves_input_unmodified() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let rs = code(20, 6);
+        let data = sample_data(&mut rng, 20, 256);
+        let clean = rs.encode(&data).unwrap();
+        let mut failures = 0;
+        for trial in 0..40 {
+            let mut cw = clean.clone();
+            // 7 errors > E/2 = 3: must not be silently "corrected" back to clean.
+            let mut positions: Vec<usize> = (0..rs.codeword_len()).collect();
+            for k in 0..7 {
+                let j = rng.gen_range(k..positions.len());
+                positions.swap(k, j);
+                cw[positions[k]] ^= rng.gen_range(1..256) as u16;
+            }
+            let snapshot = cw.clone();
+            match rs.decode(&mut cw, &[]) {
+                Err(RsError::TooManyErrors) => {
+                    failures += 1;
+                    assert_eq!(cw, snapshot, "trial {trial}: failed decode must not mutate");
+                }
+                Ok(_) => {
+                    // Miscorrection to a *different* valid codeword is allowed
+                    // (bounded-distance decoding), but never back to clean.
+                    assert!(rs.is_codeword(&cw));
+                    assert_ne!(cw, clean, "trial {trial}");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(failures > 25, "most over-capacity patterns should be detected, got {failures}/40");
+    }
+
+    #[test]
+    fn too_many_erasures_is_reported() {
+        let rs = code(20, 6);
+        let mut cw = rs.encode(&[0; 20]).unwrap();
+        let erased: Vec<usize> = (0..7).collect();
+        assert!(matches!(
+            rs.decode(&mut cw, &erased),
+            Err(RsError::TooManyErasures { erasures: 7, capacity: 6 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_or_out_of_range_erasures_rejected() {
+        let rs = code(20, 6);
+        let mut cw = rs.encode(&[0; 20]).unwrap();
+        assert!(matches!(rs.decode(&mut cw, &[3, 3]), Err(RsError::BadErasure(3))));
+        assert!(matches!(rs.decode(&mut cw, &[26]), Err(RsError::BadErasure(26))));
+    }
+
+    #[test]
+    fn erasure_that_held_correct_symbol_is_not_counted() {
+        let rs = code(20, 6);
+        let clean = rs.encode(&(0..20).collect::<Vec<_>>()).unwrap();
+        let mut cw = clean.clone();
+        cw[2] ^= 9; // one real error
+        // Position 5 declared erased but its symbol is actually fine.
+        let c = rs.decode(&mut cw, &[5]).unwrap();
+        assert_eq!(cw, clean);
+        assert_eq!(c.errors, 1);
+        assert_eq!(c.erasures, 0);
+        assert_eq!(c.positions, vec![2]);
+    }
+
+    #[test]
+    fn works_over_gf65536() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let rs = ReedSolomon::new(Field::gf65536(), 50, 14).unwrap();
+        let data = sample_data(&mut rng, 50, u16::MAX);
+        let clean = rs.encode(&data).unwrap();
+        let mut cw = clean.clone();
+        for pos in [0usize, 13, 44, 63] {
+            cw[pos] ^= 0xBEEF;
+        }
+        for pos in [20usize, 30, 40] {
+            cw[pos] = 0;
+        }
+        let c = rs.decode(&mut cw, &[20, 30, 40]).unwrap();
+        assert_eq!(cw, clean);
+        assert_eq!(c.errors, 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: Reed–Solomon round-trips under every noise pattern
+//! within the code's correction capability.
+
+use dna_gf::Field;
+use dna_reed_solomon::{ReedSolomon, RsError};
+use proptest::prelude::*;
+
+/// Geometry + payload + a noise plan that respects `2ν + ρ ≤ E`.
+#[derive(Debug, Clone)]
+struct Scenario {
+    data_len: usize,
+    parity_len: usize,
+    data: Vec<u16>,
+    /// (position, xor-mask≠0) pairs for in-place errors, distinct positions.
+    errors: Vec<(usize, u16)>,
+    /// Distinct erased positions (disjoint from error positions).
+    erasures: Vec<usize>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..40, 2usize..24)
+        .prop_flat_map(|(data_len, parity_len)| {
+            let cw_len = data_len + parity_len;
+            let data = proptest::collection::vec(0u16..256, data_len);
+            // Choose ρ ≤ E, then ν ≤ (E−ρ)/2.
+            let plan = (0..=parity_len).prop_flat_map(move |rho| {
+                let max_nu = (parity_len - rho) / 2;
+                (Just(rho), 0..=max_nu)
+            });
+            (Just(data_len), Just(parity_len), data, plan, Just(cw_len))
+        })
+        .prop_flat_map(|(data_len, parity_len, data, (rho, nu), cw_len)| {
+            // Pick rho+nu distinct positions via a shuffled index vector.
+            let positions = Just((0..cw_len).collect::<Vec<usize>>()).prop_shuffle();
+            let masks = proptest::collection::vec(1u16..256, nu);
+            (
+                Just(data_len),
+                Just(parity_len),
+                Just(data),
+                positions,
+                masks,
+                Just(rho),
+            )
+        })
+        .prop_map(|(data_len, parity_len, data, positions, masks, rho)| {
+            let erasures = positions[..rho].to_vec();
+            let errors = positions[rho..rho + masks.len()]
+                .iter()
+                .copied()
+                .zip(masks)
+                .collect();
+            Scenario {
+                data_len,
+                parity_len,
+                data,
+                errors,
+                erasures,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decodes_any_pattern_within_capacity(s in scenario()) {
+        let rs = ReedSolomon::new(Field::gf256(), s.data_len, s.parity_len).unwrap();
+        let clean = rs.encode(&s.data).unwrap();
+        let mut cw = clean.clone();
+        for &(pos, mask) in &s.errors {
+            cw[pos] ^= mask;
+        }
+        for &pos in &s.erasures {
+            cw[pos] = 0;
+        }
+        let c = rs.decode(&mut cw, &s.erasures).unwrap();
+        prop_assert_eq!(&cw, &clean);
+        prop_assert_eq!(c.errors, s.errors.len());
+    }
+
+    #[test]
+    fn encode_then_check_always_valid(
+        data in proptest::collection::vec(0u16..256, 1..60),
+        parity in 1usize..30,
+    ) {
+        prop_assume!(data.len() + parity <= 255);
+        let rs = ReedSolomon::new(Field::gf256(), data.len(), parity).unwrap();
+        let cw = rs.encode(&data).unwrap();
+        prop_assert!(rs.is_codeword(&cw));
+        prop_assert_eq!(&cw[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn failed_decode_never_mutates(
+        data in proptest::collection::vec(0u16..256, 8..20),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let rs = ReedSolomon::new(Field::gf256(), data.len(), 4).unwrap();
+        let clean = rs.encode(&data).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cw = clean.clone();
+        // Far beyond capacity: corrupt half of the codeword.
+        let cw_len = cw.len();
+        for i in 0..cw_len / 2 {
+            cw[i * 2] ^= rng.gen_range(1..256) as u16;
+        }
+        let snapshot = cw.clone();
+        match rs.decode(&mut cw, &[]) {
+            Err(RsError::TooManyErrors) => prop_assert_eq!(cw, snapshot),
+            Ok(_) => prop_assert!(rs.is_codeword(&cw)), // bounded-distance miscorrect
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The four nucleotide bases.
+
+use crate::StrandError;
+use std::fmt;
+
+/// A DNA nucleotide base.
+///
+/// The discriminants match the paper's maximum-density direct coding
+/// (`00 = A`, `01 = C`, `10 = G`, `11 = T`), so `Base as u8` *is* the
+/// 2-bit payload of the base.
+///
+/// # Examples
+///
+/// ```
+/// use dna_strand::Base;
+///
+/// assert_eq!(Base::G as u8, 0b10);
+/// assert_eq!(Base::from_bits(0b10), Base::G);
+/// assert_eq!(Base::G.complement(), Base::C);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (bits `00`).
+    A = 0,
+    /// Cytosine (bits `01`).
+    C = 1,
+    /// Guanine (bits `10`).
+    G = 2,
+    /// Thymine (bits `11`).
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in discriminant order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Builds a base from its 2-bit value; only the low 2 bits are used.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Base {
+        match bits & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// The 2-bit payload of this base.
+    #[inline]
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+
+    /// The Watson–Crick complement (A↔T, C↔G).
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::T => Base::A,
+            Base::C => Base::G,
+            Base::G => Base::C,
+        }
+    }
+
+    /// Whether this base contributes to GC content.
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+
+    /// The uppercase character for this base.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+
+    /// Parses a base from a character (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::InvalidChar`] for anything but `ACGTacgt`.
+    pub fn from_char(c: char) -> Result<Base, StrandError> {
+        match c.to_ascii_uppercase() {
+            'A' => Ok(Base::A),
+            'C' => Ok(Base::C),
+            'G' => Ok(Base::G),
+            'T' => Ok(Base::T),
+            other => Err(StrandError::InvalidChar(other)),
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = StrandError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        Base::from_char(c)
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_char()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_bits(b.to_bits()), b);
+        }
+        assert_eq!(Base::from_bits(0b100), Base::A); // masked
+    }
+
+    #[test]
+    fn chars_round_trip_case_insensitive() {
+        for (c, b) in [('a', Base::A), ('C', Base::C), ('g', Base::G), ('T', Base::T)] {
+            assert_eq!(Base::from_char(c).unwrap(), b);
+            assert_eq!(char::from(b), c.to_ascii_uppercase());
+        }
+        assert_eq!(Base::from_char('x').unwrap_err(), StrandError::InvalidChar('X'));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn gc_flags() {
+        assert!(Base::G.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+    }
+}

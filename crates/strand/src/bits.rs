@@ -1,0 +1,165 @@
+//! Bit-packing helpers: slicing byte payloads into m-bit Reed–Solomon
+//! symbols and back. All packing is MSB-first.
+
+use crate::StrandError;
+
+/// Packs `bytes` into `width`-bit symbols (MSB-first), zero-padding the
+/// final symbol. `width` must be in 1..=16.
+///
+/// # Errors
+///
+/// Returns [`StrandError::OddSymbolWidth`] when `width` is 0 or > 16 (the
+/// error name reflects the dominant DNA use case of even widths; any width
+/// in range is accepted here).
+///
+/// # Examples
+///
+/// ```
+/// use dna_strand::bits::{bytes_to_symbols, symbols_to_bytes};
+///
+/// let syms = bytes_to_symbols(&[0xAB, 0xCD], 4)?;
+/// assert_eq!(syms, vec![0xA, 0xB, 0xC, 0xD]);
+/// assert_eq!(symbols_to_bytes(&syms, 4, 2)?, vec![0xAB, 0xCD]);
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+pub fn bytes_to_symbols(bytes: &[u8], width: u8) -> Result<Vec<u16>, StrandError> {
+    if width == 0 || width > 16 {
+        return Err(StrandError::OddSymbolWidth(width));
+    }
+    let width = usize::from(width);
+    let total_bits = bytes.len() * 8;
+    let n_symbols = total_bits.div_ceil(width);
+    let mut out = Vec::with_capacity(n_symbols);
+    let mut acc: u32 = 0;
+    let mut acc_bits = 0usize;
+    for &b in bytes {
+        acc = (acc << 8) | u32::from(b);
+        acc_bits += 8;
+        while acc_bits >= width {
+            acc_bits -= width;
+            out.push(((acc >> acc_bits) & ((1 << width) - 1)) as u16);
+        }
+    }
+    if acc_bits > 0 {
+        out.push(((acc << (width - acc_bits)) & ((1 << width) - 1)) as u16);
+    }
+    Ok(out)
+}
+
+/// Unpacks `width`-bit symbols back into exactly `byte_len` bytes,
+/// discarding any zero padding beyond that length.
+///
+/// # Errors
+///
+/// Returns [`StrandError::OddSymbolWidth`] for out-of-range widths and
+/// [`StrandError::LengthMismatch`] when the symbols cannot cover
+/// `byte_len` bytes.
+pub fn symbols_to_bytes(symbols: &[u16], width: u8, byte_len: usize) -> Result<Vec<u8>, StrandError> {
+    if width == 0 || width > 16 {
+        return Err(StrandError::OddSymbolWidth(width));
+    }
+    let width_us = usize::from(width);
+    if symbols.len() * width_us < byte_len * 8 {
+        return Err(StrandError::LengthMismatch {
+            expected: (byte_len * 8).div_ceil(width_us),
+            actual: symbols.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(byte_len);
+    let mut acc: u32 = 0;
+    let mut acc_bits = 0usize;
+    'outer: for &s in symbols {
+        acc = (acc << width_us) | u32::from(s & ((1u32 << width_us) - 1) as u16);
+        acc_bits += width_us;
+        while acc_bits >= 8 {
+            acc_bits -= 8;
+            out.push(((acc >> acc_bits) & 0xFF) as u8);
+            if out.len() == byte_len {
+                break 'outer;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Number of `width`-bit symbols needed to hold `n_bytes` bytes.
+pub fn symbols_needed(n_bytes: usize, width: u8) -> usize {
+    (n_bytes * 8).div_ceil(usize::from(width).max(1))
+}
+
+/// Reads bit `i` (MSB-first within each byte) of `bytes`.
+///
+/// # Panics
+///
+/// Panics when `i / 8` is out of bounds.
+pub fn get_bit(bytes: &[u8], i: usize) -> bool {
+    (bytes[i / 8] >> (7 - (i % 8))) & 1 == 1
+}
+
+/// Sets bit `i` (MSB-first within each byte) of `bytes` to `value`.
+///
+/// # Panics
+///
+/// Panics when `i / 8` is out of bounds.
+pub fn set_bit(bytes: &mut [u8], i: usize, value: bool) {
+    let mask = 1u8 << (7 - (i % 8));
+    if value {
+        bytes[i / 8] |= mask;
+    } else {
+        bytes[i / 8] &= !mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_that_divide_eight_round_trip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        for width in [1u8, 2, 4, 8, 16] {
+            let syms = bytes_to_symbols(&bytes, width).unwrap();
+            assert_eq!(syms.len(), symbols_needed(bytes.len(), width));
+            let back = symbols_to_bytes(&syms, width, bytes.len()).unwrap();
+            assert_eq!(back, bytes, "width={width}");
+        }
+    }
+
+    #[test]
+    fn awkward_widths_round_trip_with_padding() {
+        let bytes: Vec<u8> = vec![0xDE, 0xAD, 0xBE, 0xEF, 0x01];
+        for width in [3u8, 5, 6, 7, 9, 11, 12, 13, 15] {
+            let syms = bytes_to_symbols(&bytes, width).unwrap();
+            let back = symbols_to_bytes(&syms, width, bytes.len()).unwrap();
+            assert_eq!(back, bytes, "width={width}");
+        }
+    }
+
+    #[test]
+    fn symbols_fit_the_declared_width() {
+        let bytes = [0xFFu8; 7];
+        for width in [3u8, 5, 10, 13] {
+            for &s in bytes_to_symbols(&bytes, width).unwrap().iter() {
+                assert!(u32::from(s) < (1u32 << width));
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_symbols_is_an_error() {
+        assert!(symbols_to_bytes(&[0xAB], 8, 2).is_err());
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let mut buf = vec![0u8; 2];
+        set_bit(&mut buf, 0, true);
+        set_bit(&mut buf, 15, true);
+        assert_eq!(buf, vec![0b1000_0000, 0b0000_0001]);
+        assert!(get_bit(&buf, 0));
+        assert!(!get_bit(&buf, 1));
+        assert!(get_bit(&buf, 15));
+        set_bit(&mut buf, 0, false);
+        assert!(!get_bit(&buf, 0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Bit ⇄ base codecs.
+//!
+//! The paper assumes "a simple coding scheme in which two bits of data are
+//! directly mapped to one DNA base (00 = A, 01 = C, 10 = G, 11 = T), which
+//! achieves the maximum information density" (§2.1) — that is
+//! [`DirectCodec`]. [`RotationCodec`] additionally demonstrates a
+//! constraint-respecting code that never emits homopolymer runs, at the
+//! cost of density (1 bit/base), mirroring the Goldman-style codes the
+//! paper cites as background.
+
+use crate::{Base, DnaString, StrandError};
+
+/// A reversible mapping between bytes and DNA bases.
+///
+/// Implementations must satisfy `decode(encode(bytes)) == bytes` for every
+/// byte string.
+pub trait BaseCodec {
+    /// Bases needed to encode `n` bytes.
+    fn encoded_len(&self, n_bytes: usize) -> usize;
+
+    /// Encodes a byte string into bases.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject inputs they cannot represent.
+    fn encode(&self, bytes: &[u8]) -> Result<DnaString, StrandError>;
+
+    /// Decodes bases back into bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::LengthMismatch`] when the strand length is not
+    /// a whole number of encoded bytes.
+    fn decode(&self, bases: &DnaString) -> Result<Vec<u8>, StrandError>;
+}
+
+/// The paper's maximum-density code: 2 bits per base, MSB-first.
+///
+/// # Examples
+///
+/// ```
+/// use dna_strand::codec::{BaseCodec, DirectCodec};
+///
+/// let bases = DirectCodec.encode(&[0xE4])?; // 11 10 01 00
+/// assert_eq!(bases.to_string(), "TGCA");
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectCodec;
+
+impl BaseCodec for DirectCodec {
+    fn encoded_len(&self, n_bytes: usize) -> usize {
+        n_bytes * 4
+    }
+
+    fn encode(&self, bytes: &[u8]) -> Result<DnaString, StrandError> {
+        let mut out = DnaString::with_capacity(bytes.len() * 4);
+        for &b in bytes {
+            for shift in [6u8, 4, 2, 0] {
+                out.push(Base::from_bits(b >> shift));
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bases: &DnaString) -> Result<Vec<u8>, StrandError> {
+        if bases.len() % 4 != 0 {
+            return Err(StrandError::LengthMismatch {
+                expected: bases.len().div_ceil(4) * 4,
+                actual: bases.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(bases.len() / 4);
+        for chunk in bases.as_slice().chunks_exact(4) {
+            let mut byte = 0u8;
+            for &b in chunk {
+                byte = (byte << 2) | b.to_bits();
+            }
+            out.push(byte);
+        }
+        Ok(out)
+    }
+}
+
+impl DirectCodec {
+    /// Encodes one `width`-bit symbol (width even, ≤ 16) into `width / 2`
+    /// bases, MSB-first. This is how Reed–Solomon symbols become DNA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::OddSymbolWidth`] for odd widths and
+    /// [`StrandError::ValueTooWide`] when the symbol exceeds the width.
+    pub fn encode_symbol(&self, symbol: u16, width: u8) -> Result<DnaString, StrandError> {
+        if width % 2 != 0 || width == 0 || width > 16 {
+            return Err(StrandError::OddSymbolWidth(width));
+        }
+        if width < 16 && symbol >> width != 0 {
+            return Err(StrandError::ValueTooWide {
+                value: u64::from(symbol),
+                width,
+            });
+        }
+        let mut out = DnaString::with_capacity(usize::from(width) / 2);
+        let mut shift = width;
+        while shift >= 2 {
+            shift -= 2;
+            out.push(Base::from_bits((symbol >> shift) as u8));
+        }
+        Ok(out)
+    }
+
+    /// Decodes `width / 2` bases into one `width`-bit symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::OddSymbolWidth`] for odd widths and
+    /// [`StrandError::LengthMismatch`] when `bases` has the wrong length.
+    pub fn decode_symbol(&self, bases: &[Base], width: u8) -> Result<u16, StrandError> {
+        if width % 2 != 0 || width == 0 || width > 16 {
+            return Err(StrandError::OddSymbolWidth(width));
+        }
+        if bases.len() != usize::from(width) / 2 {
+            return Err(StrandError::LengthMismatch {
+                expected: usize::from(width) / 2,
+                actual: bases.len(),
+            });
+        }
+        let mut sym = 0u16;
+        for &b in bases {
+            sym = (sym << 2) | u16::from(b.to_bits());
+        }
+        Ok(sym)
+    }
+}
+
+/// A homopolymer-free code: each bit picks one of the two smallest bases
+/// different from the previous base, so no two consecutive bases repeat.
+/// Density is 1 bit per base.
+///
+/// # Examples
+///
+/// ```
+/// use dna_strand::codec::{BaseCodec, RotationCodec};
+/// use dna_strand::constraints;
+///
+/// let bases = RotationCodec.encode(&[0xFF, 0x00, 0xAB])?;
+/// assert!(constraints::max_homopolymer_run(&bases) <= 1);
+/// assert_eq!(RotationCodec.decode(&bases)?, vec![0xFF, 0x00, 0xAB]);
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RotationCodec;
+
+impl RotationCodec {
+    /// The two candidate successors of `prev` — the lexicographically first
+    /// two bases that differ from it.
+    fn choices(prev: Option<Base>) -> [Base; 2] {
+        let mut picks = [Base::A; 2];
+        let mut k = 0;
+        for b in Base::ALL {
+            if Some(b) != prev {
+                picks[k] = b;
+                k += 1;
+                if k == 2 {
+                    break;
+                }
+            }
+        }
+        picks
+    }
+}
+
+impl BaseCodec for RotationCodec {
+    fn encoded_len(&self, n_bytes: usize) -> usize {
+        n_bytes * 8
+    }
+
+    fn encode(&self, bytes: &[u8]) -> Result<DnaString, StrandError> {
+        let mut out = DnaString::with_capacity(bytes.len() * 8);
+        let mut prev = None;
+        for &byte in bytes {
+            for shift in (0..8).rev() {
+                let bit = (byte >> shift) & 1;
+                let next = Self::choices(prev)[usize::from(bit)];
+                out.push(next);
+                prev = Some(next);
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bases: &DnaString) -> Result<Vec<u8>, StrandError> {
+        if bases.len() % 8 != 0 {
+            return Err(StrandError::LengthMismatch {
+                expected: bases.len().div_ceil(8) * 8,
+                actual: bases.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(bases.len() / 8);
+        let mut prev = None;
+        let mut byte = 0u8;
+        for (i, &b) in bases.as_slice().iter().enumerate() {
+            let picks = Self::choices(prev);
+            // A base equal to `prev` (impossible in well-formed input) or the
+            // excluded third base decodes as 1 — decoding is total so that
+            // noisy strands still produce *some* bits.
+            let bit = u8::from(picks[0] != b);
+            byte = (byte << 1) | bit;
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+            prev = Some(b);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints;
+
+    #[test]
+    fn direct_round_trips_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let bases = DirectCodec.encode(&bytes).unwrap();
+        assert_eq!(bases.len(), DirectCodec.encoded_len(bytes.len()));
+        assert_eq!(DirectCodec.decode(&bases).unwrap(), bytes);
+    }
+
+    #[test]
+    fn direct_rejects_partial_byte() {
+        let bases: DnaString = "ACGTA".parse().unwrap();
+        assert!(DirectCodec.decode(&bases).is_err());
+    }
+
+    #[test]
+    fn symbols_round_trip_at_all_even_widths() {
+        for width in [2u8, 4, 6, 8, 10, 12, 14, 16] {
+            let max = if width == 16 { u16::MAX } else { (1 << width) - 1 };
+            for sym in [0u16, 1, max / 2, max] {
+                let bases = DirectCodec.encode_symbol(sym, width).unwrap();
+                assert_eq!(bases.len(), usize::from(width) / 2);
+                assert_eq!(
+                    DirectCodec.decode_symbol(bases.as_slice(), width).unwrap(),
+                    sym,
+                    "width={width} sym={sym}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_width_validation() {
+        assert!(matches!(
+            DirectCodec.encode_symbol(1, 3),
+            Err(StrandError::OddSymbolWidth(3))
+        ));
+        assert!(matches!(
+            DirectCodec.encode_symbol(16, 4),
+            Err(StrandError::ValueTooWide { value: 16, width: 4 })
+        ));
+        assert!(DirectCodec.encode_symbol(15, 4).is_ok());
+    }
+
+    #[test]
+    fn rotation_round_trips_and_avoids_homopolymers() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let bases = RotationCodec.encode(&bytes).unwrap();
+        assert_eq!(constraints::max_homopolymer_run(&bases), 1);
+        assert_eq!(RotationCodec.decode(&bases).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rotation_decode_is_total_on_noisy_input() {
+        // AA contains a repeat the encoder can never produce; decoding must
+        // still succeed (returning some bits) rather than erroring.
+        let noisy: DnaString = "AACCGGTT".parse().unwrap();
+        assert_eq!(RotationCodec.decode(&noisy).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Biochemical constraint checks for synthesizability and sequencing
+//! friendliness (paper §2.1: homopolymer avoidance and GC balance).
+
+use crate::DnaString;
+
+/// Fraction of bases that are G or C, in `[0, 1]`. Empty strands report 0.
+pub fn gc_content(strand: &DnaString) -> f64 {
+    if strand.is_empty() {
+        return 0.0;
+    }
+    let gc = strand.iter().filter(|b| b.is_gc()).count();
+    gc as f64 / strand.len() as f64
+}
+
+/// Length of the longest run of identical consecutive bases (a
+/// *homopolymer*). Empty strands report 0.
+pub fn max_homopolymer_run(strand: &DnaString) -> usize {
+    let mut best = 0usize;
+    let mut run = 0usize;
+    let mut prev = None;
+    for &b in strand.iter() {
+        if Some(b) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(b);
+        }
+        best = best.max(run);
+    }
+    best
+}
+
+/// A conjunction of synthesis constraints a strand must satisfy.
+///
+/// # Examples
+///
+/// ```
+/// use dna_strand::constraints::ConstraintSet;
+///
+/// let rules = ConstraintSet::new(0.4, 0.6, 3);
+/// assert!(rules.check(&"ACGTGA".parse()?)); // GC = 0.5, max run = 1
+/// assert!(!rules.check(&"AAAAGC".parse()?)); // homopolymer run of 4
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstraintSet {
+    min_gc: f64,
+    max_gc: f64,
+    max_run: usize,
+}
+
+impl ConstraintSet {
+    /// Builds a constraint set; GC bounds are clamped into `[0, 1]` and
+    /// ordered, `max_run` of 0 is treated as "no limit".
+    pub fn new(min_gc: f64, max_gc: f64, max_run: usize) -> ConstraintSet {
+        let lo = min_gc.clamp(0.0, 1.0);
+        let hi = max_gc.clamp(0.0, 1.0);
+        ConstraintSet {
+            min_gc: lo.min(hi),
+            max_gc: lo.max(hi),
+            max_run: if max_run == 0 { usize::MAX } else { max_run },
+        }
+    }
+
+    /// The conventional primer-design constraints: GC in 40–60%, no
+    /// homopolymer longer than 3.
+    pub fn primer_default() -> ConstraintSet {
+        ConstraintSet::new(0.4, 0.6, 3)
+    }
+
+    /// Whether `strand` satisfies every constraint.
+    pub fn check(&self, strand: &DnaString) -> bool {
+        let gc = gc_content(strand);
+        gc >= self.min_gc && gc <= self.max_gc && max_homopolymer_run(strand) <= self.max_run
+    }
+}
+
+impl Default for ConstraintSet {
+    fn default() -> Self {
+        ConstraintSet::primer_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> DnaString {
+        text.parse().expect("valid DNA literal")
+    }
+
+    #[test]
+    fn gc_content_basics() {
+        assert_eq!(gc_content(&s("GGCC")), 1.0);
+        assert_eq!(gc_content(&s("AATT")), 0.0);
+        assert_eq!(gc_content(&s("ACGT")), 0.5);
+        assert_eq!(gc_content(&DnaString::new()), 0.0);
+    }
+
+    #[test]
+    fn homopolymer_runs() {
+        assert_eq!(max_homopolymer_run(&s("ACGT")), 1);
+        assert_eq!(max_homopolymer_run(&s("AAACCG")), 3);
+        assert_eq!(max_homopolymer_run(&s("TTTTTTT")), 7);
+        assert_eq!(max_homopolymer_run(&DnaString::new()), 0);
+    }
+
+    #[test]
+    fn constraint_set_checks_both_dimensions() {
+        let rules = ConstraintSet::new(0.4, 0.6, 2);
+        assert!(rules.check(&s("ACGTCA")));
+        assert!(!rules.check(&s("GGGGGG"))); // GC too high + run too long
+        assert!(!rules.check(&s("ATATAT"))); // GC too low
+        assert!(!rules.check(&s("ACCCGT"))); // run of 3 > 2
+    }
+
+    #[test]
+    fn constraint_set_normalizes_arguments() {
+        // Swapped GC bounds are reordered to [0.1, 0.9]; max_run 0 disables
+        // the homopolymer limit entirely.
+        let rules = ConstraintSet::new(0.9, 0.1, 0);
+        assert!(rules.check(&s("GGGGGAAAAA"))); // GC 0.5, run 5 allowed
+        assert!(!rules.check(&s("GGGGGGGGGG"))); // GC 1.0 outside [0.1, 0.9]
+    }
+}

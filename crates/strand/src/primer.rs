@@ -1,0 +1,204 @@
+//! PCR primers: the chemical lookup keys for random access (paper §2.1).
+//!
+//! Each file's strands are tagged with a primer pair; the pair acts as the
+//! key in a DNA key-value store. The generator searches random strands that
+//! satisfy synthesis constraints and keep a minimum pairwise Hamming
+//! distance from every primer already in the library, so that PCR
+//! amplification does not cross-react between files.
+
+use crate::constraints::ConstraintSet;
+use crate::{DnaString, StrandError};
+use rand::Rng;
+
+/// A PCR primer: a short constraint-satisfying strand used as an access key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Primer {
+    strand: DnaString,
+}
+
+impl Primer {
+    /// Wraps a strand as a primer without constraint checking (for tests or
+    /// externally validated primers).
+    pub fn from_strand(strand: DnaString) -> Primer {
+        Primer { strand }
+    }
+
+    /// The primer sequence.
+    pub fn strand(&self) -> &DnaString {
+        &self.strand
+    }
+
+    /// Primer length in bases.
+    pub fn len(&self) -> usize {
+        self.strand.len()
+    }
+
+    /// Whether the primer is empty (zero-length primers disable tagging).
+    pub fn is_empty(&self) -> bool {
+        self.strand.is_empty()
+    }
+}
+
+impl std::fmt::Display for Primer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.strand)
+    }
+}
+
+/// A collection of mutually distant primers.
+///
+/// # Examples
+///
+/// ```
+/// use dna_strand::PrimerLibrary;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let lib = PrimerLibrary::generate(4, 20, 6, &mut rng)?;
+/// assert_eq!(lib.len(), 4);
+/// // Any two primers differ in at least 6 positions.
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrimerLibrary {
+    primers: Vec<Primer>,
+    min_distance: usize,
+}
+
+impl PrimerLibrary {
+    /// Generates `count` primers of length `len` with pairwise Hamming
+    /// distance ≥ `min_distance`, each satisfying
+    /// [`ConstraintSet::primer_default`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::PrimerSearchExhausted`] when random search
+    /// cannot find enough primers (overly tight constraints).
+    pub fn generate<R: Rng + ?Sized>(
+        count: usize,
+        len: usize,
+        min_distance: usize,
+        rng: &mut R,
+    ) -> Result<PrimerLibrary, StrandError> {
+        Self::generate_with(count, len, min_distance, ConstraintSet::primer_default(), rng)
+    }
+
+    /// Like [`PrimerLibrary::generate`] with caller-provided constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::PrimerSearchExhausted`] when the attempt
+    /// budget (10⁴ random candidates per primer) runs out.
+    pub fn generate_with<R: Rng + ?Sized>(
+        count: usize,
+        len: usize,
+        min_distance: usize,
+        rules: ConstraintSet,
+        rng: &mut R,
+    ) -> Result<PrimerLibrary, StrandError> {
+        let mut lib = PrimerLibrary {
+            primers: Vec::with_capacity(count),
+            min_distance,
+        };
+        let budget_per_primer = 10_000usize;
+        for _ in 0..count {
+            let mut found = false;
+            for _ in 0..budget_per_primer {
+                let candidate = DnaString::random(len, rng);
+                if !rules.check(&candidate) {
+                    continue;
+                }
+                let distant = lib.primers.iter().all(|p| {
+                    p.strand()
+                        .hamming_distance(&candidate)
+                        .map(|d| d >= min_distance)
+                        .unwrap_or(true) // different lengths are trivially distant
+                });
+                if distant {
+                    lib.primers.push(Primer::from_strand(candidate));
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Err(StrandError::PrimerSearchExhausted {
+                    found: lib.primers.len(),
+                    requested: count,
+                });
+            }
+        }
+        Ok(lib)
+    }
+
+    /// Number of primers in the library.
+    pub fn len(&self) -> usize {
+        self.primers.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.primers.is_empty()
+    }
+
+    /// The primers, in generation order.
+    pub fn primers(&self) -> &[Primer] {
+        &self.primers
+    }
+
+    /// The `i`-th primer.
+    pub fn get(&self, i: usize) -> Option<&Primer> {
+        self.primers.get(i)
+    }
+
+    /// The minimum pairwise Hamming distance this library was built with.
+    pub fn min_distance(&self) -> usize {
+        self.min_distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_primers_satisfy_constraints_and_distance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lib = PrimerLibrary::generate(6, 20, 6, &mut rng).unwrap();
+        assert_eq!(lib.len(), 6);
+        for p in lib.primers() {
+            let gc = constraints::gc_content(p.strand());
+            assert!((0.4..=0.6).contains(&gc), "gc={gc}");
+            assert!(constraints::max_homopolymer_run(p.strand()) <= 3);
+        }
+        for i in 0..lib.len() {
+            for j in i + 1..lib.len() {
+                let d = lib.primers()[i]
+                    .strand()
+                    .hamming_distance(lib.primers()[j].strand())
+                    .unwrap();
+                assert!(d >= 6, "primers {i},{j} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_constraints_exhaust_search() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Pairwise distance > length is unsatisfiable for more than one primer.
+        let err = PrimerLibrary::generate(3, 8, 9, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            StrandError::PrimerSearchExhausted { found: 1, requested: 3 }
+        ));
+    }
+
+    #[test]
+    fn empty_library_reports_empty() {
+        let lib = PrimerLibrary::default();
+        assert!(lib.is_empty());
+        assert!(lib.get(0).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Graceful degradation: an encrypted image archive retrieved at falling
+//! sequencing coverage, baseline mapping vs DnaMapper (a miniature of the
+//! paper's Fig. 14).
+//!
+//! ```text
+//! cargo run --release --example image_archive
+//! ```
+
+use dna_skew::prelude::*;
+use dna_skew::media::rank ::PositionRanker;
+
+fn build_archive(codec: &JpegLikeCodec) -> Result<(Archive, Vec<GrayImage>), Box<dyn std::error::Error>> {
+    // Images of different sizes, as in the paper's corpus (§6.1).
+    let images = vec![
+        GrayImage::synthetic_photo(64, 48, 11),
+        GrayImage::synthetic_photo(48, 64, 22),
+        GrayImage::plasma(56, 56, 33),
+    ];
+    let mut files = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        files.push(FileEntry::new(format!("img{i}"), codec.encode(img)?));
+    }
+    Ok((Archive::new(files)?, images))
+}
+
+fn mean_quality_loss(
+    codec: &JpegLikeCodec,
+    originals: &[GrayImage],
+    stored: &Archive,
+    retrieved: Option<&Archive>,
+) -> f64 {
+    let Some(retrieved) = retrieved else {
+        return 48.0; // catastrophic: nothing decodable
+    };
+    let mut total = 0.0;
+    for (i, original) in originals.iter().enumerate() {
+        let name = format!("img{i}");
+        let clean = codec.decode_with_expected(
+            &stored.file(&name).expect("stored file").bytes,
+            original.width(),
+            original.height(),
+        );
+        let bytes = retrieved.file(&name).map(|f| f.bytes.clone()).unwrap_or_default();
+        let got = codec.decode_with_expected(&bytes, original.width(), original.height());
+        let base = original.psnr(&clean).min(60.0);
+        total += (base - original.psnr(&got).min(60.0)).max(0.0);
+    }
+    total / originals.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let img_codec = JpegLikeCodec::new(80)?;
+    let (archive, originals) = build_archive(&img_codec)?;
+    let params = CodecParams::laptop()?;
+    let model = ErrorModel::uniform(0.09);
+    let coverages: Vec<f64> = [14.0, 12.0, 10.0, 8.0, 6.0, 4.0].to_vec();
+    let _ = PositionRanker; // the ranking DnaMapper uses implicitly
+
+    println!(
+        "archive: {} files, {} bytes (encrypted); channel: 9% uniform IDS noise",
+        archive.files().len(),
+        archive.content_bytes()
+    );
+    println!("\n{:>10} | {:>28} | {:>28}", "", "baseline", "dnamapper");
+    println!("{:>10} | {:>14} {:>13} | {:>14} {:>13}", "coverage", "loss (dB)", "undecodable", "loss (dB)", "undecodable");
+
+    let mut results = Vec::new();
+    for (layout, policy) in [
+        (Layout::Baseline, RankingPolicy::Sequential),
+        (Layout::DnaMapper, RankingPolicy::PositionPriority),
+    ] {
+        let pipeline = Pipeline::new(params.clone(), layout)?;
+        let storage = ArchiveCodec::new(pipeline, policy).with_encryption(7);
+        let points = quality_sweep(
+            &storage,
+            &archive,
+            model,
+            &coverages,
+            6,
+            99,
+            |original, retrieved| mean_quality_loss(&img_codec, &originals, original, retrieved),
+        )?;
+        results.push(points);
+    }
+    for (i, &cov) in coverages.iter().enumerate() {
+        println!(
+            "{cov:>10} | {:>14.2} {:>13} | {:>14.2} {:>13}",
+            results[0][i].mean_loss_db,
+            results[0][i].failed_decodes,
+            results[1][i].mean_loss_db,
+            results[1][i].failed_decodes,
+        );
+    }
+    println!("\nDnaMapper loses quality gradually as coverage drops, while the");
+    println!("baseline cliff-dives once mid-strand errors overwhelm its middle codewords.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! `dna-skew`: a reproduction of *Managing Reliability Bias in DNA
+//! Storage* (Lin, Tabatabaee, Pote, Jevdjic — ISCA '22).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Provides |
+//! |---|---|
+//! | [`gf`] | GF(2^m) arithmetic and polynomial helpers |
+//! | [`reed_solomon`] | errors-and-erasures Reed–Solomon codes |
+//! | [`strand`] | bases, strands, codecs, primers, indexes |
+//! | [`align`] | edit distance, alignment, read clustering |
+//! | [`channel`] | IDS noise, error profiles, Gamma coverage, read pools |
+//! | [`consensus`] | trace reconstruction and skew profiling |
+//! | [`media`] | images, the JPEG-like codec, PSNR, bit ranking |
+//! | [`crypto`] | ChaCha20 for end-to-end encrypted archives |
+//! | [`storage`] | the pipeline: Baseline / **Gini** / **DnaMapper** |
+//!
+//! # Quick start
+//!
+//! ```
+//! use dna_skew::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Store a payload with Gini's diagonal codeword interleaving,
+//! // sequence it at 3% error and coverage 8, and read it back.
+//! let pipeline = Pipeline::new(CodecParams::tiny()?, Layout::Gini { excluded_rows: vec![] })?;
+//! let payload = b"molecule ends are reliable".to_vec();
+//! let unit = pipeline.encode_unit(&payload)?;
+//! let pool = pipeline.sequence(&unit, ErrorModel::uniform(0.03), CoverageModel::Fixed(8), 1);
+//! let (decoded, report) = pipeline.decode_unit(&pool.at_coverage(8.0))?;
+//! assert_eq!(&decoded[..payload.len()], &payload[..]);
+//! assert!(report.is_error_free());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dna_align as align;
+pub use dna_channel as channel;
+pub use dna_consensus as consensus;
+pub use dna_crypto as crypto;
+pub use dna_gf as gf;
+pub use dna_media as media;
+pub use dna_reed_solomon as reed_solomon;
+pub use dna_storage as storage;
+pub use dna_strand as strand;
+
+/// The most commonly used types, for one-line imports.
+pub mod prelude {
+    pub use dna_channel::{Cluster, CoverageModel, ErrorModel, IdsChannel, ReadPool};
+    pub use dna_consensus::{
+        BmaOneWay, BmaTwoWay, ConstrainedMedian, IterativeReconstructor, TraceReconstructor,
+    };
+    pub use dna_media::{GrayImage, JpegLikeCodec};
+    pub use dna_storage::{
+        min_coverage, quality_sweep, Archive, ArchiveCodec, CodecParams, DecodeReport,
+        FileEntry, Layout, MinCoverageOptions, Pipeline, RankingPolicy, RetrieveOptions,
+    };
+    pub use dna_strand::{Base, DnaString};
+}
