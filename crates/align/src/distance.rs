@@ -188,7 +188,13 @@ mod tests {
 
     #[test]
     fn bounded_agrees_with_full_when_within_bound() {
-        let strings: [&[u8]; 5] = [b"ACGTACGTAC", b"ACGTACGT", b"ACTTACGTAC", b"TTTTTTTTTT", b""];
+        let strings: [&[u8]; 5] = [
+            b"ACGTACGTAC",
+            b"ACGTACGT",
+            b"ACTTACGTAC",
+            b"TTTTTTTTTT",
+            b"",
+        ];
         for a in strings {
             for b in strings {
                 let full = edit_distance(a, b);

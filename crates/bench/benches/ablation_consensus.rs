@@ -6,41 +6,43 @@
 //! under all three reconstructors — quantifying how consensus quality
 //! converts directly into sequencing cost.
 
-use dna_bench::{FigureOutput, Scale};
+use dna_bench::{patterned_payload, FigureOutput, Scale};
 use dna_channel::ErrorModel;
 use dna_consensus::{BmaOneWay, BmaTwoWay, IterativeReconstructor, TraceReconstructor};
-use dna_storage::{min_coverage, CodecParams, Layout, MinCoverageOptions, Pipeline};
+use dna_storage::{min_coverage, CodecParams, Layout, Pipeline, Scenario};
 use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_env();
     let trials = scale.pick(2, 4, 20);
     let params = CodecParams::laptop().expect("params");
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 255) as u8).collect();
+    let payload = patterned_payload(params.payload_bytes(), 255);
     let algos: Vec<(&str, Arc<dyn TraceReconstructor + Send + Sync>)> = vec![
         ("one-way", Arc::new(BmaOneWay::default())),
         ("two-way", Arc::new(BmaTwoWay::default())),
         ("iterative", Arc::new(IterativeReconstructor::default())),
     ];
-    let opts = MinCoverageOptions {
-        coverages: (2..=45).map(f64::from).collect(),
-        trials,
-        seed: 77,
-        gamma: true,
-        forced_erasures: vec![],
-    };
     eprintln!("ablation_consensus: trials={trials}");
     let mut fig = FigureOutput::new(
         "ablation_consensus",
         &["error_rate", "one_way_cov", "two_way_cov", "iterative_cov"],
     );
     for p in [0.06, 0.09] {
+        let scenario = Scenario::new(ErrorModel::uniform(p))
+            .coverage_range(2, 45)
+            .trials(trials)
+            .seed(77);
         let mut row = vec![p];
         for (name, algo) in &algos {
-            let pipeline = Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] })
-                .expect("pipeline")
-                .with_consensus(Arc::clone(algo));
-            let cov = min_coverage(&pipeline, &payload, ErrorModel::uniform(p), &opts)
+            let pipeline = Pipeline::builder()
+                .params(params.clone())
+                .layout(Layout::Gini {
+                    excluded_rows: vec![],
+                })
+                .consensus(Arc::clone(algo))
+                .build()
+                .expect("pipeline");
+            let cov = min_coverage(&pipeline, &payload, &scenario)
                 .expect("experiment")
                 .unwrap_or(f64::NAN);
             eprintln!("  p={p} {name}: min coverage {cov}");

@@ -24,16 +24,31 @@ fn main() {
 
     let mut fig = FigureOutput::new(
         "ablation_position_sensitivity",
-        &["coverage", "plain_baseline", "plain_priority", "marked_baseline", "marked_priority"],
+        &[
+            "coverage",
+            "plain_baseline",
+            "plain_priority",
+            "marked_baseline",
+            "marked_priority",
+        ],
     );
     let mut table = vec![vec![0.0f64; 4]; coverages.len()];
     for (m, markers) in [(0usize, None), (1, Some(4u8))].iter() {
-        let codec = JpegLikeCodec::new(60).expect("quality").with_restart_interval(*markers);
+        let codec = JpegLikeCodec::new(60)
+            .expect("quality")
+            .with_restart_interval(*markers);
         let file = codec.encode(&image).expect("encode");
         let cols = file.len().div_ceil(rows).max(2);
         let params = CodecParams::new(Field::gf256(), rows, cols, 0, 16).expect("params");
-        for (l, layout) in [Layout::Baseline, Layout::DnaMapper].into_iter().enumerate() {
-            let pipeline = Pipeline::new(params.clone(), layout).expect("pipeline");
+        for (l, layout) in [Layout::Baseline, Layout::DnaMapper]
+            .into_iter()
+            .enumerate()
+        {
+            let pipeline = Pipeline::builder()
+                .params(params.clone())
+                .layout(layout)
+                .build()
+                .expect("pipeline");
             let unit = pipeline.encode_unit(&file).expect("encode");
             for (i, &cov) in coverages.iter().enumerate() {
                 let mut psnr = 0.0;
@@ -44,7 +59,9 @@ fn main() {
                         CoverageModel::Fixed(cov as usize),
                         1800 + t as u64,
                     );
-                    let (decoded, _) = pipeline.decode_unit(&pool.at_coverage(cov)).expect("decode");
+                    let (decoded, _) = pipeline
+                        .decode_unit(&pool.at_coverage(cov))
+                        .expect("decode");
                     let got = codec.decode_with_expected(
                         &decoded[..file.len()],
                         image.width(),

@@ -12,10 +12,10 @@
 //! capacity. Gini (uniform rows over a flattened error distribution) is
 //! the control.
 
-use dna_bench::{FigureOutput, Scale};
-use dna_channel::{CoverageModel, ErrorModel, IdsChannel, ReadPool};
+use dna_bench::{laptop_pipeline, patterned_payload, FigureOutput, Scale};
+use dna_channel::{CoverageModel, ErrorModel, ReadPool};
 use dna_consensus::{BmaTwoWay, TraceReconstructor};
-use dna_storage::{CodecParams, Layout, Pipeline};
+use dna_storage::{CodecParams, Layout};
 use dna_strand::codec::DirectCodec;
 use dna_strand::DnaString;
 
@@ -41,7 +41,7 @@ fn row_errors(
             continue;
         }
         let got = consensus.reconstruct(&cluster.reads, truth.len());
-        for r in 0..rows {
+        for (r, err) in errs.iter_mut().enumerate() {
             let start = index_bases + r * sym_bases;
             let a = DirectCodec
                 .decode_symbol(truth.slice(start, start + sym_bases).as_slice(), 8)
@@ -50,7 +50,7 @@ fn row_errors(
                 .decode_symbol(got.slice(start, start + sym_bases).as_slice(), 8)
                 .expect("consensus symbol");
             if a != b {
-                errs[r] += 1;
+                *err += 1;
             }
         }
     }
@@ -72,8 +72,8 @@ fn main() {
 
     // Any layout works for strand generation; errors depend on position,
     // not content.
-    let pipeline = Pipeline::new(params.clone(), Layout::Baseline).expect("pipeline");
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 251) as u8).collect();
+    let pipeline = laptop_pipeline(Layout::Baseline);
+    let payload = patterned_payload(params.payload_bytes(), 251);
     let unit = pipeline.encode_unit(&payload).expect("encode");
 
     // 1. Provisioning profile.
@@ -82,12 +82,22 @@ fn main() {
         let pool = pipeline.sequence(
             &unit,
             model,
-            CoverageModel::Gamma { mean: provision_cov, shape: 6.0 },
+            CoverageModel::Gamma {
+                mean: provision_cov,
+                shape: 6.0,
+            },
             2500 + t as u64,
         );
-        for (r, e) in row_errors(&unit.strands().to_vec(), &pool, provision_cov, rows, index_bases, sym_bases)
-            .into_iter()
-            .enumerate()
+        for (r, e) in row_errors(
+            unit.strands(),
+            &pool,
+            provision_cov,
+            rows,
+            index_bases,
+            sym_bases,
+        )
+        .into_iter()
+        .enumerate()
         {
             profile[r] += e;
         }
@@ -112,8 +122,11 @@ fn main() {
         }
         k += 1;
     }
-    eprintln!("  provisioned parity per row: min {:?} max {:?}",
-        alloc.iter().min(), alloc.iter().max());
+    eprintln!(
+        "  provisioned parity per row: min {:?} max {:?}",
+        alloc.iter().min(),
+        alloc.iter().max()
+    );
 
     // 3. Deploy: count rows whose error count exceeds the correction
     //    capacity (E_r/2 for unequal EC; E/2 uniform for baseline/Gini —
@@ -122,7 +135,12 @@ fn main() {
     let uniform_cap = params.parity_cols() / 2;
     let mut fig = FigureOutput::new(
         "ablation_unequal_ec",
-        &["coverage", "uniform_failed_rows", "unequal_failed_rows", "gini_failed_rows"],
+        &[
+            "coverage",
+            "uniform_failed_rows",
+            "unequal_failed_rows",
+            "gini_failed_rows",
+        ],
     );
     for &cov in &deploy_covs {
         let mut failed = [0usize; 3];
@@ -130,10 +148,13 @@ fn main() {
             let pool = pipeline.sequence(
                 &unit,
                 model,
-                CoverageModel::Gamma { mean: cov, shape: 6.0 },
+                CoverageModel::Gamma {
+                    mean: cov,
+                    shape: 6.0,
+                },
                 3500 + t as u64,
             );
-            let errs = row_errors(&unit.strands().to_vec(), &pool, cov, rows, index_bases, sym_bases);
+            let errs = row_errors(unit.strands(), &pool, cov, rows, index_bases, sym_bases);
             let total_errs: usize = errs.iter().sum();
             // uniform rows: each row corrects uniform_cap
             failed[0] += errs.iter().filter(|&&e| e > uniform_cap).count();
@@ -144,7 +165,7 @@ fn main() {
                 .filter(|(&e, &a)| e > a / 2)
                 .count();
             // Gini: errors spread evenly over rows codewords
-            let per_cw = (total_errs + rows - 1) / rows;
+            let per_cw = total_errs.div_ceil(rows);
             failed[2] += if per_cw > uniform_cap { rows } else { 0 };
         }
         fig.row_f64(&[

@@ -14,7 +14,14 @@ fn main() {
     let trials = scale.pick(200, 3000, 10_000);
     let (l, n, p) = (200usize, 5usize, 0.05);
     eprintln!("fig03: L={l} N={n} p={p} trials={trials}");
-    let profile = dna_skew_profile(&BmaOneWay::default(), l, n, ErrorModel::uniform(p), trials, 3);
+    let profile = dna_skew_profile(
+        &BmaOneWay::default(),
+        l,
+        n,
+        ErrorModel::uniform(p),
+        trials,
+        3,
+    );
     let mut fig = FigureOutput::new("fig03_skew_one_way", &["position", "p_incorrect"]);
     for (i, &e) in profile.per_position.iter().enumerate() {
         fig.row_f64(&[i as f64 + 1.0, e]);

@@ -14,8 +14,22 @@ fn main() {
     let trials = scale.pick(200, 3000, 10_000);
     let (l, n, p) = (200usize, 5usize, 0.05);
     eprintln!("fig04: L={l} N={n} p={p} trials={trials}");
-    let two = dna_skew_profile(&BmaTwoWay::default(), l, n, ErrorModel::uniform(p), trials, 3);
-    let one = dna_skew_profile(&BmaOneWay::default(), l, n, ErrorModel::uniform(p), trials, 3);
+    let two = dna_skew_profile(
+        &BmaTwoWay::default(),
+        l,
+        n,
+        ErrorModel::uniform(p),
+        trials,
+        3,
+    );
+    let one = dna_skew_profile(
+        &BmaOneWay::default(),
+        l,
+        n,
+        ErrorModel::uniform(p),
+        trials,
+        3,
+    );
     let mut fig = FigureOutput::new("fig04_skew_two_way", &["position", "p_incorrect"]);
     for (i, &e) in two.per_position.iter().enumerate() {
         fig.row_f64(&[i as f64 + 1.0, e]);

@@ -44,6 +44,10 @@ fn main() {
     fig.finish();
     println!("\nsummary (peak / middle-to-ends ratio):");
     for (name, p) in &profiles {
-        println!("  {name:>18}: peak {:.4}  ratio {:.2}", p.peak(), p.middle_to_ends_ratio());
+        println!(
+            "  {name:>18}: peak {:.4}  ratio {:.2}",
+            p.peak(),
+            p.middle_to_ends_ratio()
+        );
     }
 }

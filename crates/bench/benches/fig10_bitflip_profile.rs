@@ -21,7 +21,10 @@ fn main() {
     let image = GrayImage::synthetic_photo(w, h, 10);
     let file = codec.encode(&image).expect("encode");
     let n_bits = file.len() * 8;
-    eprintln!("fig10: {w}x{h} image, {} bytes, probing {probes} bit positions", file.len());
+    eprintln!(
+        "fig10: {w}x{h} image, {} bytes, probing {probes} bit positions",
+        file.len()
+    );
 
     let positions: Vec<usize> = (0..n_bits).step_by((n_bits / probes).max(1)).collect();
     let damage = bit_flip_profile(&codec, &file, &image, &positions);

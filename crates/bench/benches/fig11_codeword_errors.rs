@@ -5,15 +5,15 @@
 //! at the middle rows; Gini's are flat; the areas under both curves are
 //! (nearly) the same — Gini redistributes errors, it does not remove them.
 
-use dna_bench::{FigureOutput, Scale};
+use dna_bench::{laptop_pipeline, patterned_payload, FigureOutput, Scale};
 use dna_channel::{CoverageModel, ErrorModel};
-use dna_storage::{CodecParams, Layout, Pipeline};
+use dna_storage::{CodecParams, Layout};
 
 fn main() {
     let scale = Scale::from_env();
     let trials = scale.pick(1, 5, 50);
     let params = CodecParams::laptop().expect("laptop params");
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 256) as u8).collect();
+    let payload = patterned_payload(params.payload_bytes(), 256);
     let model = ErrorModel::uniform(0.09);
     let coverage = 20usize;
     eprintln!(
@@ -22,8 +22,13 @@ fn main() {
     );
 
     let mut series: Vec<Vec<f64>> = Vec::new();
-    for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }] {
-        let pipeline = Pipeline::new(params.clone(), layout).expect("pipeline");
+    for layout in [
+        Layout::Baseline,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+    ] {
+        let pipeline = laptop_pipeline(layout);
         let unit = pipeline.encode_unit(&payload).expect("encode");
         let mut sums = vec![0usize; params.rows()];
         for t in 0..trials {
@@ -47,6 +52,7 @@ fn main() {
         "fig11_codeword_errors",
         &["codeword", "baseline_corrected", "gini_corrected"],
     );
+    #[allow(clippy::needless_range_loop)]
     for k in 0..params.rows() {
         fig.row_f64(&[k as f64, series[0][k], series[1][k]]);
     }
@@ -61,10 +67,7 @@ fn main() {
     println!(
         "  baseline: peak {:.0} (codeword {}), total {:.0}",
         peak[0],
-        series[0]
-            .iter()
-            .position(|&v| v == peak[0])
-            .unwrap_or(0),
+        series[0].iter().position(|&v| v == peak[0]).unwrap_or(0),
         area[0]
     );
     println!("  gini:     peak {:.0}, total {:.0}", peak[1], area[1]);

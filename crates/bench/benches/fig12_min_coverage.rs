@@ -4,45 +4,41 @@
 //! Expected shape: Gini needs ~20% less coverage at low error rates and up
 //! to ~30% less at high rates.
 
-use dna_bench::{FigureOutput, Scale};
+use dna_bench::{laptop_pipeline, patterned_payload, FigureOutput, Scale};
 use dna_channel::ErrorModel;
-use dna_storage::{min_coverage, CodecParams, Layout, MinCoverageOptions, Pipeline};
+use dna_storage::{min_coverage, CodecParams, Layout, Scenario};
 
 fn main() {
     let scale = Scale::from_env();
     let trials = scale.pick(2, 5, 50);
     let params = CodecParams::laptop().expect("laptop params");
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 251) as u8).collect();
+    let payload = patterned_payload(params.payload_bytes(), 251);
     let rates = [0.03, 0.06, 0.09, 0.12];
     eprintln!("fig12: rates {rates:?}, trials={trials} (all must decode error-free)");
 
-    let opts = MinCoverageOptions {
-        coverages: (2..=45).map(f64::from).collect(),
-        trials,
-        seed: 12,
-        gamma: true,
-        forced_erasures: vec![],
-    };
     let mut fig = FigureOutput::new(
         "fig12_min_coverage",
-        &["error_rate", "baseline_min_coverage", "gini_min_coverage", "saving_pct"],
+        &[
+            "error_rate",
+            "baseline_min_coverage",
+            "gini_min_coverage",
+            "saving_pct",
+        ],
     );
     for &p in &rates {
-        let model = ErrorModel::uniform(p);
+        let scenario = Scenario::new(ErrorModel::uniform(p))
+            .coverage_range(2, 45)
+            .trials(trials)
+            .seed(12);
         eprintln!("  p={p}…");
-        let base = min_coverage(
-            &Pipeline::new(params.clone(), Layout::Baseline).expect("pipeline"),
-            &payload,
-            model,
-            &opts,
-        )
-        .expect("experiment");
+        let base = min_coverage(&laptop_pipeline(Layout::Baseline), &payload, &scenario)
+            .expect("experiment");
         let gini = min_coverage(
-            &Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] })
-                .expect("pipeline"),
+            &laptop_pipeline(Layout::Gini {
+                excluded_rows: vec![],
+            }),
             &payload,
-            model,
-            &opts,
+            &scenario,
         )
         .expect("experiment");
         let (b, g) = (base.unwrap_or(f64::NAN), gini.unwrap_or(f64::NAN));
@@ -50,5 +46,7 @@ fn main() {
         println!("p={p}: baseline {b}, gini {g}");
     }
     fig.finish();
-    println!("\n(paper: Gini reduces required coverage by 20% at low rates, up to 30% at high rates)");
+    println!(
+        "\n(paper: Gini reduces required coverage by 20% at low rates, up to 30% at high rates)"
+    );
 }

@@ -8,53 +8,52 @@
 //! redundancy (the paper: 6% vs 18.4% — a 67% redundancy cut and 12.5%
 //! synthesis-cost saving).
 
-use dna_bench::{FigureOutput, Scale};
+use dna_bench::{laptop_pipeline, patterned_payload, FigureOutput, Scale};
 use dna_channel::ErrorModel;
-use dna_storage::{min_coverage, CodecParams, Layout, MinCoverageOptions, Pipeline};
+use dna_storage::{
+    min_coverage, min_coverage_with, CodecParams, Layout, RetrieveOptions, Scenario,
+};
 
 fn main() {
     let scale = Scale::from_env();
     let trials = scale.pick(2, 5, 50);
     let params = CodecParams::laptop().expect("laptop params");
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 249) as u8).collect();
-    let model = ErrorModel::uniform(0.09);
-    let base_opts = MinCoverageOptions {
-        coverages: (2..=45).map(f64::from).collect(),
-        trials,
-        seed: 13,
-        gamma: true,
-        forced_erasures: vec![],
-    };
-    eprintln!("fig13: p=9%, trials={trials}, E={} parity molecules", params.parity_cols());
+    let payload = patterned_payload(params.payload_bytes(), 249);
+    let scenario = Scenario::new(ErrorModel::uniform(0.09))
+        .coverage_range(2, 45)
+        .trials(trials)
+        .seed(13);
+    eprintln!(
+        "fig13: p=9%, trials={trials}, E={} parity molecules",
+        params.parity_cols()
+    );
 
-    let baseline = min_coverage(
-        &Pipeline::new(params.clone(), Layout::Baseline).expect("pipeline"),
-        &payload,
-        model,
-        &base_opts,
-    )
-    .expect("experiment")
-    .unwrap_or(f64::NAN);
+    let baseline = min_coverage(&laptop_pipeline(Layout::Baseline), &payload, &scenario)
+        .expect("experiment")
+        .unwrap_or(f64::NAN);
     println!("baseline (18.4% redundancy): min coverage {baseline}");
 
     // Effective redundancy targets ~ paper's {18.4, 15, 12, 9, 6}%.
-    let gini = Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] })
-        .expect("pipeline");
+    let gini = laptop_pipeline(Layout::Gini {
+        excluded_rows: vec![],
+    });
     let mut fig = FigureOutput::new(
         "fig13_redundancy_sweep",
-        &["effective_redundancy_pct", "gini_min_coverage", "baseline_min_coverage"],
+        &[
+            "effective_redundancy_pct",
+            "gini_min_coverage",
+            "baseline_min_coverage",
+        ],
     );
     for target_pct in [18.4, 15.0, 12.0, 9.0, 6.0] {
         let target_parity = (target_pct / 100.0 * params.cols() as f64).round() as usize;
         let erase = params.parity_cols().saturating_sub(target_parity);
-        let forced: Vec<usize> =
-            (params.cols() - erase..params.cols()).collect();
-        let opts = MinCoverageOptions {
-            forced_erasures: forced,
-            ..base_opts.clone()
+        let retrieve = RetrieveOptions {
+            forced_erasures: (params.cols() - erase..params.cols()).collect(),
+            ..RetrieveOptions::default()
         };
         eprintln!("  effective redundancy {target_pct}% (erasing {erase} parity molecules)…");
-        let cov = min_coverage(&gini, &payload, model, &opts)
+        let cov = min_coverage_with(&gini, &payload, &scenario, &retrieve)
             .expect("experiment")
             .unwrap_or(f64::NAN);
         fig.row_f64(&[target_pct, cov, baseline]);

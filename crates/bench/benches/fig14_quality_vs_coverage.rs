@@ -9,16 +9,15 @@
 //! error-free longer than the baseline but collapses all at once below
 //! its threshold — occasionally ending up worse than the baseline.
 
-use dna_bench::{FigureOutput, ImageCorpus, Scale};
+use dna_bench::{laptop_pipeline, storage_layouts, FigureOutput, ImageCorpus, Scale};
 use dna_channel::ErrorModel;
-use dna_storage::{quality_sweep, CodecParams, Layout, Pipeline, RankingPolicy};
+use dna_storage::{quality_sweep, ArchiveCodec, Scenario};
 
 fn main() {
     let scale = Scale::from_env();
     let trials = scale.pick(2, 5, 50);
     let n_images = scale.pick(2, 6, 10);
     let corpus = ImageCorpus::build(n_images, 14);
-    let params = CodecParams::laptop().expect("laptop params");
     let coverages: Vec<f64> = (3..=20).rev().map(f64::from).collect();
     let rates = [0.03, 0.06, 0.09, 0.12];
     eprintln!(
@@ -27,11 +26,7 @@ fn main() {
         corpus.archive.content_bytes()
     );
 
-    let layouts: [(&str, Layout, RankingPolicy); 3] = [
-        ("baseline", Layout::Baseline, RankingPolicy::Sequential),
-        ("dnamapper", Layout::DnaMapper, RankingPolicy::PositionPriority),
-        ("gini", Layout::Gini { excluded_rows: vec![] }, RankingPolicy::Sequential),
-    ];
+    let layouts = storage_layouts();
     let mut header = vec!["coverage".to_string()];
     for (name, _, _) in &layouts {
         for &p in &rates {
@@ -47,20 +42,22 @@ fn main() {
         let mut per_rate = Vec::new();
         for &p in &rates {
             eprintln!("  {name} at p={p}…");
-            let pipeline = Pipeline::new(params.clone(), layout.clone()).expect("pipeline");
             let storage =
-                dna_storage::ArchiveCodec::new(pipeline, *policy).with_encryption(1414);
-            let points = quality_sweep(
-                &storage,
-                &corpus.archive,
-                ErrorModel::uniform(p),
-                &coverages,
-                trials,
-                1400,
-                |_, retrieved| corpus.mean_loss_db(retrieved),
-            )
+                ArchiveCodec::new(laptop_pipeline(layout.clone()), *policy).with_encryption(1414);
+            let scenario = Scenario::new(ErrorModel::uniform(p))
+                .coverages(coverages.iter().copied())
+                .trials(trials)
+                .seed(1400);
+            let points = quality_sweep(&storage, &corpus.archive, &scenario, |_, retrieved| {
+                corpus.mean_loss_db(retrieved)
+            })
             .expect("sweep");
-            per_rate.push(points.into_iter().map(|pt| pt.mean_loss_db).collect::<Vec<_>>());
+            per_rate.push(
+                points
+                    .into_iter()
+                    .map(|pt| pt.mean_loss_db)
+                    .collect::<Vec<_>>(),
+            );
         }
         columns.push(per_rate);
     }
@@ -80,7 +77,10 @@ fn main() {
     let rate_idx = 3; // 12%
     println!("\nat p=12%, coverage 13:");
     for (l, (name, _, _)) in layouts.iter().enumerate() {
-        println!("  {name}: mean loss {:.2} dB", columns[l][rate_idx][cov_idx]);
+        println!(
+            "  {name}: mean loss {:.2} dB",
+            columns[l][rate_idx][cov_idx]
+        );
     }
     println!("(paper: baseline catastrophic, DnaMapper ≈0.3 dB)");
 }

@@ -2,13 +2,10 @@
 //! intact, with ≈1 dB loss, and with heavy (≈7 dB) loss. Writes PGM files
 //! under `target/figures/fig15/`.
 
-use dna_bench::Scale;
+use dna_bench::{laptop_pipeline, Scale};
 use dna_channel::{Cluster, CoverageModel, ErrorModel};
 use dna_media::{GrayImage, JpegLikeCodec};
-use dna_storage::{
-    Archive, ArchiveCodec, CodecParams, FileEntry, Layout, Pipeline, RankingPolicy,
-    RetrieveOptions,
-};
+use dna_storage::{Archive, ArchiveCodec, FileEntry, Layout, RankingPolicy, RetrieveOptions};
 use std::fs;
 
 fn main() {
@@ -18,8 +15,7 @@ fn main() {
     let file = codec.encode(&image).expect("encode");
     let archive = Archive::new(vec![FileEntry::new("photo", file)]).expect("archive");
 
-    let params = CodecParams::laptop().expect("params");
-    let pipeline = Pipeline::new(params, Layout::DnaMapper).expect("pipeline");
+    let pipeline = laptop_pipeline(Layout::DnaMapper);
     let storage = ArchiveCodec::new(pipeline, RankingPolicy::PositionPriority).with_encryption(15);
     let units = storage.encode(&archive).expect("encode units");
 
@@ -30,14 +26,16 @@ fn main() {
     let pools = storage.sequence(
         &units,
         ErrorModel::uniform(0.12),
-        CoverageModel::Gamma { mean: 20.0, shape: 6.0 },
+        CoverageModel::Gamma {
+            mean: 20.0,
+            shape: 6.0,
+        },
         151,
     );
     println!("coverage sweep at p=12% (DnaMapper): PSNR of retrieved photo");
     let mut shown = Vec::new();
     for cov in (4..=20).rev() {
-        let clusters: Vec<Vec<Cluster>> =
-            pools.iter().map(|p| p.at_coverage(cov as f64)).collect();
+        let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.at_coverage(cov as f64)).collect();
         let psnr = match storage.decode(&clusters, &RetrieveOptions::default()) {
             Ok((retrieved, _)) => {
                 let bytes = retrieved

@@ -81,7 +81,11 @@ fn main() {
         } else {
             Layout::Baseline
         };
-        let pipeline = Pipeline::new(params.clone(), layout).expect("pipeline");
+        let pipeline = Pipeline::builder()
+            .params(params.clone())
+            .layout(layout)
+            .build()
+            .expect("pipeline");
         let payload = match order {
             Some(o) => permute(&file, o),
             None => file.clone(),
@@ -89,12 +93,7 @@ fn main() {
         let unit = pipeline.encode_unit(&payload).expect("encode");
         let mut losses = vec![0.0f64; coverages.len()];
         for t in 0..trials {
-            let pool = pipeline.sequence(
-                &unit,
-                model,
-                CoverageModel::Fixed(20),
-                1600 + t as u64,
-            );
+            let pool = pipeline.sequence(&unit, model, CoverageModel::Fixed(20), 1600 + t as u64);
             // Perfect clustering ⇒ cluster identity is known (paper
             // §6.1.2); with no parity to absorb index-corruption column
             // losses, the ranking comparison uses it directly.

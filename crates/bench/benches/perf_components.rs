@@ -15,7 +15,9 @@ use std::hint::black_box;
 
 fn bench_gf(c: &mut Criterion) {
     let f = Field::gf256();
-    let pairs: Vec<(u16, u16)> = (0..1024).map(|i| ((i * 7 % 255 + 1), (i * 13 % 255 + 1))).collect();
+    let pairs: Vec<(u16, u16)> = (0..1024)
+        .map(|i| ((i * 7 % 255 + 1), (i * 13 % 255 + 1)))
+        .collect();
     c.bench_function("gf256_mul_1k", |b| {
         b.iter(|| {
             let mut acc = 0u16;
@@ -32,7 +34,9 @@ fn bench_rs(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let data: Vec<u16> = (0..208).map(|_| rng.gen_range(0..256)).collect();
     let clean = rs.encode(&data).expect("encode");
-    c.bench_function("rs_encode_208_47", |b| b.iter(|| black_box(rs.encode(&data).unwrap())));
+    c.bench_function("rs_encode_208_47", |b| {
+        b.iter(|| black_box(rs.encode(&data).unwrap()))
+    });
     c.bench_function("rs_decode_20_errors", |b| {
         b.iter_batched(
             || {

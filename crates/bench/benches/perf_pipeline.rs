@@ -2,26 +2,59 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dna_channel::{CoverageModel, ErrorModel};
-use dna_storage::{CodecParams, Layout, Pipeline};
+use dna_storage::{CodecParams, Layout};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let params = CodecParams::laptop().expect("params");
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 256) as u8).collect();
-    for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }, Layout::DnaMapper] {
+    let payload: Vec<u8> = (0..params.payload_bytes())
+        .map(|i| (i % 256) as u8)
+        .collect();
+    for layout in [
+        Layout::Baseline,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+        Layout::DnaMapper,
+    ] {
         let name = layout.name();
-        let pipeline = Pipeline::new(params.clone(), layout.clone()).expect("pipeline");
+        let pipeline = dna_bench::laptop_pipeline(layout.clone());
         c.bench_function(&format!("encode_unit_{name}"), |b| {
             b.iter(|| black_box(pipeline.encode_unit(&payload).unwrap()))
         });
     }
-    let pipeline =
-        Pipeline::new(params, Layout::Gini { excluded_rows: vec![] }).expect("pipeline");
+    let pipeline = dna_bench::laptop_pipeline(Layout::Gini {
+        excluded_rows: vec![],
+    });
     let unit = pipeline.encode_unit(&payload).expect("encode");
-    let pool = pipeline.sequence(&unit, ErrorModel::uniform(0.03), CoverageModel::Fixed(10), 5);
+    let pool = pipeline.sequence(
+        &unit,
+        ErrorModel::uniform(0.03),
+        CoverageModel::Fixed(10),
+        5,
+    );
     let clusters = pool.clusters().to_vec();
     c.bench_function("decode_unit_cov10_p3pct", |b| {
         b.iter(|| black_box(pipeline.decode_unit(&clusters).unwrap()))
+    });
+
+    // The batch API: 8 units encoded/decoded as one parallel batch.
+    let payloads: Vec<Vec<u8>> = (0..8)
+        .map(|u| payload.iter().map(|&b| b.wrapping_add(u)).collect())
+        .collect();
+    c.bench_function("encode_batch_8_units", |b| {
+        b.iter(|| black_box(pipeline.encode_batch(&payloads).unwrap()))
+    });
+    let units = pipeline.encode_batch(&payloads).expect("encode batch");
+    let pools = pipeline.sequence_batch(
+        &dna_channel::SimulatedSequencer::new(ErrorModel::uniform(0.03), CoverageModel::Fixed(10)),
+        &units,
+        5,
+    );
+    let per_unit: Vec<Vec<dna_channel::Cluster>> =
+        pools.iter().map(|p| p.clusters().to_vec()).collect();
+    c.bench_function("decode_batch_8_units_cov10_p3pct", |b| {
+        b.iter(|| black_box(pipeline.decode_batch(&per_unit).unwrap()))
     });
 }
 

@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 
 use dna_media::{GrayImage, JpegLikeCodec};
-use dna_storage::{Archive, FileEntry};
+use dna_storage::{Archive, CodecParams, FileEntry, Layout, Pipeline, RankingPolicy};
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -30,12 +30,23 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from the environment.
+    /// Reads the scale from the environment (case-insensitive). Unset or
+    /// empty means [`Scale::Default`]; any other unrecognized value also
+    /// falls back to the default, with a warning on stderr instead of a
+    /// silent typo swallow.
     pub fn from_env() -> Scale {
-        match std::env::var("DNA_REPRO_SCALE").unwrap_or_default().as_str() {
+        let raw = std::env::var("DNA_REPRO_SCALE").unwrap_or_default();
+        match raw.trim().to_ascii_lowercase().as_str() {
             "smoke" => Scale::Smoke,
             "paper" | "full" => Scale::Paper,
-            _ => Scale::Default,
+            "" | "default" | "laptop" => Scale::Default,
+            other => {
+                eprintln!(
+                    "warning: unrecognized DNA_REPRO_SCALE value {other:?} \
+                     (expected smoke|default|paper); using the default scale"
+                );
+                Scale::Default
+            }
         }
     }
 
@@ -47,6 +58,46 @@ impl Scale {
             Scale::Paper => paper,
         }
     }
+}
+
+/// The three data organizations every storage figure compares, with their
+/// archive ranking policies.
+pub fn storage_layouts() -> [(&'static str, Layout, RankingPolicy); 3] {
+    [
+        ("baseline", Layout::Baseline, RankingPolicy::Sequential),
+        (
+            "gini",
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+            RankingPolicy::Sequential,
+        ),
+        (
+            "dnamapper",
+            Layout::DnaMapper,
+            RankingPolicy::PositionPriority,
+        ),
+    ]
+}
+
+/// The laptop-scale pipeline used across the figures, built through the
+/// validated builder path.
+///
+/// # Panics
+///
+/// Panics when the laptop geometry cannot be constructed (never in
+/// practice).
+pub fn laptop_pipeline(layout: Layout) -> Pipeline {
+    Pipeline::builder()
+        .params(CodecParams::laptop().expect("laptop params"))
+        .layout(layout)
+        .build()
+        .expect("laptop pipeline")
+}
+
+/// The figures' standard synthetic payload: `i % modulus` bytes.
+pub fn patterned_payload(bytes: usize, modulus: usize) -> Vec<u8> {
+    (0..bytes).map(|i| (i % modulus.max(1)) as u8).collect()
 }
 
 /// Collects a figure's series and writes stdout + CSV.
@@ -138,9 +189,7 @@ impl ImageCorpus {
         let files = images
             .iter()
             .enumerate()
-            .map(|(i, img)| {
-                FileEntry::new(format!("img{i}"), codec.encode(img).expect("encode"))
-            })
+            .map(|(i, img)| FileEntry::new(format!("img{i}"), codec.encode(img).expect("encode")))
             .collect();
         let archive = Archive::new(files).expect("non-empty archive");
         ImageCorpus {
@@ -154,7 +203,9 @@ impl ImageCorpus {
     /// originals, with 48 dB charged for wholly unreadable archives (the
     /// catastrophic-loss convention used across the figures).
     pub fn mean_loss_db(&self, retrieved: Option<&Archive>) -> f64 {
-        let Some(retrieved) = retrieved else { return 48.0 };
+        let Some(retrieved) = retrieved else {
+            return 48.0;
+        };
         let mut total = 0.0;
         for (i, original) in self.images.iter().enumerate() {
             let name = format!("img{i}");
@@ -167,12 +218,62 @@ impl ImageCorpus {
                 .file(&name)
                 .map(|f| f.bytes.clone())
                 .unwrap_or_default();
-            let got =
-                self.codec
-                    .decode_with_expected(&bytes, original.width(), original.height());
+            let got = self
+                .codec
+                .decode_with_expected(&bytes, original.width(), original.height());
             let base = original.psnr(&clean).min(60.0);
             total += (base - original.psnr(&got).min(60.0)).max(0.0);
         }
         total / self.images.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_is_case_insensitive_and_warns_on_garbage() {
+        // Serial within one test: std::env is process-global.
+        let old = std::env::var("DNA_REPRO_SCALE").ok();
+        for (value, expected) in [
+            ("smoke", Scale::Smoke),
+            ("SMOKE", Scale::Smoke),
+            ("Paper", Scale::Paper),
+            ("FULL", Scale::Paper),
+            ("default", Scale::Default),
+            ("", Scale::Default),
+            ("  paper  ", Scale::Paper),
+            ("warp-speed", Scale::Default), // unrecognized → warn + default
+        ] {
+            std::env::set_var("DNA_REPRO_SCALE", value);
+            assert_eq!(Scale::from_env(), expected, "value {value:?}");
+        }
+        std::env::remove_var("DNA_REPRO_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Default);
+        if let Some(v) = old {
+            std::env::set_var("DNA_REPRO_SCALE", v);
+        }
+    }
+
+    #[test]
+    fn scale_pick_selects_by_variant() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn shared_helpers_cover_all_layouts() {
+        let layouts = storage_layouts();
+        assert_eq!(layouts.len(), 3);
+        for (name, layout, _) in layouts {
+            let pipeline = laptop_pipeline(layout);
+            assert_eq!(pipeline.layout().name(), name);
+            assert_eq!(pipeline.params().cols(), 255);
+        }
+        let payload = patterned_payload(10, 251);
+        assert_eq!(payload.len(), 10);
+        assert_eq!(payload[9], 9);
     }
 }

@@ -39,8 +39,7 @@ impl ErrorModel {
     ///
     /// Panics when `p` is not in `[0, 1]`.
     pub fn uniform(p: f64) -> ErrorModel {
-        ErrorModel::new(p / 3.0, p / 3.0, p / 3.0)
-            .expect("uniform error rate must lie in [0, 1]")
+        ErrorModel::new(p / 3.0, p / 3.0, p / 3.0).expect("uniform error rate must lie in [0, 1]")
     }
 
     /// Substitutions only (the paper's skew-free control, Fig. 5 brown line).
@@ -94,8 +93,7 @@ impl ErrorModel {
     ///
     /// Panics when `p` is not in `[0, 1]`.
     pub fn enzymatic(p: f64) -> ErrorModel {
-        ErrorModel::new(0.1 * p, 0.55 * p, 0.35 * p)
-            .expect("enzymatic rate must lie in [0, 1]")
+        ErrorModel::new(0.1 * p, 0.55 * p, 0.35 * p).expect("enzymatic rate must lie in [0, 1]")
     }
 
     /// A noiseless channel.

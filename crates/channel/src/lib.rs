@@ -14,7 +14,11 @@
 //! - [`CoverageModel`]: fixed or Gamma-distributed cluster sizes;
 //! - [`ReadPool`]: a pre-generated pool of noisy reads per strand that can
 //!   be *progressively* drawn down to simulate lower coverage, exactly as
-//!   the paper's methodology describes (§6.1.2).
+//!   the paper's methodology describes (§6.1.2);
+//! - [`SequencingBackend`]: pluggable read generation — the simulator
+//!   above as [`SimulatedSequencer`], and [`TraceReplay`] for replaying
+//!   recorded read pools (wetlab or captured traces) through the same
+//!   decode path.
 //!
 //! # Examples
 //!
@@ -34,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod channel;
 mod coverage;
 mod error_model;
 mod pool;
 
+pub use backend::{unit_seed, SequencingBackend, SimulatedSequencer, TraceReplay};
 pub use channel::IdsChannel;
 pub use coverage::CoverageModel;
 pub use error_model::ErrorModel;

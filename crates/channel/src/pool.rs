@@ -44,13 +44,20 @@ pub struct ReadPool {
     full: Vec<Cluster>,
 }
 
-/// Mixes a per-strand stream index into the pool seed (splitmix64 step) so
-/// every strand gets an independent, reproducible RNG stream.
-fn substream_seed(seed: u64, index: u64) -> u64 {
+/// Mixes a stream index into a seed (splitmix64 finalizer) — the one
+/// derivation behind both per-strand streams (here) and per-unit streams
+/// ([`crate::unit_seed`]).
+pub(crate) fn splitmix_stream_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Mixes a per-strand stream index into the pool seed so every strand gets
+/// an independent, reproducible RNG stream.
+fn substream_seed(seed: u64, index: u64) -> u64 {
+    splitmix_stream_seed(seed, index)
 }
 
 impl ReadPool {
@@ -77,6 +84,52 @@ impl ReadPool {
             .collect();
         ReadPool {
             max_mean: coverage.mean(),
+            full,
+        }
+    }
+
+    /// A pool in which every one of `n_strands` molecules was lost (no
+    /// reads at all) — the degenerate trace.
+    pub fn empty(n_strands: usize) -> ReadPool {
+        ReadPool {
+            max_mean: 0.0,
+            full: (0..n_strands)
+                .map(|i| Cluster {
+                    source: i,
+                    reads: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a pool from `(source strand index, read)` pairs — the
+    /// inverse of [`ReadPool::labeled_reads`], and the natural shape of a
+    /// clustered sequencer dump. Reads keep their relative order per
+    /// source; labels outside `0..n_strands` are dropped. The pool's
+    /// maximum mean coverage is the observed mean cluster size.
+    pub fn from_labeled_reads(
+        labeled: impl IntoIterator<Item = (usize, DnaString)>,
+        n_strands: usize,
+    ) -> ReadPool {
+        let mut full: Vec<Cluster> = (0..n_strands)
+            .map(|i| Cluster {
+                source: i,
+                reads: Vec::new(),
+            })
+            .collect();
+        let mut total = 0usize;
+        for (source, read) in labeled {
+            if let Some(cluster) = full.get_mut(source) {
+                cluster.reads.push(read);
+                total += 1;
+            }
+        }
+        ReadPool {
+            max_mean: if n_strands == 0 {
+                0.0
+            } else {
+                total as f64 / n_strands as f64
+            },
             full,
         }
     }

@@ -9,8 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dna_channel::{CoverageModel, ErrorModel};
-use dna_storage::{CodecParams, DecodeReport, Layout, Pipeline, StorageError};
+use dna_channel::ErrorModel;
+use dna_storage::{CodecParams, DecodeReport, Layout, Pipeline, Scenario, StorageError};
 use dna_strand::DnaString;
 use std::fmt;
 use std::str::FromStr;
@@ -69,7 +69,9 @@ impl LayoutChoice {
     pub fn to_layout(self) -> Layout {
         match self {
             LayoutChoice::Baseline => Layout::Baseline,
-            LayoutChoice::Gini => Layout::Gini { excluded_rows: vec![] },
+            LayoutChoice::Gini => Layout::Gini {
+                excluded_rows: vec![],
+            },
             LayoutChoice::DnaMapper => Layout::DnaMapper,
         }
     }
@@ -117,18 +119,23 @@ pub fn parse_error_model(s: &str) -> Result<ErrorModel, CliError> {
     })
 }
 
-/// Splits a payload across as many units as needed and encodes each.
+/// The laptop-scale pipeline every CLI subcommand uses, built through the
+/// validated builder path.
+fn laptop_pipeline(layout: LayoutChoice) -> Result<Pipeline, CliError> {
+    Ok(Pipeline::builder()
+        .params(CodecParams::laptop()?)
+        .layout(layout.to_layout())
+        .build()?)
+}
+
+/// Splits a payload across as many units as needed and encodes them as
+/// one parallel batch.
 fn encode_units(pipeline: &Pipeline, payload: &[u8]) -> Result<Vec<Vec<DnaString>>, CliError> {
-    let cap = pipeline.payload_capacity();
-    let n_units = payload.len().div_ceil(cap).max(1);
-    let mut units = Vec::with_capacity(n_units);
-    for u in 0..n_units {
-        let lo = (u * cap).min(payload.len());
-        let hi = ((u + 1) * cap).min(payload.len());
-        let unit = pipeline.encode_unit(&payload[lo..hi])?;
-        units.push(unit.strands().to_vec());
-    }
-    Ok(units)
+    Ok(pipeline
+        .encode_chunked(payload)?
+        .into_iter()
+        .map(|unit| unit.strands().to_vec())
+        .collect())
 }
 
 /// Serializes units into the strand-list text format.
@@ -165,7 +172,10 @@ pub fn from_strand_list(
     }
     let mut layout = LayoutChoice::Baseline;
     let mut payload_len = 0usize;
-    for field in header.trim_start_matches("# dnastore v1 ").split_whitespace() {
+    for field in header
+        .trim_start_matches("# dnastore v1 ")
+        .split_whitespace()
+    {
         if let Some(v) = field.strip_prefix("layout=") {
             layout = match v {
                 "Baseline" => LayoutChoice::Baseline,
@@ -211,29 +221,34 @@ pub fn from_strand_list(
 
 /// `encode`: file bytes → strand list.
 pub fn encode(payload: &[u8], layout: LayoutChoice) -> Result<String, CliError> {
-    let pipeline = Pipeline::new(CodecParams::laptop()?, layout.to_layout())?;
+    let pipeline = laptop_pipeline(layout)?;
     let units = encode_units(&pipeline, payload)?;
     Ok(to_strand_list(layout, payload.len(), &units))
 }
 
 /// `decode`: strand list (perfect molecules, coverage 1) → file bytes.
-/// Each listed strand is treated as one error-free read of its molecule.
+/// Each listed strand is treated as one error-free read of its molecule;
+/// units decode as one parallel batch.
 pub fn decode(text: &str) -> Result<(Vec<u8>, Vec<DecodeReport>), CliError> {
     let (layout, payload_len, units) = from_strand_list(text)?;
-    let pipeline = Pipeline::new(CodecParams::laptop()?, layout.to_layout())?;
+    let pipeline = laptop_pipeline(layout)?;
+    let per_unit_clusters: Vec<Vec<dna_channel::Cluster>> = units
+        .iter()
+        .map(|strands| {
+            strands
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, s)| dna_channel::Cluster {
+                    source: i,
+                    reads: vec![s],
+                })
+                .collect()
+        })
+        .collect();
     let mut payload = Vec::with_capacity(payload_len);
-    let mut reports = Vec::new();
-    for strands in &units {
-        let clusters: Vec<dna_channel::Cluster> = strands
-            .iter()
-            .cloned()
-            .enumerate()
-            .map(|(i, s)| dna_channel::Cluster {
-                source: i,
-                reads: vec![s],
-            })
-            .collect();
-        let (bytes, report) = pipeline.decode_unit(&clusters)?;
+    let mut reports = Vec::with_capacity(units.len());
+    for (bytes, report) in pipeline.decode_batch(&per_unit_clusters)? {
         payload.extend_from_slice(&bytes);
         reports.push(report);
     }
@@ -256,7 +271,8 @@ pub struct SimulationOutcome {
     pub lost_molecules: usize,
 }
 
-/// `simulate`: full encode → noisy channel → decode round trip.
+/// `simulate`: full encode → noisy channel → decode round trip over the
+/// batch pipeline, described by one [`Scenario`].
 pub fn simulate(
     payload: &[u8],
     layout: LayoutChoice,
@@ -264,27 +280,24 @@ pub fn simulate(
     coverage: f64,
     seed: u64,
 ) -> Result<SimulationOutcome, CliError> {
-    let pipeline = Pipeline::new(CodecParams::laptop()?, layout.to_layout())?;
-    let cap = pipeline.payload_capacity();
-    let n_units = payload.len().div_ceil(cap).max(1);
+    let pipeline = laptop_pipeline(layout)?;
+    let scenario = Scenario::new(model).single_coverage(coverage).seed(seed);
+    let units = pipeline.encode_chunked(payload)?;
+    let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
+    let per_unit_clusters: Vec<Vec<dna_channel::Cluster>> =
+        pools.iter().map(|p| p.at_coverage(coverage)).collect();
     let mut decoded = Vec::with_capacity(payload.len());
     let mut corrected = 0usize;
     let mut failed = 0usize;
     let mut lost = 0usize;
-    for u in 0..n_units {
+    let cap = pipeline.payload_capacity();
+    for (u, (bytes, report)) in pipeline
+        .decode_batch(&per_unit_clusters)?
+        .into_iter()
+        .enumerate()
+    {
         let lo = (u * cap).min(payload.len());
         let hi = ((u + 1) * cap).min(payload.len());
-        let unit = pipeline.encode_unit(&payload[lo..hi])?;
-        let pool = pipeline.sequence(
-            &unit,
-            model,
-            CoverageModel::Gamma {
-                mean: coverage,
-                shape: 6.0,
-            },
-            seed ^ (u as u64) << 11,
-        );
-        let (bytes, report) = pipeline.decode_unit(&pool.at_coverage(coverage))?;
         decoded.extend_from_slice(&bytes[..hi - lo]);
         corrected += report.total_corrected();
         failed += report.failed_codewords();
@@ -315,7 +328,11 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let payload: Vec<u8> = (0..9000u32).map(|i| (i * 31 % 256) as u8).collect();
-        for layout in [LayoutChoice::Baseline, LayoutChoice::Gini, LayoutChoice::DnaMapper] {
+        for layout in [
+            LayoutChoice::Baseline,
+            LayoutChoice::Gini,
+            LayoutChoice::DnaMapper,
+        ] {
             let text = encode(&payload, layout).unwrap();
             assert!(text.starts_with("# dnastore v1"));
             let (decoded, reports) = decode(&text).unwrap();
@@ -376,7 +393,10 @@ mod tests {
             7,
         )
         .unwrap();
-        assert!(noisy.exact, "gini at 6%/coverage 14 should decode: {noisy:?}");
+        assert!(
+            noisy.exact,
+            "gini at 6%/coverage 14 should decode: {noisy:?}"
+        );
         assert!(noisy.corrected > 0);
     }
 }

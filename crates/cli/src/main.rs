@@ -8,9 +8,7 @@
 //!                   --errors nanopore:0.12 --coverage 18 --seed 7
 //! ```
 
-use dna_skew_cli::{
-    decode, encode, parse_error_model, simulate, CliError, LayoutChoice,
-};
+use dna_skew_cli::{decode, encode, parse_error_model, simulate, CliError, LayoutChoice};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -87,18 +85,14 @@ fn run() -> Result<(), CliError> {
         "simulate" => {
             let input = std::fs::read(required(&flags, "input")?)?;
             let model = parse_error_model(flags.get("errors").map_or("uniform:0.06", |v| v))?;
-            let coverage: f64 = flags
-                .get("coverage")
-                .map_or(Ok(12.0), |v| {
-                    v.parse()
-                        .map_err(|_| CliError::Usage(format!("bad coverage {v:?}")))
-                })?;
-            let seed: u64 = flags
-                .get("seed")
-                .map_or(Ok(0), |v| {
-                    v.parse()
-                        .map_err(|_| CliError::Usage(format!("bad seed {v:?}")))
-                })?;
+            let coverage: f64 = flags.get("coverage").map_or(Ok(12.0), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad coverage {v:?}")))
+            })?;
+            let seed: u64 = flags.get("seed").map_or(Ok(0), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad seed {v:?}")))
+            })?;
             let outcome = simulate(&input, layout, model, coverage, seed)?;
             println!(
                 "layout {layout:?} | errors {:.2}% | coverage {coverage}",

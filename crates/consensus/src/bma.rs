@@ -226,10 +226,10 @@ mod tests {
         // Figure 2b of the paper: five noisy copies of ACGTACGTACGT.
         let original: DnaString = "ACGTACGTACGT".parse().unwrap();
         let reads: Vec<DnaString> = [
-            "TCGTACGTACGT",  // substitution at position 0
-            "AGTACGTACG",    // deletion of C (and a trailing deletion)
-            "ACGTGACGTACGT", // insertion of G
-            "ACGTATGTACGT",  // substitution
+            "TCGTACGTACGT",   // substitution at position 0
+            "AGTACGTACG",     // deletion of C (and a trailing deletion)
+            "ACGTGACGTACGT",  // insertion of G
+            "ACGTATGTACGT",   // substitution
             "ACAGTACAGTACGT", // two insertions of A
         ]
         .iter()
@@ -300,7 +300,7 @@ mod tests {
         let trials = 200;
         let ch = IdsChannel::new(ErrorModel::uniform(0.06));
         let algo = BmaTwoWay::default();
-        let mut errs = vec![0usize; 3];
+        let mut errs = [0usize; 3];
         for _ in 0..trials {
             let original = DnaString::random(l, &mut rng);
             let reads = ch.transmit_many(&original, 5, &mut rng);

@@ -145,13 +145,13 @@ impl IterativeReconstructor {
             out.remove(weakest);
         }
         if out.len() < target_len {
-            pending.sort_by(|a, b| b.2.cmp(&a.2));
+            pending.sort_by_key(|p| std::cmp::Reverse(p.2));
             let mut chosen: Vec<(usize, Base)> = pending
                 .into_iter()
                 .take(target_len - out.len())
                 .map(|(idx, b, _)| (idx, b))
                 .collect();
-            chosen.sort_by(|a, b| b.0.cmp(&a.0));
+            chosen.sort_by_key(|c| std::cmp::Reverse(c.0));
             for (idx, b) in chosen {
                 out.insert(idx.min(out.len()), (b, 0));
             }
@@ -242,7 +242,9 @@ mod tests {
         let reads = ch.transmit_many(&original, 4, &mut rng);
         for len in [50usize, 70, 90] {
             assert_eq!(
-                IterativeReconstructor::default().reconstruct(&reads, len).len(),
+                IterativeReconstructor::default()
+                    .reconstruct(&reads, len)
+                    .len(),
                 len
             );
         }

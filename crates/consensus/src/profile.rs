@@ -55,8 +55,8 @@ impl SkewProfile {
             return 1.0;
         }
         let third = l / 3;
-        let middle: f64 = self.per_position[third..l - third].iter().sum::<f64>()
-            / (l - 2 * third) as f64;
+        let middle: f64 =
+            self.per_position[third..l - third].iter().sum::<f64>() / (l - 2 * third) as f64;
         let ends: f64 = (self.per_position[..third].iter().sum::<f64>()
             + self.per_position[l - third..].iter().sum::<f64>())
             / (2 * third) as f64;
@@ -80,38 +80,22 @@ fn trial_rng(seed: u64, t: u64) -> StdRng {
     StdRng::seed_from_u64(z)
 }
 
+/// Fans `trials` out across threads via [`dna_parallel::parallel_fold`],
+/// accumulating per-position disagreement counts.
 fn fan_out<F>(l: usize, trials: usize, per_trial: F) -> SkewProfile
 where
     F: Fn(u64, &mut Vec<u64>) + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
-    let chunk = trials.div_ceil(threads);
-    let mut totals = vec![0u64; l];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let per_trial = &per_trial;
-                scope.spawn(move || {
-                    let lo = tid * chunk;
-                    let hi = ((tid + 1) * chunk).min(trials);
-                    let mut counts = vec![0u64; l];
-                    for t in lo..hi {
-                        per_trial(t as u64, &mut counts);
-                    }
-                    counts
-                })
-            })
-            .collect();
-        for h in handles {
-            let counts = h.join().expect("profiling worker panicked");
+    let totals = dna_parallel::parallel_fold(
+        trials,
+        || vec![0u64; l],
+        |counts, t| per_trial(t as u64, counts),
+        |totals, counts| {
             for (t, c) in totals.iter_mut().zip(counts) {
                 *t += c;
             }
-        }
-    });
+        },
+    );
     SkewProfile {
         per_position: totals
             .into_iter()
@@ -233,14 +217,7 @@ mod tests {
     #[test]
     fn optimal_median_still_shows_skew() {
         // Scaled-down Fig. 6: binary, L = 12, p = 20%, N = 4.
-        let prof = binary_median_skew_profile(
-            12,
-            4,
-            ErrorModel::uniform(0.20),
-            120,
-            3,
-            2_000_000,
-        );
+        let prof = binary_median_skew_profile(12, 4, ErrorModel::uniform(0.20), 120, 3, 2_000_000);
         assert_eq!(prof.per_position.len(), 12);
         assert!(
             prof.middle_to_ends_ratio() > 1.2,

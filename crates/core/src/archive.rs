@@ -14,7 +14,9 @@
 use crate::pipeline::{EncodedUnit, Pipeline, RetrieveOptions};
 use crate::report::DecodeReport;
 use crate::StorageError;
-use dna_channel::{Cluster, CoverageModel, ErrorModel, ReadPool};
+use dna_channel::{
+    Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend, SimulatedSequencer,
+};
 use dna_crypto::ChaCha20;
 use dna_media::rank::merge_rankings;
 use dna_strand::bits::{get_bit, set_bit};
@@ -204,12 +206,9 @@ impl ArchiveCodec {
                 .take_while(|&b| b != 0)
                 .collect();
             names.push(String::from_utf8_lossy(&name_bytes).into_owned());
-            let size = u32::from_be_bytes([
-                stream[e + 8],
-                stream[e + 9],
-                stream[e + 10],
-                stream[e + 11],
-            ]) as usize;
+            let size =
+                u32::from_be_bytes([stream[e + 8], stream[e + 9], stream[e + 10], stream[e + 11]])
+                    as usize;
             sizes.push(size);
         }
         let total: usize = sizes.iter().sum();
@@ -306,7 +305,9 @@ impl ArchiveCodec {
         }
     }
 
-    /// Encodes the archive into one unit per [`ArchiveCodec::unit_count`].
+    /// Encodes the archive into one unit per [`ArchiveCodec::unit_count`],
+    /// fanning units out across threads via
+    /// [`Pipeline::encode_batch`].
     ///
     /// # Errors
     ///
@@ -314,13 +315,12 @@ impl ArchiveCodec {
     pub fn encode(&self, archive: &Archive) -> Result<Vec<EncodedUnit>, StorageError> {
         let stream = self.global_stream(archive);
         let n_units = self.unit_count(archive);
-        self.split_units(&stream, n_units)
-            .iter()
-            .map(|payload| self.pipeline.encode_unit(payload))
-            .collect()
+        self.pipeline
+            .encode_batch(&self.split_units(&stream, n_units))
     }
 
-    /// Simulates sequencing every unit (per-unit derived seeds).
+    /// Simulates sequencing every unit through a [`SimulatedSequencer`]
+    /// (per-unit derived seeds).
     pub fn sequence(
         &self,
         units: &[EncodedUnit],
@@ -328,17 +328,22 @@ impl ArchiveCodec {
         coverage: CoverageModel,
         seed: u64,
     ) -> Vec<ReadPool> {
-        units
-            .iter()
-            .enumerate()
-            .map(|(u, unit)| {
-                self.pipeline
-                    .sequence(unit, model, coverage, seed ^ (u as u64).wrapping_mul(0x9E37))
-            })
-            .collect()
+        self.sequence_with(&SimulatedSequencer::new(model, coverage), units, seed)
     }
 
-    /// Decodes the archive from per-unit cluster sets.
+    /// Sequences every unit through any [`SequencingBackend`] (per-unit
+    /// derived seeds, units fanned out across threads).
+    pub fn sequence_with(
+        &self,
+        backend: &dyn SequencingBackend,
+        units: &[EncodedUnit],
+        seed: u64,
+    ) -> Vec<ReadPool> {
+        self.pipeline.sequence_batch(backend, units, seed)
+    }
+
+    /// Decodes the archive from per-unit cluster sets via
+    /// [`Pipeline::decode_batch_with`].
     ///
     /// # Errors
     ///
@@ -350,13 +355,8 @@ impl ArchiveCodec {
         per_unit_clusters: &[Vec<Cluster>],
         opts: &RetrieveOptions,
     ) -> Result<(Archive, Vec<DecodeReport>), StorageError> {
-        let mut payloads = Vec::with_capacity(per_unit_clusters.len());
-        let mut reports = Vec::with_capacity(per_unit_clusters.len());
-        for clusters in per_unit_clusters {
-            let (payload, report) = self.pipeline.decode_unit_with(clusters, opts)?;
-            payloads.push(payload);
-            reports.push(report);
-        }
+        let decoded = self.pipeline.decode_batch_with(per_unit_clusters, opts)?;
+        let (payloads, reports): (Vec<Vec<u8>>, Vec<DecodeReport>) = decoded.into_iter().unzip();
         let stream = self.join_units(&payloads);
         let archive = self.parse_stream(&stream)?;
         Ok((archive, reports))
@@ -402,15 +402,11 @@ mod tests {
 
     fn noiseless_roundtrip(codec: &ArchiveCodec, archive: &Archive) -> Archive {
         let units = codec.encode(archive).unwrap();
-        let pools = codec.sequence(
-            &units,
-            ErrorModel::noiseless(),
-            CoverageModel::Fixed(2),
-            9,
-        );
-        let clusters: Vec<Vec<Cluster>> =
-            pools.iter().map(|p| p.clusters().to_vec()).collect();
-        let (decoded, reports) = codec.decode(&clusters, &RetrieveOptions::default()).unwrap();
+        let pools = codec.sequence(&units, ErrorModel::noiseless(), CoverageModel::Fixed(2), 9);
+        let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.clusters().to_vec()).collect();
+        let (decoded, reports) = codec
+            .decode(&clusters, &RetrieveOptions::default())
+            .unwrap();
         assert!(reports.iter().all(DecodeReport::is_error_free));
         decoded
     }
@@ -435,8 +431,7 @@ mod tests {
     #[test]
     fn encrypted_round_trip() {
         let archive = sample_archive();
-        let codec =
-            codec(RankingPolicy::PositionPriority, Layout::DnaMapper).with_encryption(42);
+        let codec = codec(RankingPolicy::PositionPriority, Layout::DnaMapper).with_encryption(42);
         let decoded = noiseless_roundtrip(&codec, &archive);
         assert_eq!(decoded, archive);
         // The stored stream must not contain the plaintext.

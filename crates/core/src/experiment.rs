@@ -4,47 +4,20 @@
 //! coverage required for error-free decoding" (Figs. 12–13) and image
 //! quality loss versus coverage (Figs. 14, 16), both averaged over
 //! repeated trials with independent noise realizations (§6.1.2 uses 50
-//! trials per point; the trial count here is a parameter). Trials run in
-//! parallel; results are deterministic in the seed.
+//! trials per point; the trial count comes from the [`Scenario`]). Trials
+//! run in parallel through [`dna_parallel`]; results are deterministic in
+//! the seed regardless of thread count.
 
 use crate::archive::{Archive, ArchiveCodec};
 use crate::pipeline::{Pipeline, RetrieveOptions};
+use crate::scenario::Scenario;
 use crate::StorageError;
-use dna_channel::{Cluster, CoverageModel, ErrorModel};
+use dna_channel::Cluster;
+use dna_parallel::parallel_map;
 
-/// Options for [`min_coverage`].
-#[derive(Debug, Clone)]
-pub struct MinCoverageOptions {
-    /// Candidate mean coverages, ascending (e.g. `3.0..=30.0`).
-    pub coverages: Vec<f64>,
-    /// Independent noise realizations per point; **all** must decode
-    /// error-free for a coverage to qualify.
-    pub trials: usize,
-    /// Base RNG seed.
-    pub seed: u64,
-    /// Draw cluster sizes from a Gamma distribution (the realistic mode);
-    /// `false` uses fixed per-cluster coverage.
-    pub gamma: bool,
-    /// Molecules to erase deliberately (Fig. 13's effective-redundancy
-    /// reduction).
-    pub forced_erasures: Vec<usize>,
-}
-
-impl Default for MinCoverageOptions {
-    fn default() -> Self {
-        MinCoverageOptions {
-            coverages: (3..=30).map(|c| c as f64).collect(),
-            trials: 5,
-            seed: 1,
-            gamma: true,
-            forced_erasures: Vec::new(),
-        }
-    }
-}
-
-/// Finds the smallest candidate coverage at which **every** trial decodes
-/// the payload exactly — the paper's minimum-coverage metric. `None` when
-/// even the largest candidate fails.
+/// Finds the smallest coverage in `scenario.coverages` at which **every**
+/// trial decodes the payload exactly — the paper's minimum-coverage
+/// metric. `None` when even the largest candidate fails.
 ///
 /// Each trial draws one read pool at the maximum candidate coverage and
 /// re-decodes progressively larger draws of it, exactly as the paper's
@@ -59,44 +32,50 @@ impl Default for MinCoverageOptions {
 pub fn min_coverage(
     pipeline: &Pipeline,
     payload: &[u8],
-    model: ErrorModel,
-    opts: &MinCoverageOptions,
+    scenario: &Scenario,
 ) -> Result<Option<f64>, StorageError> {
-    if opts.coverages.is_empty() || opts.trials == 0 {
+    min_coverage_with(pipeline, payload, scenario, &RetrieveOptions::default())
+}
+
+/// [`min_coverage`] with explicit decode options (e.g. the forced
+/// erasures of the Fig. 13 effective-redundancy sweep).
+///
+/// # Errors
+///
+/// See [`min_coverage`].
+pub fn min_coverage_with(
+    pipeline: &Pipeline,
+    payload: &[u8],
+    scenario: &Scenario,
+    retrieve: &RetrieveOptions,
+) -> Result<Option<f64>, StorageError> {
+    if scenario.coverages.is_empty() || scenario.trials == 0 {
         return Ok(None);
     }
+    // Candidates are scanned ascending whatever order the sweep lists.
+    let mut candidates = scenario.coverages.clone();
+    candidates.sort_unstable_by(f64::total_cmp);
     let unit = pipeline.encode_unit(payload)?;
     let mut expected = payload.to_vec();
     expected.resize(pipeline.payload_capacity(), 0);
-    let max_cov = *opts
-        .coverages
-        .last()
-        .expect("non-empty coverage candidates");
-    let retrieve = RetrieveOptions {
-        forced_erasures: opts.forced_erasures.clone(),
-        ..RetrieveOptions::default()
-    };
+    let backend = scenario.backend();
 
     // Per trial: the index of the first succeeding coverage (or None).
-    let firsts = parallel_map(opts.trials, |t| -> Result<Option<usize>, StorageError> {
-        let coverage_model = if opts.gamma {
-            CoverageModel::Gamma {
-                mean: max_cov,
-                shape: 6.0,
+    let candidates = &candidates;
+    let firsts = parallel_map(
+        scenario.trials,
+        |t| -> Result<Option<usize>, StorageError> {
+            let pool = pipeline.sequence_with(&backend, &unit, 0, scenario.trial_seed(t));
+            for (i, &cov) in candidates.iter().enumerate() {
+                let clusters = pool.at_coverage(cov);
+                let (decoded, report) = pipeline.decode_unit_with(&clusters, retrieve)?;
+                if report.is_error_free() && decoded == expected {
+                    return Ok(Some(i));
+                }
             }
-        } else {
-            CoverageModel::Fixed(max_cov.round() as usize)
-        };
-        let pool = pipeline.sequence(&unit, model, coverage_model, opts.seed ^ (t as u64) << 17);
-        for (i, &cov) in opts.coverages.iter().enumerate() {
-            let clusters = pool.at_coverage(cov);
-            let (decoded, report) = pipeline.decode_unit_with(&clusters, &retrieve)?;
-            if report.is_error_free() && decoded == expected {
-                return Ok(Some(i));
-            }
-        }
-        Ok(None)
-    });
+            Ok(None)
+        },
+    );
     let mut worst = 0usize;
     for first in firsts {
         match first? {
@@ -104,7 +83,7 @@ pub fn min_coverage(
             None => return Ok(None),
         }
     }
-    Ok(Some(opts.coverages[worst]))
+    Ok(Some(candidates[worst]))
 }
 
 /// One point of a quality-versus-coverage sweep.
@@ -118,10 +97,10 @@ pub struct QualityPoint {
     pub failed_decodes: usize,
 }
 
-/// Sweeps coverage for an archive and reports the mean quality loss per
-/// point (paper Figs. 14/16). `eval(original, decoded)` returns the loss
-/// in dB; `decoded` is `None` when the directory was unrecoverable
-/// (catastrophic loss — eval decides the penalty).
+/// Sweeps `scenario.coverages` for an archive and reports the mean
+/// quality loss per point (paper Figs. 14/16). `eval(original, decoded)`
+/// returns the loss in dB; `decoded` is `None` when the directory was
+/// unrecoverable (catastrophic loss — eval decides the penalty).
 ///
 /// # Errors
 ///
@@ -129,42 +108,35 @@ pub struct QualityPoint {
 pub fn quality_sweep<F>(
     codec: &ArchiveCodec,
     archive: &Archive,
-    model: ErrorModel,
-    coverages: &[f64],
-    trials: usize,
-    seed: u64,
+    scenario: &Scenario,
     eval: F,
 ) -> Result<Vec<QualityPoint>, StorageError>
 where
     F: Fn(&Archive, Option<&Archive>) -> f64 + Sync,
 {
     let units = codec.encode(archive)?;
-    let max_cov = coverages.iter().copied().fold(1.0f64, f64::max);
-    let per_trial = parallel_map(trials, |t| -> Result<Vec<(f64, bool)>, StorageError> {
-        let pools = codec.sequence(
-            &units,
-            model,
-            CoverageModel::Gamma {
-                mean: max_cov,
-                shape: 6.0,
-            },
-            seed ^ (t as u64) << 13,
-        );
-        let mut out = Vec::with_capacity(coverages.len());
-        for &cov in coverages {
-            let clusters: Vec<Vec<Cluster>> =
-                pools.iter().map(|p| p.at_coverage(cov)).collect();
-            match codec.decode(&clusters, &RetrieveOptions::default()) {
-                Ok((decoded, _)) => out.push((eval(archive, Some(&decoded)), false)),
-                Err(StorageError::DirectoryUnreadable) => {
-                    out.push((eval(archive, None), true));
+    let backend = scenario.backend();
+    let per_trial = parallel_map(
+        scenario.trials,
+        |t| -> Result<Vec<(f64, bool)>, StorageError> {
+            let pools = codec.sequence_with(&backend, &units, scenario.trial_seed(t));
+            let mut out = Vec::with_capacity(scenario.coverages.len());
+            for &cov in &scenario.coverages {
+                let clusters: Vec<Vec<Cluster>> =
+                    pools.iter().map(|p| p.at_coverage(cov)).collect();
+                match codec.decode(&clusters, &RetrieveOptions::default()) {
+                    Ok((decoded, _)) => out.push((eval(archive, Some(&decoded)), false)),
+                    Err(StorageError::DirectoryUnreadable) => {
+                        out.push((eval(archive, None), true));
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
             }
-        }
-        Ok(out)
-    });
-    let mut points: Vec<QualityPoint> = coverages
+            Ok(out)
+        },
+    );
+    let mut points: Vec<QualityPoint> = scenario
+        .coverages
         .iter()
         .map(|&coverage| QualityPoint {
             coverage,
@@ -187,65 +159,24 @@ where
     Ok(points)
 }
 
-/// Runs `f(0..n)` across threads, preserving order.
-fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut rest: &mut [Option<T>] = &mut results;
-        let mut handles = Vec::new();
-        for tid in 0..threads {
-            let lo = tid * chunk;
-            let hi = ((tid + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
-            }
-            let (mine, tail) = rest.split_at_mut(hi - lo);
-            rest = tail;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                for (off, slot) in mine.iter_mut().enumerate() {
-                    *slot = Some(f(lo + off));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("experiment worker panicked");
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::archive::{FileEntry, RankingPolicy};
     use crate::params::CodecParams;
     use crate::pipeline::Layout;
+    use dna_channel::ErrorModel;
 
     #[test]
     fn min_coverage_is_one_for_noiseless_channel() {
         let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
         let payload: Vec<u8> = (0..30).collect();
-        let opts = MinCoverageOptions {
-            coverages: vec![1.0, 2.0, 3.0],
-            trials: 3,
-            seed: 5,
-            gamma: false,
-            forced_erasures: vec![],
-        };
-        let got = min_coverage(&pipeline, &payload, ErrorModel::noiseless(), &opts).unwrap();
+        let scenario = Scenario::new(ErrorModel::noiseless())
+            .coverages([1.0, 2.0, 3.0])
+            .trials(3)
+            .seed(5)
+            .fixed_coverage();
+        let got = min_coverage(&pipeline, &payload, &scenario).unwrap();
         assert_eq!(got, Some(1.0));
     }
 
@@ -253,34 +184,49 @@ mod tests {
     fn min_coverage_none_when_noise_overwhelms() {
         let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
         let payload: Vec<u8> = (0..30).collect();
-        let opts = MinCoverageOptions {
-            coverages: vec![2.0, 3.0],
-            trials: 2,
-            seed: 6,
-            gamma: false,
-            forced_erasures: vec![],
-        };
-        let got = min_coverage(&pipeline, &payload, ErrorModel::uniform(0.30), &opts).unwrap();
+        let scenario = Scenario::new(ErrorModel::uniform(0.30))
+            .coverages([2.0, 3.0])
+            .trials(2)
+            .seed(6)
+            .fixed_coverage();
+        let got = min_coverage(&pipeline, &payload, &scenario).unwrap();
         assert_eq!(got, None);
     }
 
     #[test]
+    fn min_coverage_empty_scenario_yields_none() {
+        let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30).collect();
+        let no_coverages = Scenario::new(ErrorModel::noiseless()).coverages([]);
+        assert_eq!(
+            min_coverage(&pipeline, &payload, &no_coverages).unwrap(),
+            None
+        );
+        let no_trials = Scenario::new(ErrorModel::noiseless()).trials(0);
+        assert_eq!(min_coverage(&pipeline, &payload, &no_trials).unwrap(), None);
+    }
+
+    #[test]
     fn min_coverage_rises_with_error_rate() {
-        let pipeline =
-            Pipeline::new(CodecParams::tiny().unwrap(), Layout::Gini { excluded_rows: vec![] })
-                .unwrap();
+        let pipeline = Pipeline::new(
+            CodecParams::tiny().unwrap(),
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+        )
+        .unwrap();
         let payload: Vec<u8> = (0..30).map(|i| i * 7).collect();
-        let opts = MinCoverageOptions {
-            coverages: (1..=25).map(f64::from).collect(),
-            trials: 4,
-            seed: 7,
-            gamma: false,
-            forced_erasures: vec![],
+        let scenario = |model| {
+            Scenario::new(model)
+                .coverage_range(1, 25)
+                .trials(4)
+                .seed(7)
+                .fixed_coverage()
         };
-        let low = min_coverage(&pipeline, &payload, ErrorModel::uniform(0.02), &opts)
+        let low = min_coverage(&pipeline, &payload, &scenario(ErrorModel::uniform(0.02)))
             .unwrap()
             .expect("low noise decodable");
-        let high = min_coverage(&pipeline, &payload, ErrorModel::uniform(0.10), &opts)
+        let high = min_coverage(&pipeline, &payload, &scenario(ErrorModel::uniform(0.10)))
             .unwrap()
             .expect("high noise decodable");
         assert!(high > low, "high-noise coverage {high} vs low-noise {low}");
@@ -291,13 +237,14 @@ mod tests {
         let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::DnaMapper).unwrap();
         let codec = ArchiveCodec::new(pipeline, RankingPolicy::PositionPriority);
         let archive = Archive::new(vec![FileEntry::new("f", (0..60u8).collect())]).unwrap();
+        let scenario = Scenario::new(ErrorModel::uniform(0.08))
+            .coverages([2.0, 12.0])
+            .trials(4)
+            .seed(8);
         let points = quality_sweep(
             &codec,
             &archive,
-            ErrorModel::uniform(0.08),
-            &[2.0, 12.0],
-            4,
-            8,
+            &scenario,
             |original, decoded| match decoded {
                 Some(d) => {
                     let orig = &original.files()[0].bytes;

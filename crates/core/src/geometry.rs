@@ -53,7 +53,9 @@ impl CodewordGeometry for RowGeometry {
 
     fn codeword_positions(&self, k: usize) -> Vec<(usize, usize)> {
         assert!(k < self.rows, "codeword index out of range");
-        (0..self.data_cols + self.parity_cols).map(|c| (k, c)).collect()
+        (0..self.data_cols + self.parity_cols)
+            .map(|c| (k, c))
+            .collect()
     }
 }
 

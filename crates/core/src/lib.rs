@@ -25,8 +25,10 @@
 //! use dna_channel::{CoverageModel, ErrorModel};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let params = CodecParams::tiny()?; // GF(16) geometry for fast tests
-//! let pipeline = Pipeline::new(params, Layout::Gini { excluded_rows: vec![] })?;
+//! let pipeline = Pipeline::builder()
+//!     .params(CodecParams::tiny()?) // GF(16) geometry for fast tests
+//!     .layout(Layout::Gini { excluded_rows: vec![] })
+//!     .build()?;
 //! let payload = vec![0xAB; pipeline.payload_capacity()];
 //!
 //! let unit = pipeline.encode_unit(&payload)?;
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod archive;
+mod builder;
 mod experiment;
 mod geometry;
 mod mapper;
@@ -49,15 +52,18 @@ mod matrix;
 mod params;
 mod pipeline;
 mod report;
+mod scenario;
 
 pub use archive::{Archive, ArchiveCodec, FileEntry, RankingPolicy};
-pub use experiment::{min_coverage, quality_sweep, MinCoverageOptions, QualityPoint};
+pub use builder::PipelineBuilder;
+pub use experiment::{min_coverage, min_coverage_with, quality_sweep, QualityPoint};
 pub use geometry::{CodewordGeometry, DiagonalGeometry, RowGeometry};
 pub use mapper::{BaselineMapper, DataMapper, PriorityMapper};
 pub use matrix::SymbolMatrix;
 pub use params::CodecParams;
 pub use pipeline::{EncodedUnit, Layout, Pipeline, RetrieveOptions};
 pub use report::{CodewordReport, DecodeReport};
+pub use scenario::{Scenario, GAMMA_SHAPE};
 
 use std::error::Error;
 use std::fmt;

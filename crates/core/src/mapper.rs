@@ -49,7 +49,7 @@ impl PriorityMapper {
     /// groups descend from the bottom, odd groups ascend from the top.
     pub fn row_for_group(g: usize, rows: usize) -> usize {
         assert!(g < rows, "priority group out of range");
-        if g % 2 == 0 {
+        if g.is_multiple_of(2) {
             rows - 1 - g / 2
         } else {
             (g - 1) / 2
@@ -83,8 +83,7 @@ mod tests {
     use std::collections::HashSet;
 
     fn check_bijection(mapper: &dyn DataMapper, rows: usize, cols: usize) {
-        let cells: HashSet<(usize, usize)> =
-            mapper.placement(rows, cols).into_iter().collect();
+        let cells: HashSet<(usize, usize)> = mapper.placement(rows, cols).into_iter().collect();
         assert_eq!(cells.len(), rows * cols, "placement is not a bijection");
         assert!(cells.iter().all(|&(r, c)| r < rows && c < cols));
     }
@@ -106,10 +105,14 @@ mod tests {
     #[test]
     fn priority_rows_follow_figure_9() {
         // 6 rows: group order bottom, top, 2nd-bottom, 2nd-top, …
-        let order: Vec<usize> = (0..6).map(|g| PriorityMapper::row_for_group(g, 6)).collect();
+        let order: Vec<usize> = (0..6)
+            .map(|g| PriorityMapper::row_for_group(g, 6))
+            .collect();
         assert_eq!(order, vec![5, 0, 4, 1, 3, 2]);
         // Odd row count: middle row is last.
-        let order5: Vec<usize> = (0..5).map(|g| PriorityMapper::row_for_group(g, 5)).collect();
+        let order5: Vec<usize> = (0..5)
+            .map(|g| PriorityMapper::row_for_group(g, 5))
+            .collect();
         assert_eq!(order5, vec![4, 0, 3, 1, 2]);
     }
 
@@ -118,7 +121,11 @@ mod tests {
         for rows in [1usize, 2, 5, 6, 30, 82] {
             for g in 0..rows {
                 let r = PriorityMapper::row_for_group(g, rows);
-                assert_eq!(PriorityMapper::group_for_row(r, rows), g, "rows={rows} g={g}");
+                assert_eq!(
+                    PriorityMapper::group_for_row(r, rows),
+                    g,
+                    "rows={rows} g={g}"
+                );
             }
         }
     }

@@ -36,7 +36,10 @@ impl SymbolMatrix {
     /// Panics when out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> u16 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -47,7 +50,10 @@ impl SymbolMatrix {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: u16) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 

@@ -54,7 +54,7 @@ impl CodecParams {
                 field.group_order()
             )));
         }
-        if index_bits == 0 || index_bits % 2 != 0 || index_bits > 32 {
+        if index_bits == 0 || !index_bits.is_multiple_of(2) || index_bits > 32 {
             return Err(StorageError::InvalidParams(format!(
                 "index width {index_bits} must be even and within 2..=32"
             )));
@@ -64,7 +64,7 @@ impl CodecParams {
                 "index width {index_bits} cannot address {cols} columns"
             )));
         }
-        if (rows * usize::from(field.width())) % 8 != 0 {
+        if !(rows * usize::from(field.width())).is_multiple_of(8) {
             return Err(StorageError::InvalidParams(format!(
                 "rows ({rows}) × symbol width ({}) must be byte-aligned",
                 field.width()

@@ -1,20 +1,22 @@
-//! The end-to-end single-unit pipeline: payload → matrix → strands →
-//! channel → clusters → consensus → Reed–Solomon → payload.
+//! The end-to-end pipeline: payload → matrix → strands → sequencing
+//! backend → clusters → consensus → Reed–Solomon → payload, for single
+//! units and deterministic parallel batches.
 
-use crate::geometry::{CodewordGeometry, DiagonalGeometry, RowGeometry};
-use crate::mapper::{BaselineMapper, DataMapper, PriorityMapper};
+use crate::builder::PipelineBuilder;
+use crate::geometry::CodewordGeometry;
+use crate::mapper::DataMapper;
 use crate::matrix::SymbolMatrix;
 use crate::params::CodecParams;
 use crate::report::{CodewordReport, DecodeReport};
 use crate::StorageError;
 use dna_align::edit_distance_bounded;
-use dna_channel::{Cluster, CoverageModel, ErrorModel, IdsChannel, ReadPool};
-use dna_consensus::{BmaTwoWay, TraceReconstructor};
+use dna_channel::{
+    Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend, SimulatedSequencer,
+};
+use dna_consensus::TraceReconstructor;
 use dna_reed_solomon::{ReedSolomon, RsError};
 use dna_strand::codec::DirectCodec;
-use dna_strand::{bits, decode_index, encode_index, DnaString, Primer, PrimerLibrary};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dna_strand::{bits, decode_index, encode_index, DnaString, Primer};
 use std::sync::Arc;
 
 /// Which of the paper's data organizations a unit uses.
@@ -86,7 +88,8 @@ pub struct RetrieveOptions {
     pub trust_cluster_sources: bool,
 }
 
-/// The single-unit storage pipeline.
+/// The storage pipeline: encodes payload units into molecules and decodes
+/// clustered reads back, one unit at a time or in parallel batches.
 #[derive(Clone)]
 pub struct Pipeline {
     params: CodecParams,
@@ -96,6 +99,7 @@ pub struct Pipeline {
     rs: Option<ReedSolomon>,
     consensus: Arc<dyn TraceReconstructor + Send + Sync>,
     primers: Option<(Primer, Primer)>,
+    default_retrieve: RetrieveOptions,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -109,62 +113,46 @@ impl std::fmt::Debug for Pipeline {
 }
 
 impl Pipeline {
-    /// Builds a pipeline for `params` with the given `layout`, two-sided
-    /// BMA consensus (the paper's choice, §6.1.2), and deterministic
-    /// primers when `params.primer_len() > 0`.
+    /// Starts a fluent, validated [`PipelineBuilder`] — the primary
+    /// construction path.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::new()
+    }
+
+    /// Shorthand for [`Pipeline::builder`] with `params` and `layout` set:
+    /// two-sided BMA consensus (the paper's choice, §6.1.2) and
+    /// deterministic primers when `params.primer_len() > 0`.
     ///
     /// # Errors
     ///
     /// Returns [`StorageError`] when the RS code or primers cannot be
     /// constructed for these parameters.
     pub fn new(params: CodecParams, layout: Layout) -> Result<Pipeline, StorageError> {
-        let geometry: Arc<dyn CodewordGeometry + Send + Sync> = match &layout {
-            Layout::Gini { excluded_rows } => Arc::new(DiagonalGeometry::new(
-                params.rows(),
-                params.data_cols(),
-                params.parity_cols(),
-                excluded_rows,
-            )),
-            _ => Arc::new(RowGeometry::new(
-                params.rows(),
-                params.data_cols(),
-                params.parity_cols(),
-            )),
-        };
-        let mapper: Arc<dyn DataMapper + Send + Sync> = match &layout {
-            Layout::DnaMapper => Arc::new(PriorityMapper),
-            _ => Arc::new(BaselineMapper),
-        };
-        let rs = if params.parity_cols() > 0 {
-            Some(ReedSolomon::new(
-                params.field().clone(),
-                params.data_cols(),
-                params.parity_cols(),
-            )?)
-        } else {
-            None
-        };
-        let primers = if params.primer_len() > 0 {
-            let mut rng = StdRng::seed_from_u64(0xD2_A7_2022);
-            let lib = PrimerLibrary::generate(
-                2,
-                params.primer_len(),
-                params.primer_len() / 3,
-                &mut rng,
-            )?;
-            Some((lib.primers()[0].clone(), lib.primers()[1].clone()))
-        } else {
-            None
-        };
-        Ok(Pipeline {
+        Pipeline::builder().params(params).layout(layout).build()
+    }
+
+    /// Assembles a pipeline from parts validated by the builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        params: CodecParams,
+        layout: Layout,
+        geometry: Arc<dyn CodewordGeometry + Send + Sync>,
+        mapper: Arc<dyn DataMapper + Send + Sync>,
+        rs: Option<ReedSolomon>,
+        consensus: Arc<dyn TraceReconstructor + Send + Sync>,
+        primers: Option<(Primer, Primer)>,
+        default_retrieve: RetrieveOptions,
+    ) -> Pipeline {
+        Pipeline {
             params,
             layout,
             geometry,
             mapper,
             rs,
-            consensus: Arc::new(BmaTwoWay::default()),
+            consensus,
             primers,
-        })
+            default_retrieve,
+        }
     }
 
     /// Replaces the consensus algorithm (e.g. the iterative reconstructor).
@@ -189,6 +177,12 @@ impl Pipeline {
     /// Bytes of payload one unit holds.
     pub fn payload_capacity(&self) -> usize {
         self.params.payload_bytes()
+    }
+
+    /// The default [`RetrieveOptions`] applied by [`Pipeline::decode_unit`]
+    /// and [`Pipeline::decode_batch`].
+    pub fn decode_options(&self) -> &RetrieveOptions {
+        &self.default_retrieve
     }
 
     /// Encodes `payload` (at most [`Pipeline::payload_capacity`] bytes;
@@ -223,7 +217,10 @@ impl Pipeline {
             let m_cols = self.params.data_cols();
             for k in 0..self.geometry.codeword_count() {
                 let pos = self.geometry.codeword_positions(k);
-                let data: Vec<u16> = pos[..m_cols].iter().map(|&(r, c)| matrix.get(r, c)).collect();
+                let data: Vec<u16> = pos[..m_cols]
+                    .iter()
+                    .map(|&(r, c)| matrix.get(r, c))
+                    .collect();
                 let cw = rs.encode(&data)?;
                 for (i, &(r, c)) in pos[m_cols..].iter().enumerate() {
                     matrix.set(r, c, cw[m_cols + i]);
@@ -239,11 +236,7 @@ impl Pipeline {
             }
             strand.extend(encode_index(c as u32, self.params.index_bits())?.into_bases());
             for r in 0..self.params.rows() {
-                strand.extend(
-                    DirectCodec
-                        .encode_symbol(matrix.get(r, c), m)?
-                        .into_bases(),
-                );
+                strand.extend(DirectCodec.encode_symbol(matrix.get(r, c), m)?.into_bases());
             }
             if let Some((_, right)) = &self.primers {
                 strand.extend(right.strand().iter().copied());
@@ -254,9 +247,45 @@ impl Pipeline {
         Ok(EncodedUnit { strands })
     }
 
-    /// Simulates synthesis + sequencing of a unit: a [`ReadPool`] holding
-    /// noisy reads per molecule at up to `coverage`'s mean, supporting the
-    /// paper's progressive coverage draws.
+    /// Encodes many payload units in parallel across scoped threads.
+    ///
+    /// Results are byte-identical to calling [`Pipeline::encode_unit`] on
+    /// each payload in order, at any thread count (`DNA_SKEW_THREADS`
+    /// caps the fan-out).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) per-unit error, as the serial
+    /// loop would.
+    pub fn encode_batch<P: AsRef<[u8]> + Sync>(
+        &self,
+        payloads: &[P],
+    ) -> Result<Vec<EncodedUnit>, StorageError> {
+        dna_parallel::parallel_map(payloads.len(), |u| self.encode_unit(payloads[u].as_ref()))
+            .into_iter()
+            .collect()
+    }
+
+    /// Splits one oversized payload into unit-capacity chunks (the last
+    /// chunk zero-padded) and encodes them as a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-unit encoding errors.
+    pub fn encode_chunked(&self, payload: &[u8]) -> Result<Vec<EncodedUnit>, StorageError> {
+        let cap = self.payload_capacity().max(1);
+        let chunks: Vec<&[u8]> = if payload.is_empty() {
+            vec![&[]]
+        } else {
+            payload.chunks(cap).collect()
+        };
+        self.encode_batch(&chunks)
+    }
+
+    /// Simulates synthesis + sequencing of a unit through a
+    /// [`SimulatedSequencer`] backend: a [`ReadPool`] holding noisy reads
+    /// per molecule at up to `coverage`'s mean, supporting the paper's
+    /// progressive coverage draws.
     pub fn sequence(
         &self,
         unit: &EncodedUnit,
@@ -264,19 +293,51 @@ impl Pipeline {
         coverage: CoverageModel,
         seed: u64,
     ) -> ReadPool {
-        let channel = IdsChannel::new(model);
-        ReadPool::generate(&unit.strands, &channel, coverage, seed)
+        self.sequence_with(&SimulatedSequencer::new(model, coverage), unit, 0, seed)
     }
 
-    /// Decodes one unit from its clusters with default options.
+    /// Produces a unit's read pool through any [`SequencingBackend`]
+    /// (simulator, trace replay, …). `unit_index` identifies the unit
+    /// within a batch (0 for single-unit workloads).
+    pub fn sequence_with(
+        &self,
+        backend: &dyn SequencingBackend,
+        unit: &EncodedUnit,
+        unit_index: usize,
+        seed: u64,
+    ) -> ReadPool {
+        backend.sequence_unit(unit_index, &unit.strands, seed)
+    }
+
+    /// Produces read pools for a whole batch of units through `backend`,
+    /// fanning units out across scoped threads. Deterministic in the seed
+    /// regardless of thread count: unit `u` always sees
+    /// [`dna_channel::unit_seed`]`(seed, u)`.
+    pub fn sequence_batch(
+        &self,
+        backend: &dyn SequencingBackend,
+        units: &[EncodedUnit],
+        seed: u64,
+    ) -> Vec<ReadPool> {
+        dna_parallel::parallel_map(units.len(), |u| {
+            backend.sequence_unit(u, &units[u].strands, seed)
+        })
+    }
+
+    /// Decodes one unit from its clusters with this pipeline's default
+    /// [`RetrieveOptions`] (set via
+    /// [`PipelineBuilder::decode_options`](crate::PipelineBuilder::decode_options)).
     ///
     /// # Errors
     ///
     /// Returns [`StorageError`] on substrate failures; codeword decode
     /// failures are *not* errors — they are recorded in the report and the
     /// affected symbols pass through uncorrected (graceful degradation).
-    pub fn decode_unit(&self, clusters: &[Cluster]) -> Result<(Vec<u8>, DecodeReport), StorageError> {
-        self.decode_unit_with(clusters, &RetrieveOptions::default())
+    pub fn decode_unit(
+        &self,
+        clusters: &[Cluster],
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        self.decode_unit_with(clusters, &self.default_retrieve)
     }
 
     /// Decodes one unit with explicit [`RetrieveOptions`].
@@ -311,7 +372,10 @@ impl Pipeline {
             let idx = if opts.trust_cluster_sources {
                 cluster.source as u32
             } else {
-                decode_index(strand.slice(0, index_bases).as_slice(), self.params.index_bits())?
+                decode_index(
+                    strand.slice(0, index_bases).as_slice(),
+                    self.params.index_bits(),
+                )?
             };
             let idx = idx as usize;
             if idx >= cols {
@@ -396,6 +460,40 @@ impl Pipeline {
         Ok((payload, report))
     }
 
+    /// Decodes many units in parallel across scoped threads with this
+    /// pipeline's default [`RetrieveOptions`].
+    ///
+    /// Results are byte-identical to calling [`Pipeline::decode_unit`] on
+    /// each cluster set in order, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) per-unit substrate error, as the
+    /// serial loop would; codeword failures degrade gracefully per unit.
+    pub fn decode_batch(
+        &self,
+        per_unit_clusters: &[Vec<Cluster>],
+    ) -> Result<Vec<(Vec<u8>, DecodeReport)>, StorageError> {
+        self.decode_batch_with(per_unit_clusters, &self.default_retrieve)
+    }
+
+    /// [`Pipeline::decode_batch`] with explicit [`RetrieveOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::decode_batch`].
+    pub fn decode_batch_with(
+        &self,
+        per_unit_clusters: &[Vec<Cluster>],
+        opts: &RetrieveOptions,
+    ) -> Result<Vec<(Vec<u8>, DecodeReport)>, StorageError> {
+        dna_parallel::parallel_map(per_unit_clusters.len(), |u| {
+            self.decode_unit_with(&per_unit_clusters[u], opts)
+        })
+        .into_iter()
+        .collect()
+    }
+
     /// Drops reads that fail the primer check (when primers are enabled):
     /// the read must begin with something close to the left primer.
     fn filter_reads(&self, cluster: &Cluster) -> Vec<DnaString> {
@@ -409,8 +507,12 @@ impl Pipeline {
             .iter()
             .filter(|read| {
                 let prefix = read.slice(0, (p + slack / 2).min(read.len()));
-                edit_distance_bounded(left.strand().as_slice(), prefix.as_slice(), slack + slack / 2)
-                    .is_some()
+                edit_distance_bounded(
+                    left.strand().as_slice(),
+                    prefix.as_slice(),
+                    slack + slack / 2,
+                )
+                .is_some()
             })
             .cloned()
             .collect()
@@ -421,7 +523,12 @@ impl Pipeline {
 mod tests {
     use super::*;
 
-    fn roundtrip(layout: Layout, p: f64, coverage: usize, seed: u64) -> (Vec<u8>, Vec<u8>, DecodeReport) {
+    fn roundtrip(
+        layout: Layout,
+        p: f64,
+        coverage: usize,
+        seed: u64,
+    ) -> (Vec<u8>, Vec<u8>, DecodeReport) {
         let params = CodecParams::tiny().unwrap();
         let pipeline = Pipeline::new(params, layout).unwrap();
         let payload: Vec<u8> = (0..pipeline.payload_capacity())
@@ -434,7 +541,7 @@ mod tests {
             CoverageModel::Fixed(coverage),
             seed,
         );
-        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
         (payload, decoded, report)
     }
 
@@ -442,8 +549,12 @@ mod tests {
     fn noiseless_round_trip_all_layouts() {
         for layout in [
             Layout::Baseline,
-            Layout::Gini { excluded_rows: vec![] },
-            Layout::Gini { excluded_rows: vec![0, 5] },
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+            Layout::Gini {
+                excluded_rows: vec![0, 5],
+            },
             Layout::DnaMapper,
         ] {
             let (original, decoded, report) = roundtrip(layout.clone(), 0.0, 1, 1);
@@ -455,7 +566,13 @@ mod tests {
 
     #[test]
     fn noisy_round_trip_corrects_errors() {
-        for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }, Layout::DnaMapper] {
+        for layout in [
+            Layout::Baseline,
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+            Layout::DnaMapper,
+        ] {
             let (original, decoded, report) = roundtrip(layout.clone(), 0.02, 10, 2);
             assert_eq!(original, decoded, "layout {:?}", layout);
             assert!(report.is_error_free());
@@ -468,7 +585,10 @@ mod tests {
         let pipeline = Pipeline::new(params.clone(), Layout::Baseline).unwrap();
         let unit = pipeline.encode_unit(&[1, 2, 3]).unwrap();
         assert_eq!(unit.len(), params.cols());
-        assert!(unit.strands().iter().all(|s| s.len() == params.strand_bases()));
+        assert!(unit
+            .strands()
+            .iter()
+            .all(|s| s.len() == params.strand_bases()));
         assert_eq!(unit.total_bases(), params.cols() * params.strand_bases());
     }
 
@@ -485,16 +605,17 @@ mod tests {
     #[test]
     fn lost_molecules_become_erasures_and_are_recovered() {
         let params = CodecParams::tiny().unwrap(); // E = 5
-        for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }] {
+        for layout in [
+            Layout::Baseline,
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+        ] {
             let pipeline = Pipeline::new(params.clone(), layout.clone()).unwrap();
             let payload: Vec<u8> = (0..30).collect();
             let unit = pipeline.encode_unit(&payload).unwrap();
-            let pool = pipeline.sequence(
-                &unit,
-                ErrorModel::noiseless(),
-                CoverageModel::Fixed(3),
-                3,
-            );
+            let pool =
+                pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 3);
             let mut clusters = pool.clusters().to_vec();
             // Lose 5 molecules = E erasures per codeword: still decodable.
             for c in [0usize, 3, 7, 11, 14] {
@@ -515,8 +636,8 @@ mod tests {
         let unit = pipeline.encode_unit(&payload).unwrap();
         let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 4);
         let mut clusters = pool.clusters().to_vec();
-        for c in 0..6 {
-            clusters[c].reads.clear();
+        for cluster in clusters.iter_mut().take(6) {
+            cluster.reads.clear();
         }
         let (_, report) = pipeline.decode_unit(&clusters).unwrap();
         assert!(!report.is_error_free());
@@ -527,7 +648,13 @@ mod tests {
     fn forced_erasures_reduce_effective_redundancy() {
         // The Fig. 13 mechanism: erasing parity molecules on purpose.
         let params = CodecParams::tiny().unwrap();
-        let pipeline = Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] }).unwrap();
+        let pipeline = Pipeline::new(
+            params.clone(),
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+        )
+        .unwrap();
         let payload: Vec<u8> = (0..30).map(|i| i * 3).collect();
         let unit = pipeline.encode_unit(&payload).unwrap();
         let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 5);
@@ -535,9 +662,7 @@ mod tests {
             forced_erasures: vec![10, 11, 12], // 3 of the 5 parity molecules
             ..RetrieveOptions::default()
         };
-        let (decoded, report) = pipeline
-            .decode_unit_with(&pool.clusters().to_vec(), &opts)
-            .unwrap();
+        let (decoded, report) = pipeline.decode_unit_with(pool.clusters(), &opts).unwrap();
         assert_eq!(decoded[..30], payload[..]);
         assert!(report.is_error_free());
         assert_eq!(report.lost_columns, 3);
@@ -550,7 +675,7 @@ mod tests {
         let payload: Vec<u8> = (0..36).collect();
         let unit = pipeline.encode_unit(&payload).unwrap();
         let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(2), 6);
-        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
         assert_eq!(decoded[..36], payload[..]);
         assert_eq!(report.codewords.len(), 6);
     }
@@ -561,9 +686,12 @@ mod tests {
         let pipeline = Pipeline::new(params.clone(), Layout::Baseline).unwrap();
         let payload: Vec<u8> = (100..130).collect();
         let unit = pipeline.encode_unit(&payload).unwrap();
-        assert!(unit.strands().iter().all(|s| s.len() == params.strand_bases()));
+        assert!(unit
+            .strands()
+            .iter()
+            .all(|s| s.len() == params.strand_bases()));
         let pool = pipeline.sequence(&unit, ErrorModel::ngs(0.003), CoverageModel::Fixed(6), 7);
-        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
         assert_eq!(decoded[..30], payload[..]);
         assert!(report.is_error_free());
     }
@@ -602,21 +730,34 @@ mod tests {
     fn gini_flattens_per_codeword_error_distribution() {
         // The defining Fig. 11 property at unit-test scale: the max/mean
         // ratio of corrected symbols per codeword is much larger for the
-        // baseline than for Gini.
+        // baseline than for Gini. Aggregated over a few noise
+        // realizations so the single-trial extremum noise averages out.
         let params = CodecParams::new(dna_gf::Field::gf256(), 16, 100, 24, 8).unwrap();
-        let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 251) as u8).collect();
+        let payload: Vec<u8> = (0..params.payload_bytes())
+            .map(|i| (i % 251) as u8)
+            .collect();
         let mut ratios = Vec::new();
-        for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }] {
+        for layout in [
+            Layout::Baseline,
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+        ] {
             let pipeline = Pipeline::new(params.clone(), layout).unwrap();
             let unit = pipeline.encode_unit(&payload).unwrap();
-            let pool = pipeline.sequence(
-                &unit,
-                ErrorModel::uniform(0.09),
-                CoverageModel::Fixed(14),
-                8,
-            );
-            let (_, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
-            let per_cw = report.corrected_per_codeword();
+            let mut per_cw = vec![0usize; params.rows()];
+            for seed in 0..4u64 {
+                let pool = pipeline.sequence(
+                    &unit,
+                    ErrorModel::uniform(0.09),
+                    CoverageModel::Fixed(14),
+                    8 + seed,
+                );
+                let (_, report) = pipeline.decode_unit(pool.clusters()).unwrap();
+                for (k, c) in report.corrected_per_codeword().iter().enumerate() {
+                    per_cw[k] += c;
+                }
+            }
             let max = *per_cw.iter().max().unwrap() as f64;
             let mean = per_cw.iter().sum::<usize>() as f64 / per_cw.len() as f64;
             assert!(mean > 0.0, "no errors corrected — noise too low to measure");

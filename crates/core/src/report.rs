@@ -49,12 +49,18 @@ impl DecodeReport {
 
     /// Total corrected symbols across codewords.
     pub fn total_corrected(&self) -> usize {
-        self.codewords.iter().map(CodewordReport::corrected_symbols).sum()
+        self.codewords
+            .iter()
+            .map(CodewordReport::corrected_symbols)
+            .sum()
     }
 
     /// Per-codeword corrected-symbol counts (the Fig. 11 series).
     pub fn corrected_per_codeword(&self) -> Vec<usize> {
-        self.codewords.iter().map(CodewordReport::corrected_symbols).collect()
+        self.codewords
+            .iter()
+            .map(CodewordReport::corrected_symbols)
+            .collect()
     }
 }
 

@@ -1,0 +1,213 @@
+//! The [`Scenario`] descriptor: one shared vocabulary for "run the
+//! pipeline under these channel conditions".
+//!
+//! Every experiment in the paper is the same loop — pick an error model,
+//! a coverage model, a sweep of coverages, a trial count, and a seed —
+//! yet each bench target, example, and CLI subcommand used to re-wire
+//! that glue by hand. A `Scenario` names the whole operating point once
+//! and hands out the derived pieces: the pool-generation coverage model,
+//! per-trial seeds, and a ready-made [`SimulatedSequencer`] backend.
+
+use dna_channel::{CoverageModel, ErrorModel, SimulatedSequencer};
+
+/// The default Gamma shape used across the paper's experiments (§6.1.2).
+pub const GAMMA_SHAPE: f64 = 6.0;
+
+/// One channel operating point: error model + coverage draw + sweep +
+/// trials + seed.
+///
+/// # Examples
+///
+/// ```
+/// use dna_storage::Scenario;
+/// use dna_channel::ErrorModel;
+///
+/// let scenario = Scenario::new(ErrorModel::uniform(0.06))
+///     .coverage_range(2, 30)
+///     .trials(5)
+///     .seed(11);
+/// assert_eq!(scenario.max_coverage(), 30.0);
+/// assert_ne!(scenario.trial_seed(0), scenario.trial_seed(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Per-base IDS error rates.
+    pub model: ErrorModel,
+    /// The sweep's mean coverages. Pools are generated at the maximum and
+    /// progressively drawn down (paper §6.1.2).
+    pub coverages: Vec<f64>,
+    /// Draw cluster sizes from a Gamma distribution (the realistic mode);
+    /// `false` uses fixed per-cluster coverage.
+    pub gamma: bool,
+    /// Independent noise realizations per measured point.
+    pub trials: usize,
+    /// Base RNG seed; trial `t` derives its own stream via
+    /// [`Scenario::trial_seed`].
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: coverages 3–30, Gamma
+    /// cluster sizes, 5 trials, seed 1.
+    pub fn new(model: ErrorModel) -> Scenario {
+        Scenario {
+            model,
+            coverages: (3..=30).map(f64::from).collect(),
+            gamma: true,
+            trials: 5,
+            seed: 1,
+        }
+    }
+
+    /// Replaces the coverage sweep. The caller's order is preserved —
+    /// quality sweeps report points in it; [`min_coverage`] scans
+    /// candidates ascending regardless.
+    ///
+    /// [`min_coverage`]: crate::min_coverage
+    pub fn coverages(mut self, coverages: impl IntoIterator<Item = f64>) -> Scenario {
+        self.coverages = coverages.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the integer coverages `lo..=hi`.
+    pub fn coverage_range(self, lo: u32, hi: u32) -> Scenario {
+        self.coverages((lo..=hi).map(f64::from))
+    }
+
+    /// Measures a single coverage point.
+    pub fn single_coverage(self, coverage: f64) -> Scenario {
+        self.coverages([coverage])
+    }
+
+    /// Sets the trial count.
+    pub fn trials(mut self, trials: usize) -> Scenario {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses fixed per-cluster coverage instead of Gamma draws.
+    pub fn fixed_coverage(mut self) -> Scenario {
+        self.gamma = false;
+        self
+    }
+
+    /// Uses Gamma-distributed cluster sizes (the default).
+    pub fn gamma_coverage(mut self) -> Scenario {
+        self.gamma = true;
+        self
+    }
+
+    /// The largest coverage in the sweep — even when below 1.0 — or 1.0
+    /// for an empty sweep.
+    pub fn max_coverage(&self) -> f64 {
+        if self.coverages.is_empty() {
+            1.0
+        } else {
+            self.coverages
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The coverage model pools are generated with: the sweep maximum as
+    /// the mean, Gamma-distributed or fixed per [`Scenario::gamma`].
+    pub fn pool_coverage(&self) -> CoverageModel {
+        if self.gamma {
+            CoverageModel::Gamma {
+                mean: self.max_coverage(),
+                shape: GAMMA_SHAPE,
+            }
+        } else {
+            CoverageModel::Fixed(self.max_coverage().round() as usize)
+        }
+    }
+
+    /// A simulated-sequencing backend for this operating point.
+    pub fn backend(&self) -> SimulatedSequencer {
+        SimulatedSequencer::new(self.model, self.pool_coverage())
+    }
+
+    /// The seed of trial `t`. Trial 0 keeps the base seed. This is the
+    /// derivation `min_coverage` has always used; `quality_sweep`, the
+    /// archive codec, and the CLI each had their own ad-hoc scheme before
+    /// the `Scenario` refactor, so their noise realizations differ from
+    /// pre-refactor runs at the same seed.
+    pub fn trial_seed(&self, t: usize) -> u64 {
+        self.seed ^ ((t as u64) << 17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_methodology() {
+        let s = Scenario::new(ErrorModel::uniform(0.09));
+        assert_eq!(s.coverages.len(), 28);
+        assert!(s.gamma);
+        assert_eq!(s.trials, 5);
+        assert_eq!(s.max_coverage(), 30.0);
+        assert_eq!(
+            s.pool_coverage(),
+            CoverageModel::Gamma {
+                mean: 30.0,
+                shape: GAMMA_SHAPE
+            }
+        );
+    }
+
+    #[test]
+    fn coverages_preserve_caller_order() {
+        let s = Scenario::new(ErrorModel::noiseless()).coverages([9.0, 3.0, 6.0]);
+        assert_eq!(s.coverages, vec![9.0, 3.0, 6.0]);
+        assert_eq!(s.max_coverage(), 9.0);
+    }
+
+    #[test]
+    fn fixed_mode_rounds_the_max() {
+        let s = Scenario::new(ErrorModel::noiseless())
+            .single_coverage(7.4)
+            .fixed_coverage();
+        assert_eq!(s.pool_coverage(), CoverageModel::Fixed(7));
+    }
+
+    #[test]
+    fn sub_unit_coverages_are_not_floored() {
+        let s = Scenario::new(ErrorModel::noiseless()).single_coverage(0.5);
+        assert_eq!(s.max_coverage(), 0.5);
+        assert_eq!(
+            s.pool_coverage(),
+            CoverageModel::Gamma {
+                mean: 0.5,
+                shape: GAMMA_SHAPE
+            }
+        );
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let s = Scenario::new(ErrorModel::noiseless()).seed(5);
+        assert_eq!(s.trial_seed(0), 5);
+        let seeds: Vec<u64> = (0..8).map(|t| s.trial_seed(t)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn backend_reflects_the_operating_point() {
+        let s = Scenario::new(ErrorModel::uniform(0.06)).coverage_range(2, 12);
+        let b = s.backend();
+        assert_eq!(b.model(), &ErrorModel::uniform(0.06));
+        assert_eq!(b.coverage().mean(), 12.0);
+    }
+}

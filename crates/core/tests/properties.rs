@@ -4,8 +4,8 @@
 
 use dna_channel::{CoverageModel, ErrorModel};
 use dna_storage::{
-    BaselineMapper, CodecParams, CodewordGeometry, DataMapper, DiagonalGeometry, Layout,
-    Pipeline, PriorityMapper, RowGeometry,
+    BaselineMapper, CodecParams, CodewordGeometry, DataMapper, DiagonalGeometry, Layout, Pipeline,
+    PriorityMapper, RowGeometry,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -67,7 +67,7 @@ proptest! {
             CoverageModel::Fixed(coverage),
             42,
         );
-        let (decoded, report) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
         prop_assert!(report.is_error_free());
         prop_assert_eq!(&decoded[..payload.len()], &payload[..]);
         prop_assert!(decoded[payload.len()..].iter().all(|&b| b == 0));
@@ -93,7 +93,7 @@ proptest! {
             CoverageModel::Fixed(7),
             seed,
         );
-        let (decoded, _) = pipeline.decode_unit(&pool.clusters().to_vec()).unwrap();
+        let (decoded, _) = pipeline.decode_unit(pool.clusters()).unwrap();
         prop_assert_eq!(&decoded[..], &payload[..]);
     }
 }

@@ -97,7 +97,11 @@ impl Field {
             return Err(GfError::NotPrimitive(poly));
         }
         // Check every non-zero element was reached (α is a generator).
-        if log[1..].iter().enumerate().any(|(v, &l)| l == 0 && v + 1 != 1) {
+        if log[1..]
+            .iter()
+            .enumerate()
+            .any(|(v, &l)| l == 0 && v + 1 != 1)
+        {
             return Err(GfError::NotPrimitive(poly));
         }
         for i in group..2 * group {
@@ -375,7 +379,10 @@ mod tests {
     fn gf65536_tables_are_consistent() {
         let f = Field::gf65536();
         assert_eq!(f.order(), 65536);
-        assert_eq!(f.mul(f.alpha_pow(40000), f.alpha_pow(40000)), f.alpha_pow(80000 - 65535));
+        assert_eq!(
+            f.mul(f.alpha_pow(40000), f.alpha_pow(40000)),
+            f.alpha_pow(80000 - 65535)
+        );
         let x = 0xBEEF;
         assert_eq!(f.mul(x, f.inv(x).unwrap()), 1);
     }
@@ -386,7 +393,10 @@ mod tests {
         assert!(f.check(15).is_ok());
         assert!(matches!(
             f.check(16),
-            Err(GfError::ElementOutOfRange { value: 16, order: 16 })
+            Err(GfError::ElementOutOfRange {
+                value: 16,
+                order: 16
+            })
         ));
     }
 

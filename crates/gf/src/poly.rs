@@ -92,7 +92,9 @@ pub fn degree(p: &[u16]) -> Option<usize> {
 /// Evaluates `p` at every element α^0 … α^{n−1}; used by Chien-search-style
 /// scans. Returns the vector of evaluations.
 pub fn eval_at_powers(field: &Field, p: &[u16], n: usize) -> Vec<u16> {
-    (0..n).map(|i| eval(field, p, field.alpha_pow(i as i64))).collect()
+    (0..n)
+        .map(|i| eval(field, p, field.alpha_pow(i as i64)))
+        .collect()
 }
 
 #[cfg(test)]

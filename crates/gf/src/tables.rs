@@ -35,7 +35,11 @@ mod tests {
     fn polys_have_correct_degree() {
         for m in 2..=16u8 {
             let p = default_poly(m).expect("supported width");
-            assert_eq!(32 - p.leading_zeros(), u32::from(m) + 1, "degree of poly for m={m}");
+            assert_eq!(
+                32 - p.leading_zeros(),
+                u32::from(m) + 1,
+                "degree of poly for m={m}"
+            );
         }
     }
 

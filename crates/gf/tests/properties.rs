@@ -4,12 +4,11 @@ use dna_gf::{poly, Field};
 use proptest::prelude::*;
 
 fn field_and_elems(max_elems: usize) -> impl Strategy<Value = (Field, Vec<u16>)> {
-    (2u8..=12)
-        .prop_flat_map(move |m| {
-            let f = Field::new(m).expect("supported width");
-            let order = f.order() as u16;
-            (Just(f), proptest::collection::vec(0..order, 3..max_elems))
-        })
+    (2u8..=12).prop_flat_map(move |m| {
+        let f = Field::new(m).expect("supported width");
+        let order = f.order() as u16;
+        (Just(f), proptest::collection::vec(0..order, 3..max_elems))
+    })
 }
 
 proptest! {

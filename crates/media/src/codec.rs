@@ -110,7 +110,7 @@ impl JpegLikeCodec {
         for by in 0..blocks_y {
             for bx in 0..blocks_x {
                 let b = (by * blocks_x + bx) as usize;
-                if interval != 0 && b > 0 && b % interval == 0 {
+                if interval != 0 && b > 0 && b.is_multiple_of(interval) {
                     bits.align_to_byte();
                     bits.write_bytes(&[0x00, 0xFF, 0xD0 + ((b / interval) % 8) as u8]);
                     prev_dc = 0;
@@ -245,14 +245,13 @@ impl JpegLikeCodec {
                     Err(BlockError::Corrupt) => {
                         q = [0i32; 64];
                         q[0] = fill_dc;
-                        if interval != 0 {
+                        if let Some(prev_intervals) = b.checked_div(interval) {
                             // Jump to the next marker; blocks in between
                             // are lost but everything after is clean again.
                             match bits.scan_marker() {
                                 Some(k) => {
-                                    let next_i = b / interval + 1;
-                                    let delta =
-                                        usize::from((8 + k - ((next_i % 8) as u8)) % 8);
+                                    let next_i = prev_intervals + 1;
+                                    let delta = usize::from((8 + k - ((next_i % 8) as u8)) % 8);
                                     skip_until = (next_i + delta) * interval;
                                     resynced_at = Some(skip_until);
                                     prev_dc = 0;
@@ -411,7 +410,7 @@ mod tests {
             let (s, amp) = amplitude_encode(v);
             assert_eq!(amplitude_decode(s, amp), v, "v={v}");
             if v != 0 {
-                assert!(s >= 1 && s <= 12);
+                assert!((1..=12).contains(&s));
             }
         }
     }

@@ -140,10 +140,8 @@ impl GrayImage {
         let pixels = (0..height)
             .flat_map(|y| {
                 (0..width).map(move |x| {
-                    let v = (u64::from(x) * 160 / u64::from(width.max(1))
-                        + u64::from(y) * 96 / u64::from(height.max(1)))
-                        as u8;
-                    v
+                    (u64::from(x) * 160 / u64::from(width.max(1))
+                        + u64::from(y) * 96 / u64::from(height.max(1))) as u8
                 })
             })
             .collect();
@@ -160,7 +158,7 @@ impl GrayImage {
         let pixels = (0..height)
             .flat_map(|y| {
                 (0..width).map(move |x| {
-                    if ((x / cell) + (y / cell)) % 2 == 0 {
+                    if ((x / cell) + (y / cell)).is_multiple_of(2) {
                         230u8
                     } else {
                         25u8
@@ -186,8 +184,7 @@ impl GrayImage {
             .map(|(k, &cell)| {
                 let gw = width / cell + 2;
                 let gh = height / cell + 2;
-                let lattice: Vec<f64> =
-                    (0..gw * gh).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let lattice: Vec<f64> = (0..gw * gh).map(|_| rng.gen_range(0.0..1.0)).collect();
                 (cell, 1.0 / f64::from(1 << k), lattice)
             })
             .collect();
@@ -265,7 +262,10 @@ mod tests {
         assert!(GrayImage::from_pixels(5000, 4, vec![0; 20000]).is_err());
         assert!(matches!(
             GrayImage::from_pixels(4, 4, vec![0; 15]),
-            Err(MediaError::PixelCountMismatch { expected: 16, actual: 15 })
+            Err(MediaError::PixelCountMismatch {
+                expected: 16,
+                actual: 15
+            })
         ));
         assert!(GrayImage::from_pixels(4, 4, vec![0; 16]).is_ok());
     }

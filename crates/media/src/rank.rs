@@ -109,8 +109,7 @@ pub fn bit_flip_profile(
             }
             let mut corrupted = file.to_vec();
             corrupted[bit / 8] ^= 1 << (7 - bit % 8);
-            let out =
-                codec.decode_with_expected(&corrupted, reference.width(), reference.height());
+            let out = codec.decode_with_expected(&corrupted, reference.width(), reference.height());
             (base - reference.psnr(&out).min(60.0)).max(0.0)
         })
         .collect()
@@ -202,8 +201,16 @@ mod tests {
     #[test]
     fn rankers_produce_permutations() {
         let file = vec![0xABu8; 25];
-        for ranker in [&PositionRanker as &dyn BitRanker, &ReverseRanker, &RandomRanker::new(3)] {
-            assert!(is_permutation(&ranker.rank(&file), 200), "{}", ranker.name());
+        for ranker in [
+            &PositionRanker as &dyn BitRanker,
+            &ReverseRanker,
+            &RandomRanker::new(3),
+        ] {
+            assert!(
+                is_permutation(&ranker.rank(&file), 200),
+                "{}",
+                ranker.name()
+            );
         }
     }
 
@@ -219,8 +226,14 @@ mod tests {
     #[test]
     fn random_ranker_is_seed_deterministic() {
         let file = vec![9u8; 16];
-        assert_eq!(RandomRanker::new(5).rank(&file), RandomRanker::new(5).rank(&file));
-        assert_ne!(RandomRanker::new(5).rank(&file), RandomRanker::new(6).rank(&file));
+        assert_eq!(
+            RandomRanker::new(5).rank(&file),
+            RandomRanker::new(5).rank(&file)
+        );
+        assert_ne!(
+            RandomRanker::new(5).rank(&file),
+            RandomRanker::new(6).rank(&file)
+        );
     }
 
     #[test]
@@ -285,7 +298,10 @@ mod tests {
         // Catastrophic header bits (magic/width) rank in the top half.
         for header_bit in [2usize, 36] {
             let pos = order.iter().position(|&b| b == header_bit).unwrap();
-            assert!(pos < order.len() / 2, "header bit {header_bit} ranked at {pos}");
+            assert!(
+                pos < order.len() / 2,
+                "header bit {header_bit} ranked at {pos}"
+            );
         }
         // Coarser strides still produce valid permutations.
         let coarse = OracleRanker::new(codec, img, 32).rank(&file);
@@ -307,7 +323,11 @@ mod tests {
         assert!((3..=5).contains(&f0), "file0 share {f0}");
         assert!(f1 >= 11, "file1 share {f1}");
         // Within a file, bits appear in ranking order.
-        let f1_bits: Vec<usize> = merged.iter().filter(|(f, _)| *f == 1).map(|(_, b)| *b).collect();
+        let f1_bits: Vec<usize> = merged
+            .iter()
+            .filter(|(f, _)| *f == 1)
+            .map(|(_, b)| *b)
+            .collect();
         assert!(f1_bits.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -1,0 +1,201 @@
+//! Deterministic scoped-thread parallelism.
+//!
+//! Every fan-out in the workspace — batch encode/decode, experiment
+//! trials, skew profiling — funnels through these helpers so the
+//! parallelism rules live in one place:
+//!
+//! - **Determinism**: results are a pure function of the inputs. Work item
+//!   `i` always computes `f(i)`, results are returned in index order, and
+//!   the thread count can never change a result — only how the items are
+//!   sliced across threads.
+//! - **Scoped threads**: no `'static` bounds, so closures can borrow the
+//!   pipeline, payloads, and pools directly.
+//! - **One thread-count policy**: [`max_threads`] honors the
+//!   `DNA_SKEW_THREADS` environment variable (useful to pin experiments or
+//!   prove thread-count independence) and otherwise uses the available
+//!   parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = dna_parallel::parallel_map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! // Identical results at any explicit thread count.
+//! let serial = dna_parallel::parallel_map_with(8, 1, |i| i * 3);
+//! let wide = dna_parallel::parallel_map_with(8, 7, |i| i * 3);
+//! assert_eq!(serial, wide);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The worker-thread budget: `DNA_SKEW_THREADS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("DNA_SKEW_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!(
+            "warning: ignoring invalid DNA_SKEW_THREADS value {v:?} (want a positive integer)"
+        );
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` across up to [`max_threads`] scoped
+/// threads and returns the results in index order.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(n, max_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit thread budget. `threads` only changes
+/// how items are sliced across workers — never the results.
+pub fn parallel_map_with<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut results;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let (mine, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (off, slot) in mine.iter_mut().enumerate() {
+                    *slot = Some(f(lo + off));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel_map worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Folds `step(acc, 0), …, step(acc, n-1)` into per-chunk accumulators
+/// (created by `init`) across up to [`max_threads`] scoped threads, then
+/// merges them into `init()` with `merge` **in chunk order**, so the
+/// result is deterministic whenever `merge` is associative over ordered
+/// chunks (e.g. element-wise addition).
+pub fn parallel_fold<A, I, S, M>(n: usize, init: I, step: S, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    S: Fn(&mut A, usize) + Sync,
+    M: Fn(&mut A, A),
+{
+    let threads = max_threads().clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    let chunks: Vec<A> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let (init, step) = (&init, &step);
+            handles.push(scope.spawn(move || {
+                let mut acc = init();
+                for i in lo..hi {
+                    step(&mut acc, i);
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_fold worker panicked"))
+            .collect()
+    });
+    let mut total = init();
+    for part in chunks {
+        merge(&mut total, part);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let got = parallel_map(100, |i| i * 2);
+        assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_is_thread_count_independent() {
+        let reference = parallel_map_with(37, 1, |i| i.wrapping_mul(0x9E37) ^ 0xA5);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map_with(37, threads, |i| i.wrapping_mul(0x9E37) ^ 0xA5),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_sizes() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 41), vec![41]);
+        assert_eq!(parallel_map_with(3, 100, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fold_sums_match_serial() {
+        let total = parallel_fold(
+            1000,
+            || vec![0u64; 4],
+            |acc, i| acc[i % 4] += i as u64,
+            |acc, part| {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    *a += p;
+                }
+            },
+        );
+        let mut expected = vec![0u64; 4];
+        for i in 0..1000u64 {
+            expected[(i % 4) as usize] += i;
+        }
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn threads_env_override_is_bounded() {
+        // Regardless of the env var, max_threads is at least 1.
+        assert!(max_threads() >= 1);
+    }
+}

@@ -162,8 +162,8 @@ impl ReedSolomon {
         let f = &self.field;
         // Polynomial long division: parity = data(x)·x^E mod g(x).
         let mut rem = vec![0u16; e];
-        for i in 0..self.data_len {
-            let coef = codeword[i] ^ rem[0];
+        for &data_sym in &codeword[..self.data_len] {
+            let coef = data_sym ^ rem[0];
             for j in 0..e - 1 {
                 rem[j] = rem[j + 1] ^ f.mul(self.gen_desc[j + 1], coef);
             }
@@ -230,7 +230,11 @@ mod tests {
         let mut gen_asc = rs.gen_desc.clone();
         gen_asc.reverse();
         for j in 1..=rs.parity_len() {
-            assert_eq!(poly::eval(&f, &gen_asc, f.alpha_pow(j as i64)), 0, "root α^{j}");
+            assert_eq!(
+                poly::eval(&f, &gen_asc, f.alpha_pow(j as i64)),
+                0,
+                "root α^{j}"
+            );
         }
         // α^0 = 1 must NOT be a root (fcr = 1).
         assert_ne!(poly::eval(&f, &gen_asc, 1), 0);
@@ -250,11 +254,17 @@ mod tests {
         let rs = rs_small();
         assert!(matches!(
             rs.encode(&[1, 2, 3]),
-            Err(RsError::LengthMismatch { expected: 9, actual: 3 })
+            Err(RsError::LengthMismatch {
+                expected: 9,
+                actual: 3
+            })
         ));
         assert!(matches!(
             rs.encode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]), // 99 ≥ 16
-            Err(RsError::SymbolOutOfRange { index: 0, value: 99 })
+            Err(RsError::SymbolOutOfRange {
+                index: 0,
+                value: 99
+            })
         ));
     }
 

@@ -338,7 +338,10 @@ mod tests {
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
-        assert!(failures > 25, "most over-capacity patterns should be detected, got {failures}/40");
+        assert!(
+            failures > 25,
+            "most over-capacity patterns should be detected, got {failures}/40"
+        );
     }
 
     #[test]
@@ -348,7 +351,10 @@ mod tests {
         let erased: Vec<usize> = (0..7).collect();
         assert!(matches!(
             rs.decode(&mut cw, &erased),
-            Err(RsError::TooManyErasures { erasures: 7, capacity: 6 })
+            Err(RsError::TooManyErasures {
+                erasures: 7,
+                capacity: 6
+            })
         ));
     }
 
@@ -356,8 +362,14 @@ mod tests {
     fn duplicate_or_out_of_range_erasures_rejected() {
         let rs = code(20, 6);
         let mut cw = rs.encode(&[0; 20]).unwrap();
-        assert!(matches!(rs.decode(&mut cw, &[3, 3]), Err(RsError::BadErasure(3))));
-        assert!(matches!(rs.decode(&mut cw, &[26]), Err(RsError::BadErasure(26))));
+        assert!(matches!(
+            rs.decode(&mut cw, &[3, 3]),
+            Err(RsError::BadErasure(3))
+        ));
+        assert!(matches!(
+            rs.decode(&mut cw, &[26]),
+            Err(RsError::BadErasure(26))
+        ));
     }
 
     #[test]
@@ -366,7 +378,7 @@ mod tests {
         let clean = rs.encode(&(0..20).collect::<Vec<_>>()).unwrap();
         let mut cw = clean.clone();
         cw[2] ^= 9; // one real error
-        // Position 5 declared erased but its symbol is actually fine.
+                    // Position 5 declared erased but its symbol is actually fine.
         let c = rs.decode(&mut cw, &[5]).unwrap();
         assert_eq!(cw, clean);
         assert_eq!(c.errors, 1);

@@ -130,11 +130,19 @@ mod tests {
 
     #[test]
     fn chars_round_trip_case_insensitive() {
-        for (c, b) in [('a', Base::A), ('C', Base::C), ('g', Base::G), ('T', Base::T)] {
+        for (c, b) in [
+            ('a', Base::A),
+            ('C', Base::C),
+            ('g', Base::G),
+            ('T', Base::T),
+        ] {
             assert_eq!(Base::from_char(c).unwrap(), b);
             assert_eq!(char::from(b), c.to_ascii_uppercase());
         }
-        assert_eq!(Base::from_char('x').unwrap_err(), StrandError::InvalidChar('X'));
+        assert_eq!(
+            Base::from_char('x').unwrap_err(),
+            StrandError::InvalidChar('X')
+        );
     }
 
     #[test]

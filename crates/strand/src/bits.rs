@@ -54,7 +54,11 @@ pub fn bytes_to_symbols(bytes: &[u8], width: u8) -> Result<Vec<u16>, StrandError
 /// Returns [`StrandError::OddSymbolWidth`] for out-of-range widths and
 /// [`StrandError::LengthMismatch`] when the symbols cannot cover
 /// `byte_len` bytes.
-pub fn symbols_to_bytes(symbols: &[u16], width: u8, byte_len: usize) -> Result<Vec<u8>, StrandError> {
+pub fn symbols_to_bytes(
+    symbols: &[u16],
+    width: u8,
+    byte_len: usize,
+) -> Result<Vec<u8>, StrandError> {
     if width == 0 || width > 16 {
         return Err(StrandError::OddSymbolWidth(width));
     }

@@ -64,7 +64,7 @@ impl BaseCodec for DirectCodec {
     }
 
     fn decode(&self, bases: &DnaString) -> Result<Vec<u8>, StrandError> {
-        if bases.len() % 4 != 0 {
+        if !bases.len().is_multiple_of(4) {
             return Err(StrandError::LengthMismatch {
                 expected: bases.len().div_ceil(4) * 4,
                 actual: bases.len(),
@@ -91,7 +91,7 @@ impl DirectCodec {
     /// Returns [`StrandError::OddSymbolWidth`] for odd widths and
     /// [`StrandError::ValueTooWide`] when the symbol exceeds the width.
     pub fn encode_symbol(&self, symbol: u16, width: u8) -> Result<DnaString, StrandError> {
-        if width % 2 != 0 || width == 0 || width > 16 {
+        if !width.is_multiple_of(2) || width == 0 || width > 16 {
             return Err(StrandError::OddSymbolWidth(width));
         }
         if width < 16 && symbol >> width != 0 {
@@ -116,7 +116,7 @@ impl DirectCodec {
     /// Returns [`StrandError::OddSymbolWidth`] for odd widths and
     /// [`StrandError::LengthMismatch`] when `bases` has the wrong length.
     pub fn decode_symbol(&self, bases: &[Base], width: u8) -> Result<u16, StrandError> {
-        if width % 2 != 0 || width == 0 || width > 16 {
+        if !width.is_multiple_of(2) || width == 0 || width > 16 {
             return Err(StrandError::OddSymbolWidth(width));
         }
         if bases.len() != usize::from(width) / 2 {
@@ -190,7 +190,7 @@ impl BaseCodec for RotationCodec {
     }
 
     fn decode(&self, bases: &DnaString) -> Result<Vec<u8>, StrandError> {
-        if bases.len() % 8 != 0 {
+        if !bases.len().is_multiple_of(8) {
             return Err(StrandError::LengthMismatch {
                 expected: bases.len().div_ceil(8) * 8,
                 actual: bases.len(),
@@ -238,7 +238,11 @@ mod tests {
     #[test]
     fn symbols_round_trip_at_all_even_widths() {
         for width in [2u8, 4, 6, 8, 10, 12, 14, 16] {
-            let max = if width == 16 { u16::MAX } else { (1 << width) - 1 };
+            let max = if width == 16 {
+                u16::MAX
+            } else {
+                (1 << width) - 1
+            };
             for sym in [0u16, 1, max / 2, max] {
                 let bases = DirectCodec.encode_symbol(sym, width).unwrap();
                 assert_eq!(bases.len(), usize::from(width) / 2);
@@ -259,7 +263,10 @@ mod tests {
         ));
         assert!(matches!(
             DirectCodec.encode_symbol(16, 4),
-            Err(StrandError::ValueTooWide { value: 16, width: 4 })
+            Err(StrandError::ValueTooWide {
+                value: 16,
+                width: 4
+            })
         ));
         assert!(DirectCodec.encode_symbol(15, 4).is_ok());
     }

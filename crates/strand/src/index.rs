@@ -27,7 +27,7 @@ use crate::{Base, DnaString, StrandError};
 /// # Ok::<(), dna_strand::StrandError>(())
 /// ```
 pub fn encode_index(index: u32, width_bits: u8) -> Result<DnaString, StrandError> {
-    if width_bits == 0 || width_bits % 2 != 0 || width_bits > 32 {
+    if width_bits == 0 || !width_bits.is_multiple_of(2) || width_bits > 32 {
         return Err(StrandError::OddSymbolWidth(width_bits));
     }
     if width_bits < 32 && index >> width_bits != 0 {
@@ -57,7 +57,7 @@ pub fn encode_index(index: u32, width_bits: u8) -> Result<DnaString, StrandError
 /// Returns [`StrandError::OddSymbolWidth`] / [`StrandError::LengthMismatch`]
 /// for malformed input.
 pub fn decode_index(bases: &[Base], width_bits: u8) -> Result<u32, StrandError> {
-    if width_bits == 0 || width_bits % 2 != 0 || width_bits > 32 {
+    if width_bits == 0 || !width_bits.is_multiple_of(2) || width_bits > 32 {
         return Err(StrandError::OddSymbolWidth(width_bits));
     }
     if bases.len() != usize::from(width_bits) / 2 {
@@ -80,11 +80,19 @@ mod tests {
     #[test]
     fn round_trips_common_widths() {
         for width in [2u8, 8, 16, 24, 32] {
-            let max: u32 = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let max: u32 = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
             for idx in [0u32, 1, max / 3, max] {
                 let bases = encode_index(idx, width).unwrap();
                 assert_eq!(bases.len(), usize::from(width) / 2);
-                assert_eq!(decode_index(bases.as_slice(), width).unwrap(), idx, "w={width}");
+                assert_eq!(
+                    decode_index(bases.as_slice(), width).unwrap(),
+                    idx,
+                    "w={width}"
+                );
             }
         }
     }

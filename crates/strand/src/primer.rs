@@ -80,7 +80,13 @@ impl PrimerLibrary {
         min_distance: usize,
         rng: &mut R,
     ) -> Result<PrimerLibrary, StrandError> {
-        Self::generate_with(count, len, min_distance, ConstraintSet::primer_default(), rng)
+        Self::generate_with(
+            count,
+            len,
+            min_distance,
+            ConstraintSet::primer_default(),
+            rng,
+        )
     }
 
     /// Like [`PrimerLibrary::generate`] with caller-provided constraints.
@@ -191,7 +197,10 @@ mod tests {
         let err = PrimerLibrary::generate(3, 8, 9, &mut rng).unwrap_err();
         assert!(matches!(
             err,
-            StrandError::PrimerSearchExhausted { found: 1, requested: 3 }
+            StrandError::PrimerSearchExhausted {
+                found: 1,
+                requested: 3
+            }
         ));
     }
 

@@ -24,8 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let archive = Archive::new(vec![FileEntry::new("photo", file)])?;
 
-    let params = CodecParams::laptop()?;
-    let pipeline = Pipeline::new(params, Layout::DnaMapper)?;
+    let pipeline = Pipeline::builder()
+        .params(CodecParams::laptop()?)
+        .layout(Layout::DnaMapper)
+        .build()?;
     let storage =
         ArchiveCodec::new(pipeline, RankingPolicy::PositionPriority).with_encryption(0xA5A5);
     let units = storage.encode(&archive)?;
@@ -56,10 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .file("photo")
                     .map(|f| f.bytes.clone())
                     .unwrap_or_default();
-                let decoded =
-                    img_codec.decode_with_expected(&bytes, image.width(), image.height());
+                let decoded = img_codec.decode_with_expected(&bytes, image.width(), image.height());
                 fs::write(out_dir.join(&name), decoded.to_pgm())?;
-                println!("{cov:>10} {:>12.2} {name:>10}", image.psnr(&decoded).min(60.0));
+                println!(
+                    "{cov:>10} {:>12.2} {name:>10}",
+                    image.psnr(&decoded).min(60.0)
+                );
             }
             Err(_) => println!("{cov:>10} {:>12} {:>10}", "unreadable", "-"),
         }

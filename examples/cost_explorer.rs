@@ -10,38 +10,43 @@ use dna_skew::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A reduced geometry keeps this example snappy; the bench targets
-    // (crates/bench) run the full laptop-scale sweeps.
-    let params = dna_skew::storage::CodecParams::new(
-        dna_skew::gf::Field::gf256(),
-        16,
-        100,
-        23, // 18.7% redundancy
-        8,
-    )?;
-    let payload: Vec<u8> = (0..params.payload_bytes()).map(|i| (i % 253) as u8).collect();
-    let opts = MinCoverageOptions {
-        coverages: (2..=30).map(f64::from).collect(),
-        trials: 5,
-        seed: 11,
-        gamma: true,
-        forced_erasures: vec![],
+    // (crates/bench) run the full laptop-scale sweeps. The builder
+    // assembles it field-by-field, validated at build().
+    let builder = || {
+        Pipeline::builder()
+            .field(dna_skew::gf::Field::gf256())
+            .rows(16)
+            .data_cols(100)
+            .parity_cols(23) // 18.7% redundancy
+            .index_bits(8)
+    };
+    let params = builder().build()?.params().clone();
+    let payload: Vec<u8> = (0..params.payload_bytes())
+        .map(|i| (i % 253) as u8)
+        .collect();
+    let scenario = |model| {
+        Scenario::new(model)
+            .coverage_range(2, 30)
+            .trials(5)
+            .seed(11)
     };
 
     println!("== Minimum coverage for error-free decoding (lower is cheaper) ==");
-    println!("{:>10} {:>10} {:>8} {:>9}", "error rate", "baseline", "gini", "saving");
+    println!(
+        "{:>10} {:>10} {:>8} {:>9}",
+        "error rate", "baseline", "gini", "saving"
+    );
     for p in [0.03, 0.06, 0.09] {
-        let model = ErrorModel::uniform(p);
-        let base = min_coverage(
-            &Pipeline::new(params.clone(), Layout::Baseline)?,
-            &payload,
-            model,
-            &opts,
-        )?;
+        let s = scenario(ErrorModel::uniform(p));
+        let base = min_coverage(&builder().layout(Layout::Baseline).build()?, &payload, &s)?;
         let gini = min_coverage(
-            &Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] })?,
+            &builder()
+                .layout(Layout::Gini {
+                    excluded_rows: vec![],
+                })
+                .build()?,
             &payload,
-            model,
-            &opts,
+            &s,
         )?;
         match (base, gini) {
             (Some(b), Some(g)) => println!(
@@ -55,18 +60,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Gini: trading redundancy for coverage at a fixed 9% error rate ==");
     println!("(erasing parity molecules lowers the effective redundancy, Fig. 13)");
-    println!("{:>12} {:>12} {:>14}", "redundancy", "min cover", "parity erased");
-    let gini = Pipeline::new(params.clone(), Layout::Gini { excluded_rows: vec![] })?;
-    let model = ErrorModel::uniform(0.09);
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "redundancy", "min cover", "parity erased"
+    );
+    let gini = builder()
+        .layout(Layout::Gini {
+            excluded_rows: vec![],
+        })
+        .build()?;
+    let s = scenario(ErrorModel::uniform(0.09));
     for erased in [0usize, 4, 8, 12] {
-        let forced: Vec<usize> =
-            (params.data_cols()..params.data_cols() + erased).collect();
-        let opts = MinCoverageOptions {
-            forced_erasures: forced,
-            ..opts.clone()
+        let retrieve = RetrieveOptions {
+            forced_erasures: (params.data_cols()..params.data_cols() + erased).collect(),
+            ..RetrieveOptions::default()
         };
         let effective = (params.parity_cols() - erased) as f64 / params.cols() as f64;
-        match min_coverage(&gini, &payload, model, &opts)? {
+        match min_coverage_with(&gini, &payload, &s, &retrieve)? {
             Some(cov) => println!("{:>11.1}% {cov:>12} {erased:>14}", effective * 100.0),
             None => println!("{:>11.1}% {:>12} {erased:>14}", effective * 100.0, "n/a"),
         }

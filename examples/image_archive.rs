@@ -6,10 +6,12 @@
 //! cargo run --release --example image_archive
 //! ```
 
+use dna_skew::media::rank::PositionRanker;
 use dna_skew::prelude::*;
-use dna_skew::media::rank ::PositionRanker;
 
-fn build_archive(codec: &JpegLikeCodec) -> Result<(Archive, Vec<GrayImage>), Box<dyn std::error::Error>> {
+fn build_archive(
+    codec: &JpegLikeCodec,
+) -> Result<(Archive, Vec<GrayImage>), Box<dyn std::error::Error>> {
     // Images of different sizes, as in the paper's corpus (§6.1).
     let images = vec![
         GrayImage::synthetic_photo(64, 48, 11),
@@ -40,7 +42,10 @@ fn mean_quality_loss(
             original.width(),
             original.height(),
         );
-        let bytes = retrieved.file(&name).map(|f| f.bytes.clone()).unwrap_or_default();
+        let bytes = retrieved
+            .file(&name)
+            .map(|f| f.bytes.clone())
+            .unwrap_or_default();
         let got = codec.decode_with_expected(&bytes, original.width(), original.height());
         let base = original.psnr(&clean).min(60.0);
         total += (base - original.psnr(&got).min(60.0)).max(0.0);
@@ -62,24 +67,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         archive.content_bytes()
     );
     println!("\n{:>10} | {:>28} | {:>28}", "", "baseline", "dnamapper");
-    println!("{:>10} | {:>14} {:>13} | {:>14} {:>13}", "coverage", "loss (dB)", "undecodable", "loss (dB)", "undecodable");
+    println!(
+        "{:>10} | {:>14} {:>13} | {:>14} {:>13}",
+        "coverage", "loss (dB)", "undecodable", "loss (dB)", "undecodable"
+    );
 
+    let scenario = Scenario::new(model)
+        .coverages(coverages.iter().copied())
+        .trials(6)
+        .seed(99);
     let mut results = Vec::new();
     for (layout, policy) in [
         (Layout::Baseline, RankingPolicy::Sequential),
         (Layout::DnaMapper, RankingPolicy::PositionPriority),
     ] {
-        let pipeline = Pipeline::new(params.clone(), layout)?;
+        let pipeline = Pipeline::builder()
+            .params(params.clone())
+            .layout(layout)
+            .build()?;
         let storage = ArchiveCodec::new(pipeline, policy).with_encryption(7);
-        let points = quality_sweep(
-            &storage,
-            &archive,
-            model,
-            &coverages,
-            6,
-            99,
-            |original, retrieved| mean_quality_loss(&img_codec, &originals, original, retrieved),
-        )?;
+        let points = quality_sweep(&storage, &archive, &scenario, |original, retrieved| {
+            mean_quality_loss(&img_codec, &originals, original, retrieved)
+        })?;
         results.push(points);
     }
     for (i, &cov) in coverages.iter().enumerate() {

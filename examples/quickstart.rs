@@ -1,5 +1,6 @@
 //! Quickstart: store a payload in simulated DNA under all three data
-//! organizations, sequence it through a noisy channel, and read it back.
+//! organizations, sequence it through a noisy channel, and read it back —
+//! all through the fluent `PipelineBuilder` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -25,27 +26,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     payload.truncate(params.payload_bytes());
 
-    // A 6% error rate, uniformly split between insertions, deletions and
+    // One Scenario describes the channel operating point for every run: a
+    // 6% error rate, uniformly split between insertions, deletions and
     // substitutions, at mean coverage 12 with Gamma-distributed cluster
     // sizes — a mid-range nanopore-like operating point.
-    let model = ErrorModel::uniform(0.06);
+    let scenario = Scenario::new(ErrorModel::uniform(0.06))
+        .single_coverage(12.0)
+        .seed(2024);
     for layout in [
         Layout::Baseline,
-        Layout::Gini { excluded_rows: vec![] },
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
         Layout::DnaMapper,
     ] {
         let name = layout.name();
-        let pipeline = Pipeline::new(params.clone(), layout)?;
+        // Every pipeline is built through the validated builder; swap any
+        // knob (consensus, primers, geometry overrides) without new
+        // constructors.
+        let pipeline = Pipeline::builder()
+            .params(params.clone())
+            .layout(layout)
+            .build()?;
         let unit = pipeline.encode_unit(&payload)?;
-        let pool = pipeline.sequence(
-            &unit,
-            model,
-            CoverageModel::Gamma {
-                mean: 12.0,
-                shape: 6.0,
-            },
-            2024,
-        );
+        let pool = pipeline.sequence_with(&scenario.backend(), &unit, 0, scenario.seed);
         let (decoded, report) = pipeline.decode_unit(&pool.at_coverage(12.0))?;
         let exact = decoded == payload;
         println!(

@@ -23,15 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FileEntry::new("chart", img_codec.encode(&images[1])?),
     ])?;
 
-    // Small unit with 20-base primers on both ends of every molecule.
-    let params = dna_skew::storage::CodecParams::new(
-        dna_skew::gf::Field::gf256(),
-        12,
-        120,
-        28,
-        8,
-    )?
-    .with_primer_len(20);
+    // Small unit with 20-base primers on both ends of every molecule,
+    // assembled field-by-field through the builder.
+    let wetlab = Pipeline::builder()
+        .field(dna_skew::gf::Field::gf256())
+        .rows(12)
+        .data_cols(120)
+        .parity_cols(28)
+        .index_bits(8)
+        .primer_len(20);
+    let params = wetlab.clone().build()?.params().clone();
     println!(
         "strands: {} bases each ({} payload + 2×20 primer); NGS error model at 0.3%",
         params.strand_bases(),
@@ -40,11 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (layout, policy) in [
         (Layout::Baseline, RankingPolicy::Sequential),
-        (Layout::Gini { excluded_rows: vec![] }, RankingPolicy::Sequential),
+        (
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+            RankingPolicy::Sequential,
+        ),
         (Layout::DnaMapper, RankingPolicy::PositionPriority),
     ] {
         let name = layout.name();
-        let pipeline = Pipeline::new(params.clone(), layout)?;
+        let pipeline = wetlab.clone().layout(layout).build()?;
         let storage = ArchiveCodec::new(pipeline, policy).with_encryption(3);
         let units = storage.encode(&archive)?;
         let pools = storage.sequence(
@@ -56,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             12345,
         );
-        let clusters: Vec<Vec<Cluster>> =
-            pools.iter().map(|p| p.clusters().to_vec()).collect();
+        let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.clusters().to_vec()).collect();
         let (retrieved, reports) = storage.decode(&clusters, &RetrieveOptions::default())?;
         let exact = retrieved == archive;
         let corrected: usize = reports.iter().map(DecodeReport::total_corrected).sum();
@@ -67,12 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for (img, file) in images.iter().zip(["photo", "chart"]) {
             let got = img_codec.decode_with_expected(
-                &retrieved.file(file).map(|f| f.bytes.clone()).unwrap_or_default(),
+                &retrieved
+                    .file(file)
+                    .map(|f| f.bytes.clone())
+                    .unwrap_or_default(),
                 img.width(),
                 img.height(),
             );
             let psnr = img.psnr(&got);
-            println!("            {file}: PSNR vs original {:.1} dB", psnr.min(99.0));
+            println!(
+                "            {file}: PSNR vs original {:.1} dB",
+                psnr.min(99.0)
+            );
         }
     }
     println!("\nAt wetlab NGS error rates every organization decodes perfectly —");

@@ -9,27 +9,79 @@
 //! | [`reed_solomon`] | errors-and-erasures Reed–Solomon codes |
 //! | [`strand`] | bases, strands, codecs, primers, indexes |
 //! | [`align`] | edit distance, alignment, read clustering |
-//! | [`channel`] | IDS noise, error profiles, Gamma coverage, read pools |
+//! | [`channel`] | IDS noise, error profiles, Gamma coverage, read pools, sequencing backends |
 //! | [`consensus`] | trace reconstruction and skew profiling |
 //! | [`media`] | images, the JPEG-like codec, PSNR, bit ranking |
 //! | [`crypto`] | ChaCha20 for end-to-end encrypted archives |
+//! | [`parallel`] | deterministic scoped-thread fan-out |
 //! | [`storage`] | the pipeline: Baseline / **Gini** / **DnaMapper** |
 //!
 //! # Quick start
+//!
+//! Build a pipeline with the fluent builder, store a payload with Gini's
+//! diagonal codeword interleaving, sequence it at 3% error and coverage
+//! 8, and read it back:
 //!
 //! ```
 //! use dna_skew::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Store a payload with Gini's diagonal codeword interleaving,
-//! // sequence it at 3% error and coverage 8, and read it back.
-//! let pipeline = Pipeline::new(CodecParams::tiny()?, Layout::Gini { excluded_rows: vec![] })?;
+//! let pipeline = Pipeline::builder()
+//!     .params(CodecParams::tiny()?)
+//!     .layout(Layout::Gini { excluded_rows: vec![] })
+//!     .build()?;
 //! let payload = b"molecule ends are reliable".to_vec();
 //! let unit = pipeline.encode_unit(&payload)?;
 //! let pool = pipeline.sequence(&unit, ErrorModel::uniform(0.03), CoverageModel::Fixed(8), 1);
 //! let (decoded, report) = pipeline.decode_unit(&pool.at_coverage(8.0))?;
 //! assert_eq!(&decoded[..payload.len()], &payload[..]);
 //! assert!(report.is_error_free());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Read generation is pluggable: the simulator above is the
+//! [`SimulatedSequencer`](channel::SimulatedSequencer) backend, and
+//! [`TraceReplay`](channel::TraceReplay) replays recorded read pools
+//! (wetlab traces, sequencer dumps) through the identical decode path:
+//!
+//! ```
+//! use dna_skew::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pipeline = Pipeline::builder().params(CodecParams::tiny()?).build()?;
+//! let unit = pipeline.encode_unit(b"replayed")?;
+//! // Record a pool once (here: simulated), then replay it later.
+//! let recorded = pipeline.sequence(&unit, ErrorModel::ngs(0.003), CoverageModel::Fixed(6), 7);
+//! let replay = TraceReplay::single(recorded);
+//! let pool = pipeline.sequence_with(&replay, &unit, 0, 0 /* seed is ignored */);
+//! let (decoded, _) = pipeline.decode_unit(&pool.clusters().to_vec())?;
+//! assert_eq!(&decoded[..8], b"replayed");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Batches of units encode and decode in parallel (deterministically —
+//! results are byte-identical at any thread count), and experiment
+//! harnesses share one [`Scenario`](storage::Scenario) descriptor:
+//!
+//! ```
+//! use dna_skew::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pipeline = Pipeline::builder().params(CodecParams::tiny()?).build()?;
+//! let payloads: Vec<Vec<u8>> = (0..4u8).map(|u| vec![u; 30]).collect();
+//! let units = pipeline.encode_batch(&payloads)?;
+//!
+//! let scenario = Scenario::new(ErrorModel::uniform(0.02))
+//!     .single_coverage(8.0)
+//!     .seed(42);
+//! let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
+//! let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.clusters().to_vec()).collect();
+//! for (u, (decoded, report)) in pipeline.decode_batch(&clusters)?.iter().enumerate() {
+//!     assert_eq!(decoded[..30], payloads[u][..], "unit {u}");
+//!     assert!(report.is_error_free());
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -43,20 +95,25 @@ pub use dna_consensus as consensus;
 pub use dna_crypto as crypto;
 pub use dna_gf as gf;
 pub use dna_media as media;
+pub use dna_parallel as parallel;
 pub use dna_reed_solomon as reed_solomon;
 pub use dna_storage as storage;
 pub use dna_strand as strand;
 
 /// The most commonly used types, for one-line imports.
 pub mod prelude {
-    pub use dna_channel::{Cluster, CoverageModel, ErrorModel, IdsChannel, ReadPool};
+    pub use dna_channel::{
+        Cluster, CoverageModel, ErrorModel, IdsChannel, ReadPool, SequencingBackend,
+        SimulatedSequencer, TraceReplay,
+    };
     pub use dna_consensus::{
         BmaOneWay, BmaTwoWay, ConstrainedMedian, IterativeReconstructor, TraceReconstructor,
     };
     pub use dna_media::{GrayImage, JpegLikeCodec};
     pub use dna_storage::{
-        min_coverage, quality_sweep, Archive, ArchiveCodec, CodecParams, DecodeReport,
-        FileEntry, Layout, MinCoverageOptions, Pipeline, RankingPolicy, RetrieveOptions,
+        min_coverage, min_coverage_with, quality_sweep, Archive, ArchiveCodec, CodecParams,
+        DecodeReport, FileEntry, Layout, Pipeline, PipelineBuilder, RankingPolicy, RetrieveOptions,
+        Scenario,
     };
     pub use dna_strand::{Base, DnaString};
 }

@@ -38,8 +38,7 @@ fn dnamapper_archive_survives_and_degrades_monotonically_in_coverage() {
     let (archive, images) = make_archive(&img_codec);
     let params = CodecParams::laptop().unwrap();
     let pipeline = Pipeline::new(params, Layout::DnaMapper).unwrap();
-    let storage =
-        ArchiveCodec::new(pipeline, RankingPolicy::PositionPriority).with_encryption(9);
+    let storage = ArchiveCodec::new(pipeline, RankingPolicy::PositionPriority).with_encryption(9);
     let units = storage.encode(&archive).unwrap();
     let pools = storage.sequence(
         &units,
@@ -114,7 +113,10 @@ fn encryption_changes_stored_strands_but_not_results() {
     };
     let plain_units = make(None).encode(&archive).unwrap();
     let enc_units = make(Some(4)).encode(&archive).unwrap();
-    assert_ne!(plain_units, enc_units, "ciphertext must differ from plaintext");
+    assert_ne!(
+        plain_units, enc_units,
+        "ciphertext must differ from plaintext"
+    );
 
     let storage = make(Some(4));
     let pools = storage.sequence(
@@ -124,7 +126,9 @@ fn encryption_changes_stored_strands_but_not_results() {
         1,
     );
     let clusters: Vec<_> = pools.iter().map(|p| p.clusters().to_vec()).collect();
-    let (retrieved, _) = storage.decode(&clusters, &RetrieveOptions::default()).unwrap();
+    let (retrieved, _) = storage
+        .decode(&clusters, &RetrieveOptions::default())
+        .unwrap();
     assert_eq!(retrieved, archive);
 }
 
@@ -135,7 +139,12 @@ fn sequential_and_priority_policies_store_identical_content() {
     let params = CodecParams::laptop().unwrap();
     for (layout, policy) in [
         (Layout::Baseline, RankingPolicy::Sequential),
-        (Layout::Gini { excluded_rows: vec![] }, RankingPolicy::Sequential),
+        (
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+            RankingPolicy::Sequential,
+        ),
         (Layout::DnaMapper, RankingPolicy::PositionPriority),
     ] {
         let pipeline = Pipeline::new(params.clone(), layout).unwrap();
@@ -143,7 +152,9 @@ fn sequential_and_priority_policies_store_identical_content() {
         let units = storage.encode(&archive).unwrap();
         let pools = storage.sequence(&units, ErrorModel::noiseless(), CoverageModel::Fixed(1), 2);
         let clusters: Vec<_> = pools.iter().map(|p| p.clusters().to_vec()).collect();
-        let (retrieved, _) = storage.decode(&clusters, &RetrieveOptions::default()).unwrap();
+        let (retrieved, _) = storage
+            .decode(&clusters, &RetrieveOptions::default())
+            .unwrap();
         assert_eq!(retrieved, archive);
     }
 }

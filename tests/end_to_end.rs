@@ -14,8 +14,12 @@ fn all_layouts_survive_ngs_noise_at_laptop_scale() {
     let params = CodecParams::laptop().unwrap();
     for layout in [
         Layout::Baseline,
-        Layout::Gini { excluded_rows: vec![] },
-        Layout::Gini { excluded_rows: vec![0, 29] },
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+        Layout::Gini {
+            excluded_rows: vec![0, 29],
+        },
         Layout::DnaMapper,
     ] {
         let pipeline = Pipeline::new(params.clone(), layout.clone()).unwrap();
@@ -39,16 +43,22 @@ fn all_layouts_survive_ngs_noise_at_laptop_scale() {
 #[test]
 fn nanopore_noise_is_recovered_with_sufficient_coverage() {
     let params = CodecParams::laptop().unwrap();
-    let pipeline = Pipeline::new(params, Layout::Gini { excluded_rows: vec![] }).unwrap();
+    let pipeline = Pipeline::new(
+        params,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+    )
+    .unwrap();
     let payload = laptop_payload(&pipeline);
     let unit = pipeline.encode_unit(&payload).unwrap();
     let pool = pipeline.sequence(
         &unit,
         ErrorModel::nanopore(0.12),
-        CoverageModel::Fixed(30),
+        CoverageModel::Fixed(16),
         17,
     );
-    let (decoded, report) = pipeline.decode_unit(&pool.at_coverage(30.0)).unwrap();
+    let (decoded, report) = pipeline.decode_unit(&pool.at_coverage(16.0)).unwrap();
     assert_eq!(decoded, payload);
     assert!(report.is_error_free());
     // Nanopore noise actually exercises the RS layer.
@@ -62,9 +72,14 @@ fn gini_decodes_at_coverage_where_baseline_fails() {
     let payload: Vec<u8> = (0..6240).map(|i| (i * 7 % 255) as u8).collect();
     let model = ErrorModel::uniform(0.09);
     let mut exact = [true, true];
-    for (i, layout) in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }]
-        .into_iter()
-        .enumerate()
+    for (i, layout) in [
+        Layout::Baseline,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+    ]
+    .into_iter()
+    .enumerate()
     {
         let pipeline = Pipeline::new(params.clone(), layout).unwrap();
         let unit = pipeline.encode_unit(&payload).unwrap();
@@ -93,14 +108,8 @@ fn real_clustering_agrees_with_perfect_clustering_at_low_noise() {
     use dna_skew::align::GreedyClusterer;
     use dna_skew::channel::Cluster;
 
-    let params = dna_skew::storage::CodecParams::new(
-        dna_skew::gf::Field::gf256(),
-        12,
-        40,
-        10,
-        8,
-    )
-    .unwrap();
+    let params =
+        dna_skew::storage::CodecParams::new(dna_skew::gf::Field::gf256(), 12, 40, 10, 8).unwrap();
     let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
     let payload: Vec<u8> = (0..pipeline.payload_capacity()).map(|i| i as u8).collect();
     let unit = pipeline.encode_unit(&payload).unwrap();
@@ -127,10 +136,21 @@ fn real_clustering_agrees_with_perfect_clustering_at_low_noise() {
 #[test]
 fn failure_injection_truncated_and_duplicated_reads() {
     let params = CodecParams::laptop().unwrap();
-    let pipeline = Pipeline::new(params, Layout::Gini { excluded_rows: vec![] }).unwrap();
+    let pipeline = Pipeline::new(
+        params,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+    )
+    .unwrap();
     let payload = laptop_payload(&pipeline);
     let unit = pipeline.encode_unit(&payload).unwrap();
-    let pool = pipeline.sequence(&unit, ErrorModel::uniform(0.04), CoverageModel::Fixed(10), 29);
+    let pool = pipeline.sequence(
+        &unit,
+        ErrorModel::uniform(0.04),
+        CoverageModel::Fixed(10),
+        29,
+    );
     let mut clusters = pool.clusters().to_vec();
     // Truncate some reads hard, duplicate others, clear a few clusters.
     for (i, c) in clusters.iter_mut().enumerate() {

@@ -17,7 +17,10 @@ fn skew_appears_in_all_reconstruction_algorithms() {
     assert!(last_quarter > 2.0 * first_quarter);
 
     for (name, prof) in [
-        ("two-way", dna_skew_profile(&BmaTwoWay::default(), l, 5, model, 300, 42)),
+        (
+            "two-way",
+            dna_skew_profile(&BmaTwoWay::default(), l, 5, model, 300, 42),
+        ),
         (
             "iterative",
             dna_skew_profile(&IterativeReconstructor::default(), l, 5, model, 300, 42),
@@ -40,7 +43,12 @@ fn per_codeword_errors_peak_in_middle_rows_for_baseline_only() {
     let params = CodecParams::laptop().unwrap();
     let payload: Vec<u8> = (0..6240).map(|i| (i % 256) as u8).collect();
     let mut series = Vec::new();
-    for layout in [Layout::Baseline, Layout::Gini { excluded_rows: vec![] }] {
+    for layout in [
+        Layout::Baseline,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+    ] {
         let pipeline = Pipeline::new(params.clone(), layout).unwrap();
         let unit = pipeline.encode_unit(&payload).unwrap();
         let mut per_cw = vec![0usize; params.rows()];
@@ -63,8 +71,8 @@ fn per_codeword_errors_peak_in_middle_rows_for_baseline_only() {
     let rows = baseline.len();
     // Baseline: middle third ≫ outer thirds.
     let mid: usize = baseline[rows / 3..2 * rows / 3].iter().sum();
-    let ends: usize = baseline[..rows / 3].iter().sum::<usize>()
-        + baseline[2 * rows / 3..].iter().sum::<usize>();
+    let ends: usize =
+        baseline[..rows / 3].iter().sum::<usize>() + baseline[2 * rows / 3..].iter().sum::<usize>();
     assert!(
         mid * 2 > ends * 3,
         "baseline mid {mid} vs ends {ends} (expected strong mid concentration)"

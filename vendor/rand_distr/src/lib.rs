@@ -1,0 +1,138 @@
+//! A minimal, self-contained drop-in for the subset of the `rand_distr`
+//! API this workspace uses: [`Distribution`] and the [`Gamma`]
+//! distribution (Marsaglia–Tsang sampling).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this stub instead of the real crate.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A shape/scale parameter was non-positive or non-finite.
+    InvalidParameter,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The Gamma distribution Γ(shape k, scale θ) with mean `k·θ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates Γ(shape, scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when either parameter is
+    /// non-positive or non-finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma, Error> {
+        let ok = |x: f64| x.is_finite() && x > 0.0;
+        if !ok(shape) || !ok(scale) {
+            return Err(Error::InvalidParameter);
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+/// One standard-normal sample via Box–Muller (no state carried).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Γ(shape ≥ 1, 1) via Marsaglia–Tsang's squeeze method.
+fn gamma_mt<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    debug_assert!(shape >= 1.0);
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape >= 1.0 {
+            gamma_mt(self.shape, rng) * self.scale
+        } else {
+            // Boost: Γ(k) = Γ(k+1) · U^(1/k) for k < 1.
+            let boost = gamma_mt(self.shape + 1.0, rng);
+            let u: f64 = rng.gen();
+            boost * u.max(f64::MIN_POSITIVE).powf(1.0 / self.shape) * self.scale
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::new(6.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn gamma_mean_and_variance_match() {
+        // Γ(6, 2): mean 12, variance 24.
+        let g = Gamma::new(6.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 60_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 12.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 24.0).abs() < 1.5, "variance {var}");
+    }
+
+    #[test]
+    fn small_shape_is_supported() {
+        let g = Gamma::new(0.5, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 40_000;
+        let mean = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}
