@@ -6,7 +6,7 @@
 //! clusterer in the spirit of Rashtchian et al. (NeurIPS'17), using a
 //! bounded edit-distance comparison against cluster representatives.
 
-use crate::edit_distance_bounded;
+use crate::edit_distance_bounded_with;
 use dna_strand::DnaString;
 
 /// The output of clustering: for each cluster, the indices of its member
@@ -75,13 +75,21 @@ impl GreedyClusterer {
         self.threshold
     }
 
-    /// Clusters `reads`; O(reads × clusters × banded-distance).
+    /// Clusters `reads`; O(reads × clusters × banded-distance). One DP row
+    /// buffer is reused across every pairwise comparison.
     pub fn cluster(&self, reads: &[DnaString]) -> ClusterResult {
         let mut clusters: Vec<Vec<usize>> = Vec::new();
         let mut representatives: Vec<&DnaString> = Vec::new();
+        let mut row = Vec::new();
         for (i, read) in reads.iter().enumerate() {
             let found = representatives.iter().position(|rep| {
-                edit_distance_bounded(rep.as_slice(), read.as_slice(), self.threshold).is_some()
+                edit_distance_bounded_with(
+                    rep.as_slice(),
+                    read.as_slice(),
+                    self.threshold,
+                    &mut row,
+                )
+                .is_some()
             });
             match found {
                 Some(c) => clusters[c].push(i),

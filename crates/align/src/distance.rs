@@ -112,6 +112,34 @@ pub fn edit_distance_myers<T: Eq, F: Fn(&T) -> u8>(a: &[T], b: &[T], key: F) -> 
 /// assert_eq!(edit_distance_bounded(b"AAAAAAAA", b"TTTTTTTT", 3), None);
 /// ```
 pub fn edit_distance_bounded<T: Eq>(a: &[T], b: &[T], bound: usize) -> Option<usize> {
+    edit_distance_bounded_with(a, b, bound, &mut Vec::new())
+}
+
+/// [`edit_distance_bounded`] against a caller-owned DP row buffer, so hot
+/// comparison loops — read clustering, primer filtering — stop paying one
+/// allocation per call: once `row`'s capacity covers
+/// `min(|a|,|b|) + 1`, the comparison allocates nothing. The buffer's
+/// prior contents are ignored and overwritten.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::{edit_distance_bounded, edit_distance_bounded_with};
+///
+/// let mut row = Vec::new();
+/// for (a, b) in [(b"ACGT", b"ACGA"), (b"AAAA", b"AAAA")] {
+///     assert_eq!(
+///         edit_distance_bounded_with(a, b, 2, &mut row),
+///         edit_distance_bounded(a, b, 2),
+///     );
+/// }
+/// ```
+pub fn edit_distance_bounded_with<T: Eq>(
+    a: &[T],
+    b: &[T],
+    bound: usize,
+    row: &mut Vec<usize>,
+) -> Option<usize> {
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     let (m, n) = (a.len(), b.len());
     if m - n > bound {
@@ -122,7 +150,8 @@ pub fn edit_distance_bounded<T: Eq>(a: &[T], b: &[T], bound: usize) -> Option<us
     }
     const BIG: usize = usize::MAX / 2;
     // row[j] = distance for prefix (i, j); only |i−j| ≤ bound is inhabited.
-    let mut row = vec![BIG; n + 1];
+    row.clear();
+    row.resize(n + 1, BIG);
     for (j, slot) in row.iter_mut().enumerate().take(bound.min(n) + 1) {
         *slot = j;
     }

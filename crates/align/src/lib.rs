@@ -29,4 +29,6 @@ mod distance;
 
 pub use alignment::{align, AlignOp, Alignment};
 pub use cluster::{ClusterResult, GreedyClusterer};
-pub use distance::{edit_distance, edit_distance_bounded, edit_distance_myers};
+pub use distance::{
+    edit_distance, edit_distance_bounded, edit_distance_bounded_with, edit_distance_myers,
+};

@@ -7,7 +7,7 @@ use dna_consensus::{BmaTwoWay, IterativeReconstructor, TraceReconstructor};
 use dna_crypto::ChaCha20;
 use dna_gf::Field;
 use dna_media::{GrayImage, JpegLikeCodec};
-use dna_reed_solomon::ReedSolomon;
+use dna_reed_solomon::{ReedSolomon, RsScratch};
 use dna_strand::DnaString;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +26,35 @@ fn bench_gf(c: &mut Criterion) {
             }
             black_box(acc)
         })
+    });
+    // The table-driven kernels the RS hot paths are built on.
+    let elems: Vec<u16> = (0..1024).map(|i| (i * 11 % 256) as u16).collect();
+    let table = f.mul_table(0x1D);
+    c.bench_function("gf256_mul_table_slice_1k", |b| {
+        b.iter_batched(
+            || elems.clone(),
+            |mut xs| {
+                table.mul_slice(&mut xs);
+                black_box(xs)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("gf256_horner_eval_1k", |b| {
+        b.iter(|| black_box(table.horner_eval(&elems)))
+    });
+    let mut acc = vec![0u16; 1024];
+    c.bench_function("gf256_mul_add_slice_1k", |b| {
+        b.iter(|| {
+            f.mul_add_slice(&mut acc, &elems, 0x53);
+            black_box(acc[0])
+        })
+    });
+    let f16 = Field::gf65536();
+    let wide: Vec<u16> = (0..1024).map(|i| (i * 52_711 % 65_536) as u16).collect();
+    let wide_table = f16.mul_table(0xBEEF);
+    c.bench_function("gf65536_horner_eval_1k", |b| {
+        b.iter(|| black_box(wide_table.horner_eval(&wide)))
     });
 }
 
@@ -48,6 +77,48 @@ fn bench_rs(c: &mut Criterion) {
             },
             |mut cw| {
                 rs.decode(&mut cw, &[]).unwrap();
+                black_box(cw)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The syndrome kernel alone (every syndrome of a valid codeword).
+    c.bench_function("rs_syndromes_is_codeword_255", |b| {
+        b.iter(|| black_box(rs.is_codeword(&clean)))
+    });
+    // The common decode shape: a couple of errors, where the Chien
+    // early-exit stops after the last root instead of walking all 255
+    // positions — against an explicit reusable scratch.
+    let mut scratch = RsScratch::new();
+    scratch.warm_up(&rs);
+    c.bench_function("rs_decode_2_errors_scratch", |b| {
+        b.iter_batched(
+            || {
+                let mut cw = clean.clone();
+                cw[10] ^= 0x21;
+                cw[90] ^= 0x7E;
+                cw
+            },
+            |mut cw| {
+                rs.decode_with_scratch(&mut cw, &[], &mut scratch).unwrap();
+                black_box(cw)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let erasures: Vec<usize> = (0..20).map(|k| k * 9).collect();
+    c.bench_function("rs_decode_20_erasures_scratch", |b| {
+        b.iter_batched(
+            || {
+                let mut cw = clean.clone();
+                for &p in &erasures {
+                    cw[p] = 0;
+                }
+                cw
+            },
+            |mut cw| {
+                rs.decode_with_scratch(&mut cw, &erasures, &mut scratch)
+                    .unwrap();
                 black_box(cw)
             },
             BatchSize::SmallInput,

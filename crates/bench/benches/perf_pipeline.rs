@@ -38,6 +38,30 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(pipeline.decode_unit(&clusters).unwrap()))
     });
 
+    // Workspace on/off: a reused workspace (the steady state of every
+    // batch worker) versus paying the full buffer warm-up on every unit.
+    let opts = pipeline.decode_options().clone();
+    let mut ws = dna_storage::DecodeWorkspace::new();
+    c.bench_function("decode_unit_warm_workspace", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .decode_unit_with_workspace(&clusters, &opts, &mut ws)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("decode_unit_cold_workspace", |b| {
+        b.iter(|| {
+            let mut fresh = dna_storage::DecodeWorkspace::new();
+            black_box(
+                pipeline
+                    .decode_unit_with_workspace(&clusters, &opts, &mut fresh)
+                    .unwrap(),
+            )
+        })
+    });
+
     // The batch API: 8 units encoded/decoded as one parallel batch.
     let payloads: Vec<Vec<u8>> = (0..8)
         .map(|u| payload.iter().map(|&b| b.wrapping_add(u)).collect())

@@ -38,64 +38,138 @@ impl Default for BmaOneWay {
     }
 }
 
-/// Plurality vote over an iterator of bases; ties break toward the
-/// lexicographically smallest base so the procedure is deterministic.
-fn plurality<I: IntoIterator<Item = Base>>(items: I) -> Option<Base> {
-    let mut counts = [0usize; 4];
-    let mut any = false;
-    for b in items {
-        counts[b as usize] += 1;
-        any = true;
+/// Reads base `c` of a read in scan order: `FWD` is left-to-right, else
+/// right-to-left (read position `c` maps to `len−1−c`), which is how the
+/// two-way pass avoids materializing reversed copies of every read.
+#[inline]
+fn at<const FWD: bool>(r: &[Base], c: usize) -> Base {
+    if FWD {
+        r[c]
+    } else {
+        r[r.len() - 1 - c]
     }
-    if !any {
-        return None;
-    }
-    let mut best = Base::A;
-    let mut best_count = 0usize;
-    for b in Base::ALL {
-        if counts[b as usize] > best_count {
-            best = b;
-            best_count = counts[b as usize];
-        }
-    }
-    Some(best)
 }
 
-impl TraceReconstructor for BmaOneWay {
-    fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString {
+impl BmaOneWay {
+    /// Dispatches the const-generic scan core on the direction.
+    ///
+    /// A scan's position `t` depends only on positions `≤ t`, so asking
+    /// for fewer positions yields exactly the prefix of a longer scan —
+    /// which is how the two-way pass halves its work.
+    pub(crate) fn reconstruct_oriented(
+        &self,
+        reads: &[DnaString],
+        target_len: usize,
+        forward: bool,
+    ) -> DnaString {
+        if forward {
+            self.scan::<true>(reads, target_len)
+        } else {
+            self.scan::<false>(reads, target_len)
+        }
+    }
+
+    /// The shared one-way core, monomorphized per direction. The lookahead
+    /// window buffer is reused across output positions, and positions where
+    /// every active read already agrees — the overwhelmingly common case at
+    /// sequencing error rates — skip the window estimation and repair
+    /// passes entirely (no read needs a repair hypothesis, and all cursors
+    /// advance by one, exactly what the full pass would do).
+    fn scan<const FWD: bool>(&self, reads: &[DnaString], target_len: usize) -> DnaString {
         let mut cursors = vec![0usize; reads.len()];
         let mut out = DnaString::with_capacity(target_len);
         let w = self.lookahead;
+        let mut window: Vec<Option<Base>> = Vec::with_capacity(w);
+        let mut window_counts: Vec<[usize; 4]> = vec![[0; 4]; w];
         for _ in 0..target_len {
-            // 1. Current-character vote among active reads.
-            let votes = reads
-                .iter()
-                .zip(cursors.iter())
-                .filter(|(r, &c)| c < r.len())
-                .map(|(r, &c)| r[c]);
-            let Some(consensus) = plurality(votes) else {
+            // 1a. Unanimity probe: at sequencing error rates the active
+            // reads almost always agree, in which case the vote, window
+            // estimation, and repair passes are all dead work — every
+            // cursor just advances by one.
+            let mut first: Option<Base> = None;
+            let mut unanimous = true;
+            for (r, &c) in reads.iter().zip(cursors.iter()) {
+                let r = r.as_slice();
+                if c < r.len() {
+                    let b = at::<FWD>(r, c);
+                    match first {
+                        None => first = Some(b),
+                        Some(fb) if fb != b => {
+                            unanimous = false;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            let Some(first) = first else {
                 // All reads exhausted: pad deterministically.
                 out.push(Base::A);
                 continue;
             };
-
-            // 2. Estimate the upcoming window from reads that agree now.
-            let mut window = Vec::with_capacity(w);
-            for d in 1..=w {
-                let upcoming = reads
-                    .iter()
-                    .zip(cursors.iter())
-                    .filter(|(r, &c)| c < r.len() && r[c] == consensus && c + d < r.len())
-                    .map(|(r, &c)| r[c + d]);
-                window.push(plurality(upcoming));
+            if unanimous {
+                for (r, cursor) in reads.iter().zip(cursors.iter_mut()) {
+                    if *cursor < r.len() {
+                        *cursor += 1;
+                    }
+                }
+                out.push(first);
+                continue;
             }
 
+            // 1b. Current-character vote among active reads; plurality
+            // with ties toward the lexicographically smallest base keeps
+            // the procedure deterministic.
+            let mut counts = [0usize; 4];
+            for (r, &c) in reads.iter().zip(cursors.iter()) {
+                if c < r.len() {
+                    counts[at::<FWD>(r.as_slice(), c) as usize] += 1;
+                }
+            }
+            let mut consensus = Base::A;
+            let mut best = 0usize;
+            for b in Base::ALL {
+                if counts[b as usize] > best {
+                    consensus = b;
+                    best = counts[b as usize];
+                }
+            }
+
+            // 2. Estimate the upcoming window from reads that agree now —
+            // all lookahead depths tallied in one pass over the reads.
+            window_counts.iter_mut().for_each(|c| *c = [0; 4]);
+            for (r, &c) in reads.iter().zip(cursors.iter()) {
+                let r = r.as_slice();
+                if c < r.len() && at::<FWD>(r, c) == consensus {
+                    for (d, tally) in window_counts.iter_mut().enumerate() {
+                        if c + d + 1 < r.len() {
+                            tally[at::<FWD>(r, c + d + 1) as usize] += 1;
+                        }
+                    }
+                }
+            }
+            window.clear();
+            window.extend(window_counts.iter().map(|tally| {
+                // Same tie rule as the vote: ties toward the smallest
+                // base, `None` when no read reached this depth.
+                let mut best: Option<Base> = None;
+                let mut best_count = 0usize;
+                for b in Base::ALL {
+                    if tally[b as usize] > best_count {
+                        best = Some(b);
+                        best_count = tally[b as usize];
+                    }
+                }
+                best
+            }));
+
             // 3. Advance agreeing reads; diagnose and repair outliers.
-            for (r, cursor) in reads.iter().zip(cursors.iter_mut()) {
+            for (read, cursor) in reads.iter().zip(cursors.iter_mut()) {
+                let r = read.as_slice();
                 if *cursor >= r.len() {
                     continue;
                 }
-                if r[*cursor] == consensus {
+                if at::<FWD>(r, *cursor) == consensus {
                     *cursor += 1;
                     continue;
                 }
@@ -106,7 +180,7 @@ impl TraceReconstructor for BmaOneWay {
                     for (d, expected) in window.iter().enumerate() {
                         let Some(expected) = expected else { continue };
                         let pos = *cursor + offset + d;
-                        if pos < r.len() && r[pos] == *expected {
+                        if pos < r.len() && at::<FWD>(r, pos) == *expected {
                             s += 1;
                         }
                     }
@@ -117,12 +191,13 @@ impl TraceReconstructor for BmaOneWay {
                 // deletion: the true char vanished, so the read's *current*
                 // char must already be the upcoming consensus char (gate);
                 // the rest of the window then aligns at offset 0
-                let del_gate = matches!(window.first(), Some(Some(m)) if r[*cursor] == *m);
+                let del_gate =
+                    matches!(window.first(), Some(Some(m)) if at::<FWD>(r, *cursor) == *m);
                 let del_score = if del_gate { score(0) } else { 0 };
                 // insertion: spurious char here, so the *next* read char
                 // must be the current consensus char (gate); the rest of
                 // the window then aligns at offset 2
-                let ins_gate = *cursor + 1 < r.len() && r[*cursor + 1] == consensus;
+                let ins_gate = *cursor + 1 < r.len() && at::<FWD>(r, *cursor + 1) == consensus;
                 let ins_score = if ins_gate { score(2) + 1 } else { 0 };
 
                 // Tie order favors the simplest explanation: substitution,
@@ -141,6 +216,12 @@ impl TraceReconstructor for BmaOneWay {
             out.push(consensus);
         }
         out
+    }
+}
+
+impl TraceReconstructor for BmaOneWay {
+    fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString {
+        self.reconstruct_oriented(reads, target_len, true)
     }
 
     fn name(&self) -> &'static str {
@@ -175,13 +256,19 @@ impl BmaTwoWay {
 
 impl TraceReconstructor for BmaTwoWay {
     fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString {
-        let forward = self.inner.reconstruct(reads, target_len);
-        let reversed: Vec<DnaString> = reads.iter().map(DnaString::reversed).collect();
-        let backward_rev = self.inner.reconstruct(&reversed, target_len);
-        let backward = backward_rev.reversed();
+        // Each direction only contributes its own half, and a scan's
+        // prefix is independent of how far it would have continued — so
+        // each scan stops at its half and the merge is exactly the
+        // "best of both worlds" split of the full two-sided procedure.
         let split = target_len.div_ceil(2);
-        let mut out = forward.slice(0, split);
-        out.extend(backward.slice(split, target_len).into_bases());
+        let back_len = target_len - split;
+        let forward = self.inner.reconstruct_oriented(reads, split, true);
+        // The backward estimate, still in scan (reversed) order: its
+        // position j holds strand position target_len−1−j.
+        let backward_rev = self.inner.reconstruct_oriented(reads, back_len, false);
+        let mut out = DnaString::with_capacity(target_len);
+        out.extend(forward.as_slice().iter().copied());
+        out.extend((0..back_len).rev().map(|j| backward_rev[j]));
         out
     }
 

@@ -53,6 +53,7 @@ mod params;
 mod pipeline;
 mod report;
 mod scenario;
+mod workspace;
 
 pub use archive::{Archive, ArchiveCodec, FileEntry, RankingPolicy};
 pub use builder::PipelineBuilder;
@@ -64,6 +65,7 @@ pub use params::CodecParams;
 pub use pipeline::{EncodedUnit, Layout, Pipeline, RetrieveOptions};
 pub use report::{CodewordReport, DecodeReport};
 pub use scenario::{Scenario, GAMMA_SHAPE};
+pub use workspace::DecodeWorkspace;
 
 use std::error::Error;
 use std::fmt;

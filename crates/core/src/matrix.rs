@@ -57,6 +57,28 @@ impl SymbolMatrix {
         self.data[row * self.cols + col] = value;
     }
 
+    /// Reshapes to `rows × cols` and zeroes every cell, reusing the
+    /// existing storage when it is large enough — the workspace-reset
+    /// primitive for decode scratch reuse.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0);
+    }
+
+    /// Zeroes every cell of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of bounds.
+    pub fn zero_column(&mut self, col: usize) {
+        assert!(col < self.cols, "matrix index out of bounds");
+        for r in 0..self.rows {
+            self.data[r * self.cols + col] = 0;
+        }
+    }
+
     /// The symbols of column `col`, top to bottom (the molecule payload).
     pub fn column(&self, col: usize) -> Vec<u16> {
         (0..self.rows).map(|r| self.get(r, col)).collect()

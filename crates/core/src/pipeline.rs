@@ -8,15 +8,17 @@ use crate::mapper::DataMapper;
 use crate::matrix::SymbolMatrix;
 use crate::params::CodecParams;
 use crate::report::{CodewordReport, DecodeReport};
+use crate::workspace::DecodeWorkspace;
 use crate::StorageError;
-use dna_align::edit_distance_bounded;
+use dna_align::edit_distance_bounded_with;
 use dna_channel::{
     Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend, SimulatedSequencer,
 };
 use dna_consensus::TraceReconstructor;
 use dna_reed_solomon::{ReedSolomon, RsError};
 use dna_strand::codec::DirectCodec;
-use dna_strand::{bits, decode_index, encode_index, DnaString, Primer};
+use dna_strand::{bits, decode_index, encode_index_into, DnaString, Primer};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Which of the paper's data organizations a unit uses.
@@ -100,6 +102,9 @@ pub struct Pipeline {
     consensus: Arc<dyn TraceReconstructor + Send + Sync>,
     primers: Option<(Primer, Primer)>,
     default_retrieve: RetrieveOptions,
+    /// Every codeword's cell list, precomputed once from the geometry so
+    /// the per-unit hot paths never re-derive (or re-allocate) them.
+    cw_positions: Arc<Vec<Vec<(usize, usize)>>>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -143,6 +148,13 @@ impl Pipeline {
         primers: Option<(Primer, Primer)>,
         default_retrieve: RetrieveOptions,
     ) -> Pipeline {
+        let cw_positions = if rs.is_some() {
+            (0..geometry.codeword_count())
+                .map(|k| geometry.codeword_positions(k))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Pipeline {
             params,
             layout,
@@ -152,6 +164,7 @@ impl Pipeline {
             consensus,
             primers,
             default_retrieve,
+            cw_positions: Arc::new(cw_positions),
         }
     }
 
@@ -172,6 +185,12 @@ impl Pipeline {
     /// The data organization in use.
     pub fn layout(&self) -> &Layout {
         &self.layout
+    }
+
+    /// The codeword geometry placing each Reed–Solomon codeword in the
+    /// unit matrix.
+    pub fn geometry(&self) -> &(dyn CodewordGeometry + Send + Sync) {
+        self.geometry.as_ref()
     }
 
     /// Bytes of payload one unit holds.
@@ -215,28 +234,30 @@ impl Pipeline {
         }
         if let Some(rs) = &self.rs {
             let m_cols = self.params.data_cols();
-            for k in 0..self.geometry.codeword_count() {
-                let pos = self.geometry.codeword_positions(k);
-                let data: Vec<u16> = pos[..m_cols]
-                    .iter()
-                    .map(|&(r, c)| matrix.get(r, c))
-                    .collect();
-                let cw = rs.encode(&data)?;
+            // One codeword buffer reused across all codewords; parity is
+            // computed in place by the encoder's LFSR kernel.
+            let mut cw = vec![0u16; rs.codeword_len()];
+            for pos in self.cw_positions.iter() {
+                for (slot, &(r, c)) in cw[..m_cols].iter_mut().zip(&pos[..m_cols]) {
+                    *slot = matrix.get(r, c);
+                }
+                rs.fill_parity(&mut cw)?;
                 for (i, &(r, c)) in pos[m_cols..].iter().enumerate() {
                     matrix.set(r, c, cw[m_cols + i]);
                 }
             }
         }
         // Assemble strands: [primer] index | column symbols [primer].
+        // Symbols and indexes append in place — no per-symbol allocation.
         let mut strands = Vec::with_capacity(self.params.cols());
         for c in 0..self.params.cols() {
             let mut strand = DnaString::with_capacity(self.params.strand_bases());
             if let Some((left, _)) = &self.primers {
                 strand.extend(left.strand().iter().copied());
             }
-            strand.extend(encode_index(c as u32, self.params.index_bits())?.into_bases());
+            encode_index_into(c as u32, self.params.index_bits(), &mut strand)?;
             for r in 0..self.params.rows() {
-                strand.extend(DirectCodec.encode_symbol(matrix.get(r, c), m)?.into_bases());
+                DirectCodec.encode_symbol_into(matrix.get(r, c), m, &mut strand)?;
             }
             if let Some((_, right)) = &self.primers {
                 strand.extend(right.strand().iter().copied());
@@ -342,6 +363,10 @@ impl Pipeline {
 
     /// Decodes one unit with explicit [`RetrieveOptions`].
     ///
+    /// Internally this borrows a per-thread [`DecodeWorkspace`]; batch
+    /// callers that manage their own workspaces use
+    /// [`Pipeline::decode_unit_with_workspace`].
+    ///
     /// # Errors
     ///
     /// See [`Pipeline::decode_unit`].
@@ -350,78 +375,122 @@ impl Pipeline {
         clusters: &[Cluster],
         opts: &RetrieveOptions,
     ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        thread_local! {
+            static WORKSPACE: RefCell<DecodeWorkspace> = RefCell::new(DecodeWorkspace::new());
+        }
+        WORKSPACE.with(|ws| self.decode_unit_core(clusters, opts, &mut ws.borrow_mut()))
+    }
+
+    /// [`Pipeline::decode_unit_with`] against a caller-owned
+    /// [`DecodeWorkspace`]: after the workspace's first use, the column
+    /// assembly, erasure bookkeeping, and Reed–Solomon stages allocate
+    /// nothing. Results are byte-identical to the workspace-free API no
+    /// matter what the workspace was previously used for.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::decode_unit`].
+    pub fn decode_unit_with_workspace(
+        &self,
+        clusters: &[Cluster],
+        opts: &RetrieveOptions,
+        workspace: &mut DecodeWorkspace,
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        self.decode_unit_core(clusters, opts, workspace)
+    }
+
+    fn decode_unit_core(
+        &self,
+        clusters: &[Cluster],
+        opts: &RetrieveOptions,
+        ws: &mut DecodeWorkspace,
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
         let cols = self.params.cols();
         let rows = self.params.rows();
         let m = self.params.symbol_bits();
         let index_bases = usize::from(self.params.index_bits()) / 2;
         let sym_bases = usize::from(m) / 2;
-        let mut columns: Vec<Option<Vec<u16>>> = vec![None; cols];
+        // Split the workspace into disjoint buffers and rebuild each from
+        // scratch; nothing from a previous decode can leak through.
+        let DecodeWorkspace {
+            matrix,
+            present,
+            erased,
+            received,
+            erasures,
+            symbols,
+            rs: rs_scratch,
+            filtered,
+            dp_row,
+        } = ws;
+        matrix.reset(rows, cols);
+        present.clear();
+        present.resize(cols, false);
         let mut report = DecodeReport::default();
 
         for cluster in clusters {
-            let reads = self.filter_reads(cluster);
+            let reads: &[DnaString] = if self.primers.is_some() {
+                self.filter_reads_into(cluster, filtered, dp_row);
+                filtered
+            } else {
+                &cluster.reads
+            };
             if reads.is_empty() {
                 continue;
             }
             let full = self
                 .consensus
-                .reconstruct(&reads, self.params.strand_bases());
-            // Trim primers (their content is known; only the payload matters).
+                .reconstruct(reads, self.params.strand_bases());
+            // Trim primers (their content is known; only the payload
+            // matters). Sub-slices of the consensus strand stand in for
+            // the old per-region copies.
             let p = self.params.primer_len();
-            let strand = full.slice(p, full.len() - p);
+            let strand = &full.as_slice()[p..full.len() - p];
             let idx = if opts.trust_cluster_sources {
                 cluster.source as u32
             } else {
-                decode_index(
-                    strand.slice(0, index_bases).as_slice(),
-                    self.params.index_bits(),
-                )?
+                decode_index(&strand[..index_bases], self.params.index_bits())?
             };
             let idx = idx as usize;
             if idx >= cols {
                 report.invalid_indexes += 1;
                 continue;
             }
-            if columns[idx].is_some() {
+            if present[idx] {
                 report.index_conflicts += 1;
                 continue;
             }
-            let mut symbols = Vec::with_capacity(rows);
             for r in 0..rows {
                 let start = index_bases + r * sym_bases;
-                let sym = DirectCodec
-                    .decode_symbol(strand.slice(start, start + sym_bases).as_slice(), m)?;
-                symbols.push(sym);
+                let sym = DirectCodec.decode_symbol(&strand[start..start + sym_bases], m)?;
+                matrix.set(r, idx, sym);
             }
-            columns[idx] = Some(symbols);
+            present[idx] = true;
         }
         for &c in &opts.forced_erasures {
-            if c < cols {
-                columns[c] = None;
+            if c < cols && present[c] {
+                present[c] = false;
+                matrix.zero_column(c);
             }
         }
-        let erased: Vec<bool> = columns.iter().map(Option::is_none).collect();
+        erased.clear();
+        erased.extend(present.iter().map(|&p| !p));
         report.lost_columns = erased.iter().filter(|&&e| e).count();
 
-        let mut matrix = SymbolMatrix::zeros(rows, cols);
-        for (c, col) in columns.iter().enumerate() {
-            if let Some(symbols) = col {
-                matrix.set_column(c, symbols);
-            }
-        }
-
         if let Some(rs) = &self.rs {
-            for k in 0..self.geometry.codeword_count() {
-                let pos = self.geometry.codeword_positions(k);
-                let mut received: Vec<u16> = pos.iter().map(|&(r, c)| matrix.get(r, c)).collect();
-                let erasures: Vec<usize> = pos
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &(_, c))| erased[c])
-                    .map(|(i, _)| i)
-                    .collect();
+            report.codewords.reserve(self.cw_positions.len());
+            for pos in self.cw_positions.iter() {
+                received.clear();
+                received.extend(pos.iter().map(|&(r, c)| matrix.get(r, c)));
+                erasures.clear();
+                erasures.extend(
+                    pos.iter()
+                        .enumerate()
+                        .filter(|(_, &(_, c))| erased[c])
+                        .map(|(i, _)| i),
+                );
                 let declared = erasures.len();
-                match rs.decode(&mut received, &erasures) {
+                match rs.decode_with_scratch(received, erasures, rs_scratch) {
                     Ok(correction) => {
                         for (&(r, c), &sym) in pos.iter().zip(received.iter()) {
                             matrix.set(r, c, sym);
@@ -451,12 +520,12 @@ impl Pipeline {
 
         // Unmap the (best-effort corrected) data region.
         let n_symbols = rows * self.params.data_cols();
-        let mut symbols = Vec::with_capacity(n_symbols);
+        symbols.clear();
         for p in 0..n_symbols {
             let (r, c) = self.mapper.place(p, rows, self.params.data_cols());
             symbols.push(matrix.get(r, c));
         }
-        let payload = bits::symbols_to_bytes(&symbols, m, self.payload_capacity())?;
+        let payload = bits::symbols_to_bytes(symbols, m, self.payload_capacity())?;
         Ok((payload, report))
     }
 
@@ -487,35 +556,32 @@ impl Pipeline {
         per_unit_clusters: &[Vec<Cluster>],
         opts: &RetrieveOptions,
     ) -> Result<Vec<(Vec<u8>, DecodeReport)>, StorageError> {
-        dna_parallel::parallel_map(per_unit_clusters.len(), |u| {
-            self.decode_unit_with(&per_unit_clusters[u], opts)
+        dna_parallel::parallel_map_init(per_unit_clusters.len(), DecodeWorkspace::new, |ws, u| {
+            self.decode_unit_core(&per_unit_clusters[u], opts, ws)
         })
         .into_iter()
         .collect()
     }
 
-    /// Drops reads that fail the primer check (when primers are enabled):
-    /// the read must begin with something close to the left primer.
-    fn filter_reads(&self, cluster: &Cluster) -> Vec<DnaString> {
+    /// Collects the reads that pass the primer check into `out`: the read
+    /// must begin with something close to the left primer. Only called
+    /// when primers are configured; the DP row buffer is reused across
+    /// every comparison.
+    fn filter_reads_into(&self, cluster: &Cluster, out: &mut Vec<DnaString>, row: &mut Vec<usize>) {
+        out.clear();
         let Some((left, _)) = &self.primers else {
-            return cluster.reads.clone();
+            return;
         };
         let p = left.len();
         let slack = (p / 5).max(2);
-        cluster
-            .reads
-            .iter()
-            .filter(|read| {
-                let prefix = read.slice(0, (p + slack / 2).min(read.len()));
-                edit_distance_bounded(
-                    left.strand().as_slice(),
-                    prefix.as_slice(),
-                    slack + slack / 2,
-                )
+        for read in &cluster.reads {
+            let prefix = &read.as_slice()[..(p + slack / 2).min(read.len())];
+            if edit_distance_bounded_with(left.strand().as_slice(), prefix, slack + slack / 2, row)
                 .is_some()
-            })
-            .cloned()
-            .collect()
+            {
+                out.push(read.clone());
+            }
+        }
     }
 }
 

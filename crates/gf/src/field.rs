@@ -255,6 +255,18 @@ impl Field {
         Ok(self.log[x as usize])
     }
 
+    /// `x · α^logc` for a constant whose non-zero log was looked up once by
+    /// the caller: one exp load plus a single zero-branch. The hot-loop
+    /// primitive behind the slice kernels in [`crate::MulTable`]'s module.
+    #[inline]
+    pub(crate) fn mul_exp_log(&self, x: u16, logc: usize) -> u16 {
+        if x == 0 {
+            0
+        } else {
+            self.exp[self.log[x as usize] as usize + logc]
+        }
+    }
+
     /// `x` raised to the (possibly negative) integer power `e`.
     pub fn pow(&self, x: u16, e: i64) -> Result<u16, GfError> {
         if x == 0 {

@@ -10,6 +10,12 @@
 //! Elements are represented as `u16` regardless of the field width; values
 //! must be `< field.order()`.
 //!
+//! Hot loops should use the table-driven kernels — [`Field::mul_table`] /
+//! [`MulTable`] for fixed constants, [`Field::mul_slice`] /
+//! [`Field::mul_add_slice`] for per-call constants — instead of scalar
+//! [`Field::mul`]; the kernel design is documented in `PERFORMANCE.md` at
+//! the repository root.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,10 +36,12 @@
 #![warn(missing_docs)]
 
 mod field;
+mod mul_table;
 pub mod poly;
 mod tables;
 
 pub use field::Field;
+pub use mul_table::MulTable;
 
 use std::error::Error;
 use std::fmt;

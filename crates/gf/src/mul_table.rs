@@ -1,0 +1,309 @@
+//! Per-constant multiplication tables: the branch-free hot-path kernel.
+//!
+//! [`Field::mul`] costs two table lookups, an add, and two zero-branches
+//! per product. Hot loops that multiply *many* elements by the *same*
+//! constant — the Reed–Solomon encoder's LFSR taps, syndrome roots, Chien
+//! rotation steps — can instead precompute the full `c·x` product table
+//! once (`2^m` entries) and reduce every product to a single indexed load
+//! with no branches. This is the standard trick production RS/fountain
+//! pipelines use, and it is what the workspace's zero-allocation decode
+//! kernels are built on (see `PERFORMANCE.md` at the repository root).
+
+use crate::Field;
+
+/// A precomputed `x ↦ c·x` table over GF(2^m) for one fixed constant `c`.
+///
+/// Construction is `O(2^m)`; every product afterwards is a single table
+/// load with no zero-branches. Fields with `m ≤ 8` (notably GF(256), the
+/// laptop-scale field) use a dedicated byte-entry table: 256 bytes for
+/// GF(256), so a handful of tables stay resident in L1.
+///
+/// # Examples
+///
+/// ```
+/// use dna_gf::Field;
+///
+/// let f = Field::gf256();
+/// let t = f.mul_table(0x53);
+/// assert_eq!(t.mul(0xCA), f.mul(0x53, 0xCA));
+/// assert_eq!(t.mul(0), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulTable {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// `m ≤ 8`: products fit a byte; GF(256) tables are 4 cache lines.
+    Byte(Box<[u8]>),
+    /// `m > 8`: full-width entries.
+    Wide(Box<[u16]>),
+}
+
+impl MulTable {
+    /// Builds the table for constant `c` over `field`.
+    pub(crate) fn build(field: &Field, c: u16) -> MulTable {
+        debug_assert!((c as usize) < field.order());
+        let order = field.order();
+        if field.width() <= 8 {
+            let table: Box<[u8]> = (0..order as u16).map(|x| field.mul(c, x) as u8).collect();
+            MulTable {
+                repr: Repr::Byte(table),
+            }
+        } else {
+            let table: Box<[u16]> = (0..=(order - 1) as u16).map(|x| field.mul(c, x)).collect();
+            MulTable {
+                repr: Repr::Wide(table),
+            }
+        }
+    }
+
+    /// Number of entries (the field order `2^m`).
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Byte(t) => t.len(),
+            Repr::Wide(t) => t.len(),
+        }
+    }
+
+    /// Never true: tables always hold `2^m ≥ 4` entries.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The product `c·x`: one indexed load, no branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is not a field element (index out of bounds).
+    #[inline]
+    pub fn mul(&self, x: u16) -> u16 {
+        match &self.repr {
+            Repr::Byte(t) => u16::from(t[x as usize]),
+            Repr::Wide(t) => t[x as usize],
+        }
+    }
+
+    /// One Horner step: `c·acc + next` (add is XOR).
+    #[inline]
+    pub fn horner_step(&self, acc: u16, next: u16) -> u16 {
+        self.mul(acc) ^ next
+    }
+
+    /// Evaluates the polynomial whose coefficients are given in
+    /// **descending** degree order at this table's constant, by folding
+    /// [`MulTable::horner_step`] over `coeffs`. This is the syndrome
+    /// kernel: a received word in transmission order *is* its polynomial's
+    /// descending coefficients.
+    pub fn horner_eval(&self, coeffs: &[u16]) -> u16 {
+        match &self.repr {
+            Repr::Byte(t) => {
+                let mut acc = 0u16;
+                for &c in coeffs {
+                    acc = u16::from(t[acc as usize]) ^ c;
+                }
+                acc
+            }
+            Repr::Wide(t) => {
+                let mut acc = 0u16;
+                for &c in coeffs {
+                    acc = t[acc as usize] ^ c;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Multiplies every element of `xs` by the constant, in place.
+    pub fn mul_slice(&self, xs: &mut [u16]) {
+        match &self.repr {
+            Repr::Byte(t) => {
+                for x in xs {
+                    *x = u16::from(t[*x as usize]);
+                }
+            }
+            Repr::Wide(t) => {
+                for x in xs {
+                    *x = t[*x as usize];
+                }
+            }
+        }
+    }
+
+    /// Fused multiply-accumulate: `acc[i] ^= c·src[i]` for every `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn mul_add_slice(&self, acc: &mut [u16], src: &[u16]) {
+        assert_eq!(acc.len(), src.len(), "mul_add_slice length mismatch");
+        match &self.repr {
+            Repr::Byte(t) => {
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a ^= u16::from(t[s as usize]);
+                }
+            }
+            Repr::Wide(t) => {
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a ^= t[s as usize];
+                }
+            }
+        }
+    }
+}
+
+impl Field {
+    /// Precomputes the `x ↦ c·x` product table for the constant `c` — the
+    /// branch-free kernel for loops that multiply many elements by the
+    /// same constant. See [`MulTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `c` is not a field element.
+    pub fn mul_table(&self, c: u16) -> MulTable {
+        MulTable::build(self, c)
+    }
+
+    /// Multiplies every element of `xs` by the scalar `c` in place without
+    /// building a table: `log(c)` is looked up once and each element costs
+    /// one exp-load plus a zero-branch. Prefer [`Field::mul_table`] when
+    /// the constant is reused across many calls.
+    pub fn mul_slice(&self, xs: &mut [u16], c: u16) {
+        if c == 0 {
+            xs.fill(0);
+            return;
+        }
+        if c == 1 {
+            return;
+        }
+        let logc = self.log(c).expect("c is non-zero") as usize;
+        for x in xs {
+            *x = self.mul_exp_log(*x, logc);
+        }
+    }
+
+    /// Fused multiply-accumulate without a table: `acc[i] ^= c·src[i]`.
+    /// The scalar's log is looked up once; zero elements of `src` cost one
+    /// branch. This is the kernel for polynomial updates whose constant
+    /// changes every call (Berlekamp–Massey, locator products).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn mul_add_slice(&self, acc: &mut [u16], src: &[u16], c: u16) {
+        assert_eq!(acc.len(), src.len(), "mul_add_slice length mismatch");
+        if c == 0 {
+            return;
+        }
+        let logc = self.log(c).expect("c is non-zero") as usize;
+        for (a, &s) in acc.iter_mut().zip(src) {
+            *a ^= self.mul_exp_log(s, logc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_field_mul_exhaustively_gf16() {
+        let f = Field::new(4).unwrap();
+        for c in 0..16u16 {
+            let t = f.mul_table(c);
+            assert_eq!(t.len(), 16);
+            assert!(!t.is_empty());
+            for x in 0..16u16 {
+                assert_eq!(t.mul(x), f.mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_uses_byte_entries_and_matches() {
+        let f = Field::gf256();
+        for c in [0u16, 1, 2, 0x53, 0xFF] {
+            let t = f.mul_table(c);
+            assert_eq!(t.len(), 256);
+            for x in 0..256u16 {
+                assert_eq!(t.mul(x), f.mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf65536_wide_table_matches() {
+        let f = Field::gf65536();
+        for c in [1u16, 2, 0xBEEF, 0xFFFF] {
+            let t = f.mul_table(c);
+            assert_eq!(t.len(), 65536);
+            for x in [0u16, 1, 2, 0x1234, 0xBEEF, 0xFFFF] {
+                assert_eq!(t.mul(x), f.mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn horner_eval_matches_poly_eval() {
+        use crate::poly;
+        let f = Field::gf256();
+        let t = f.mul_table(0x1D);
+        // Descending coefficients [3, 7, 1] = 3x² + 7x + 1.
+        let desc = [3u16, 7, 1];
+        let mut asc = desc.to_vec();
+        asc.reverse();
+        assert_eq!(t.horner_eval(&desc), poly::eval(&f, &asc, 0x1D));
+        assert_eq!(t.horner_eval(&[]), 0);
+        assert_eq!(t.horner_step(5, 9), f.add(f.mul(0x1D, 5), 9));
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_loops() {
+        let f = Field::gf256();
+        let src: Vec<u16> = (0..256).collect();
+        for c in [0u16, 1, 77, 255] {
+            let t = f.mul_table(c);
+            let mut xs = src.clone();
+            t.mul_slice(&mut xs);
+            let expected: Vec<u16> = src.iter().map(|&x| f.mul(c, x)).collect();
+            assert_eq!(xs, expected, "table mul_slice c={c}");
+
+            let mut xs = src.clone();
+            f.mul_slice(&mut xs, c);
+            assert_eq!(xs, expected, "field mul_slice c={c}");
+
+            let mut acc: Vec<u16> = (0..256).rev().collect();
+            let mut acc2 = acc.clone();
+            let snapshot = acc.clone();
+            t.mul_add_slice(&mut acc, &src);
+            f.mul_add_slice(&mut acc2, &src, c);
+            let expected: Vec<u16> = snapshot
+                .iter()
+                .zip(&src)
+                .map(|(&a, &s)| a ^ f.mul(c, s))
+                .collect();
+            assert_eq!(acc, expected, "table mul_add_slice c={c}");
+            assert_eq!(acc2, expected, "field mul_add_slice c={c}");
+        }
+    }
+
+    #[test]
+    fn wide_field_slice_kernels_match() {
+        let f = Field::gf65536();
+        let src: Vec<u16> = (0..64).map(|i| i * 1021 + 3).collect();
+        for c in [0u16, 1, 0xBEEF] {
+            let t = f.mul_table(c);
+            let mut xs = src.clone();
+            t.mul_slice(&mut xs);
+            for (x, &s) in xs.iter().zip(&src) {
+                assert_eq!(*x, f.mul(c, s));
+            }
+            let mut acc = vec![0xAAAAu16; src.len()];
+            t.mul_add_slice(&mut acc, &src);
+            for (a, &s) in acc.iter().zip(&src) {
+                assert_eq!(*a, 0xAAAA ^ f.mul(c, s));
+            }
+        }
+    }
+}

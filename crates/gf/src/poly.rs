@@ -41,21 +41,24 @@ pub fn add(_field: &Field, a: &[u16], b: &[u16]) -> Vec<u16> {
 /// Multiplies two polynomials. The zero polynomial is represented by an
 /// empty slice (or any all-zero slice).
 pub fn mul(field: &Field, a: &[u16], b: &[u16]) -> Vec<u16> {
-    if a.is_empty() || b.is_empty() {
-        return Vec::new();
-    }
-    let mut out = vec![0u16; a.len() + b.len() - 1];
-    for (i, &ai) in a.iter().enumerate() {
-        if ai == 0 {
-            continue;
-        }
-        for (j, &bj) in b.iter().enumerate() {
-            if bj != 0 {
-                out[i + j] ^= field.mul(ai, bj);
-            }
-        }
-    }
+    let mut out = Vec::new();
+    mul_into(field, a, b, &mut out);
     out
+}
+
+/// [`mul`] writing the product into `out` (cleared first), so hot loops
+/// can reuse one buffer: no allocation occurs once `out`'s capacity covers
+/// `a.len() + b.len() − 1`. The row-times-constant inner step runs through
+/// [`Field::mul_add_slice`], which looks the row coefficient's log up once.
+pub fn mul_into(field: &Field, a: &[u16], b: &[u16], out: &mut Vec<u16>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    out.resize(a.len() + b.len() - 1, 0);
+    for (i, &ai) in a.iter().enumerate() {
+        field.mul_add_slice(&mut out[i..i + b.len()], b, ai);
+    }
 }
 
 /// Multiplies every coefficient of `p` by the scalar `s`.
@@ -121,6 +124,21 @@ mod tests {
         let f = Field::gf256();
         assert_eq!(mul(&f, &[], &[1, 2]), Vec::<u16>::new());
         assert_eq!(mul(&f, &[1], &[5, 6, 7]), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn mul_into_reuses_buffer_and_matches_mul() {
+        let f = Field::gf256();
+        let mut buf = Vec::new();
+        for (a, b) in [
+            (vec![1u16, 2, 3], vec![4u16, 5]),
+            (vec![0, 0, 7], vec![9]),
+            (vec![], vec![1, 2]),
+            (vec![255, 1], vec![0, 0]),
+        ] {
+            mul_into(&f, &a, &b, &mut buf);
+            assert_eq!(buf, mul(&f, &a, &b), "a={a:?} b={b:?}");
+        }
     }
 
     #[test]

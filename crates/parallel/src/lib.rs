@@ -65,12 +65,58 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_init_with(n, threads, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with a per-worker workspace: each worker thread calls
+/// `init()` exactly once and threads the resulting value mutably through
+/// every item it processes. This is how batch decode reuses scratch
+/// buffers across units without sharing them across threads.
+///
+/// Determinism contract: `f` must give the same result for a given item
+/// regardless of the workspace's prior use (workspaces are caches, not
+/// state), which keeps results independent of the thread count.
+///
+/// # Examples
+///
+/// ```
+/// // Each worker reuses one scratch buffer across its items.
+/// let out = dna_parallel::parallel_map_init(
+///     4,
+///     Vec::new,
+///     |buf: &mut Vec<usize>, i| {
+///         buf.clear();
+///         buf.extend(0..=i);
+///         buf.iter().sum::<usize>()
+///     },
+/// );
+/// assert_eq!(out, vec![0, 1, 3, 6]);
+/// ```
+pub fn parallel_map_init<W, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    parallel_map_init_with(n, max_threads(), init, f)
+}
+
+/// [`parallel_map_init`] with an explicit thread budget. `threads` only
+/// changes how items are sliced across workers (and thus how many
+/// workspaces are created) — never the results.
+pub fn parallel_map_init_with<W, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
     if n == 0 {
         return Vec::new();
     }
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut w = init();
+        return (0..n).map(|i| f(&mut w, i)).collect();
     }
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -85,10 +131,11 @@ where
             }
             let (mine, tail) = rest.split_at_mut(hi - lo);
             rest = tail;
-            let f = &f;
+            let (init, f) = (&init, &f);
             handles.push(scope.spawn(move || {
+                let mut w = init();
                 for (off, slot) in mine.iter_mut().enumerate() {
-                    *slot = Some(f(lo + off));
+                    *slot = Some(f(&mut w, lo + off));
                 }
             }));
         }
@@ -172,6 +219,18 @@ mod tests {
         assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(1, |i| i + 41), vec![41]);
         assert_eq!(parallel_map_with(3, 100, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_init_matches_plain_map_at_any_thread_count() {
+        let reference = parallel_map_with(41, 1, |i| i * i + 1);
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map_init_with(41, threads, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i); // workspace state must not affect results
+                i * i + 1
+            });
+            assert_eq!(got, reference, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! the systematic encoder. Decoding lives in [`crate::decoder`].
 
 use crate::decoder;
+use crate::scratch::RsScratch;
 use crate::RsError;
-use dna_gf::Field;
+use dna_gf::{Field, MulTable};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// A systematic, possibly shortened Reed–Solomon code over GF(2^m).
 ///
@@ -33,6 +36,23 @@ pub struct ReedSolomon {
     /// Generator polynomial in **descending** degree order; `gen_desc[0] = 1`
     /// is the coefficient of `x^E`.
     gen_desc: Vec<u16>,
+    /// Precomputed hot-path kernels, shared across clones.
+    tables: Arc<RsTables>,
+}
+
+/// The per-code constant-multiplication tables: the encoder LFSR's tap
+/// products and one [`MulTable`] per syndrome root `α^1…α^E` (the
+/// decoder's Horner kernel). Built once at construction; `Arc`-shared so
+/// cloning a code stays cheap.
+#[derive(Debug)]
+struct RsTables {
+    /// Per-generator-coefficient product tables, transposed and flattened
+    /// so one feedback value reads one contiguous row:
+    /// `gen_flat[coef·E + j] = gen_desc[j+1] · coef`. A whole LFSR step
+    /// then touches two cache lines instead of `E` scattered tables.
+    gen_flat: Vec<u16>,
+    /// `roots[j]` multiplies by `α^{j+1}`.
+    roots: Vec<MulTable>,
 }
 
 /// A report of what [`ReedSolomon::decode`] corrected.
@@ -87,11 +107,25 @@ impl ReedSolomon {
         }
         gen.reverse(); // descending: x^E coefficient (=1) first
         debug_assert_eq!(gen[0], 1);
+        let mut gen_flat = vec![0u16; field.order() * parity_len];
+        for coef in 0..field.order() {
+            let row = &mut gen_flat[coef * parity_len..][..parity_len];
+            for (slot, &g) in row.iter_mut().zip(&gen[1..]) {
+                *slot = field.mul(g, coef as u16);
+            }
+        }
+        let tables = RsTables {
+            gen_flat,
+            roots: (1..=parity_len)
+                .map(|j| field.mul_table(field.alpha_pow(j as i64)))
+                .collect(),
+        };
         Ok(ReedSolomon {
             field,
             data_len,
             parity_len,
             gen_desc: gen,
+            tables: Arc::new(tables),
         })
     }
 
@@ -113,6 +147,13 @@ impl ReedSolomon {
     /// Total codeword length `M + E`.
     pub fn codeword_len(&self) -> usize {
         self.data_len + self.parity_len
+    }
+
+    /// The generator polynomial `g(x) = Π_{j=1..E} (x − α^j)` in
+    /// **descending** degree order (the leading `x^E` coefficient, always
+    /// 1, comes first).
+    pub fn generator(&self) -> &[u16] {
+        &self.gen_desc
     }
 
     /// Encodes `data` into a fresh systematic codeword `[data | parity]`.
@@ -159,27 +200,43 @@ impl ReedSolomon {
             });
         }
         let e = self.parity_len;
-        let f = &self.field;
-        // Polynomial long division: parity = data(x)·x^E mod g(x).
-        let mut rem = vec![0u16; e];
-        for &data_sym in &codeword[..self.data_len] {
-            let coef = data_sym ^ rem[0];
-            for j in 0..e - 1 {
-                rem[j] = rem[j + 1] ^ f.mul(self.gen_desc[j + 1], coef);
+        // Polynomial long division as an LFSR over the per-coefficient tap
+        // products, running directly in the codeword's parity region:
+        // parity = data(x)·x^E mod g(x). Each step reads one contiguous
+        // `gen_flat` row, shifts the register, and XORs the row in — no
+        // allocation, no zero-branches, no per-element table dispatch.
+        let (data, rem) = codeword.split_at_mut(self.data_len);
+        rem.fill(0);
+        let flat = &self.tables.gen_flat;
+        for &data_sym in data.iter() {
+            let coef = usize::from(data_sym ^ rem[0]);
+            let row = &flat[coef * e..][..e];
+            rem.copy_within(1.., 0);
+            rem[e - 1] = 0;
+            for (r, &tap) in rem.iter_mut().zip(row) {
+                *r ^= tap;
             }
-            rem[e - 1] = f.mul(self.gen_desc[e], coef);
         }
-        codeword[self.data_len..].copy_from_slice(&rem);
         Ok(())
+    }
+
+    /// Computes the `E` syndromes `S_j = r(α^j)`, `j = 1..=E`, into `out`
+    /// via the per-root Horner kernels.
+    pub(crate) fn syndromes_into(&self, received: &[u16], out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.tables.roots.iter().map(|t| t.horner_eval(received)));
+    }
+
+    /// Whether every syndrome of `word` vanishes; exits at the first
+    /// non-zero syndrome.
+    pub(crate) fn syndromes_vanish(&self, word: &[u16]) -> bool {
+        self.tables.roots.iter().all(|t| t.horner_eval(word) == 0)
     }
 
     /// Returns `true` when all syndromes of `word` vanish (i.e. `word` is a
     /// valid codeword of this code). Wrong-length input returns `false`.
     pub fn is_codeword(&self, word: &[u16]) -> bool {
-        word.len() == self.codeword_len()
-            && decoder::syndromes(&self.field, word, self.parity_len)
-                .iter()
-                .all(|&s| s == 0)
+        word.len() == self.codeword_len() && self.syndromes_vanish(word)
     }
 
     /// Corrects `received` in place, treating `erasures` (positions within
@@ -196,8 +253,34 @@ impl ReedSolomon {
     ///   [`RsError::BadErasure`] for malformed input;
     /// - [`RsError::TooManyErasures`] when `erasures.len() > parity_len`;
     /// - [`RsError::TooManyErrors`] when the noise exceeds `2ν + ρ ≤ E`.
+    ///
+    /// Internally this borrows a per-thread [`RsScratch`], so steady-state
+    /// decoding performs no heap allocations beyond the returned
+    /// [`Correction`]'s position list; batch callers that want explicit
+    /// control use [`ReedSolomon::decode_with_scratch`].
     pub fn decode(&self, received: &mut [u16], erasures: &[usize]) -> Result<Correction, RsError> {
-        decoder::decode(self, received, erasures)
+        thread_local! {
+            static SCRATCH: RefCell<RsScratch> = RefCell::new(RsScratch::new());
+        }
+        SCRATCH
+            .with(|s| decoder::decode_with_scratch(self, received, erasures, &mut s.borrow_mut()))
+    }
+
+    /// [`ReedSolomon::decode`] against a caller-owned [`RsScratch`]: after
+    /// the scratch's first use, decoding allocates nothing. Results are
+    /// byte-identical to [`ReedSolomon::decode`] regardless of what the
+    /// scratch was previously used for.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReedSolomon::decode`].
+    pub fn decode_with_scratch(
+        &self,
+        received: &mut [u16],
+        erasures: &[usize],
+        scratch: &mut RsScratch,
+    ) -> Result<Correction, RsError> {
+        decoder::decode_with_scratch(self, received, erasures, scratch)
     }
 }
 

@@ -6,31 +6,35 @@
 //! polynomial `c(x) = Σ c_i · x^(L−1−i)`. Syndromes use consecutive roots
 //! `α^1 … α^E` (fcr = 1), which keeps the Forney magnitude formula free of
 //! the `X^(1−fcr)` factor.
+//!
+//! Every intermediate lives in the caller's [`RsScratch`], so steady-state
+//! decoding performs no heap allocations (see `PERFORMANCE.md`): syndromes
+//! run through the per-root [`dna_gf::MulTable`] Horner kernel, the Chien
+//! search is the incremental coefficient-rotation form with an early exit
+//! once all `deg Ψ` roots are found, and the polynomial products reuse
+//! scratch buffers via [`poly::mul_into`].
 
 use crate::code::{Correction, ReedSolomon};
+use crate::scratch::RsScratch;
 use crate::RsError;
-use dna_gf::{poly, Field};
+use dna_gf::poly;
 
-/// Computes the `E` syndromes `S_j = r(α^j)`, `j = 1..=E`, by Horner's rule
-/// over the received symbols in transmission order.
-pub(crate) fn syndromes(field: &Field, received: &[u16], parity_len: usize) -> Vec<u16> {
-    (1..=parity_len)
-        .map(|j| {
-            let root = field.alpha_pow(j as i64);
-            let mut acc = 0u16;
-            for &r in received {
-                acc = field.add(field.mul(acc, root), r);
-            }
-            acc
-        })
-        .collect()
-}
-
-/// Berlekamp–Massey over the (Forney) syndrome sequence; returns the error
-/// locator Λ(x) in ascending order (Λ[0] = 1).
-fn berlekamp_massey(field: &Field, synd: &[u16]) -> Vec<u16> {
-    let mut lambda = vec![1u16];
-    let mut prev = vec![1u16]; // B(x)
+/// Berlekamp–Massey over the (Forney) syndrome sequence; leaves the error
+/// locator Λ(x) in `lambda`, ascending order (Λ[0] = 1), trimmed to its
+/// degree. `prev` and `tmp` are staging buffers for B(x) and the
+/// pre-update Λ snapshot.
+fn berlekamp_massey_into(
+    rs: &ReedSolomon,
+    synd: &[u16],
+    lambda: &mut Vec<u16>,
+    prev: &mut Vec<u16>,
+    tmp: &mut Vec<u16>,
+) {
+    let field = rs.field();
+    lambda.clear();
+    lambda.push(1);
+    prev.clear();
+    prev.push(1); // B(x)
     let mut l = 0usize; // current LFSR length
     let mut m = 1usize; // steps since last update
     let mut b = 1u16; // discrepancy at last update
@@ -41,62 +45,53 @@ fn berlekamp_massey(field: &Field, synd: &[u16]) -> Vec<u16> {
         }
         if delta == 0 {
             m += 1;
-        } else if 2 * l <= n {
-            let old = lambda.clone();
-            let coef = field
-                .div(delta, b)
-                .expect("b is a recorded non-zero discrepancy");
-            // λ(x) -= coef · x^m · B(x)
+            continue;
+        }
+        let coef = field
+            .div(delta, b)
+            .expect("b is a recorded non-zero discrepancy");
+        if 2 * l <= n {
+            tmp.clear();
+            tmp.extend_from_slice(lambda);
             if lambda.len() < prev.len() + m {
                 lambda.resize(prev.len() + m, 0);
             }
-            for (i, &p) in prev.iter().enumerate() {
-                lambda[i + m] ^= field.mul(coef, p);
-            }
+            // λ(x) -= coef · x^m · B(x)
+            field.mul_add_slice(&mut lambda[m..m + prev.len()], prev, coef);
             l = n + 1 - l;
-            prev = old;
+            std::mem::swap(prev, tmp);
             b = delta;
             m = 1;
         } else {
-            let coef = field
-                .div(delta, b)
-                .expect("b is a recorded non-zero discrepancy");
             if lambda.len() < prev.len() + m {
                 lambda.resize(prev.len() + m, 0);
             }
-            for (i, &p) in prev.iter().enumerate() {
-                lambda[i + m] ^= field.mul(coef, p);
-            }
+            field.mul_add_slice(&mut lambda[m..m + prev.len()], prev, coef);
             m += 1;
         }
     }
     // Trim trailing zeros but keep at least the constant term.
-    let deg = poly::degree(&lambda).unwrap_or(0);
+    let deg = poly::degree(lambda).unwrap_or(0);
     lambda.truncate(deg + 1);
-    lambda
 }
 
-/// The erasure locator Γ(x) = Π_k (1 − X_k·x), ascending coefficients.
-fn erasure_locator(field: &Field, locators: &[u16]) -> Vec<u16> {
-    let mut gamma = vec![1u16];
-    for &x in locators {
-        // multiply by (1 + X·x)
-        let mut next = vec![0u16; gamma.len() + 1];
-        for (i, &g) in gamma.iter().enumerate() {
-            next[i] ^= g;
-            next[i + 1] ^= field.mul(g, x);
-        }
-        gamma = next;
+/// Multiplies `gamma` by `(1 + X·x)` in place (one erasure locator step).
+fn gamma_step(rs: &ReedSolomon, gamma: &mut Vec<u16>, x: u16) {
+    let field = rs.field();
+    gamma.push(0);
+    for j in (1..gamma.len()).rev() {
+        let carry = field.mul(gamma[j - 1], x);
+        gamma[j] ^= carry;
     }
-    gamma
 }
 
-pub(crate) fn decode(
+pub(crate) fn decode_with_scratch(
     rs: &ReedSolomon,
     received: &mut [u16],
     erasures: &[usize],
+    s: &mut RsScratch,
 ) -> Result<Correction, RsError> {
-    let field = rs.field().clone();
+    let field = rs.field();
     let l_cw = rs.codeword_len();
     let e = rs.parity_len();
     if received.len() != l_cw {
@@ -114,12 +109,13 @@ pub(crate) fn decode(
             value: received[bad],
         });
     }
-    let mut seen = vec![false; l_cw];
+    s.seen.clear();
+    s.seen.resize(l_cw, false);
     for &pos in erasures {
-        if pos >= l_cw || seen[pos] {
+        if pos >= l_cw || s.seen[pos] {
             return Err(RsError::BadErasure(pos));
         }
-        seen[pos] = true;
+        s.seen[pos] = true;
     }
     if erasures.len() > e {
         return Err(RsError::TooManyErasures {
@@ -128,68 +124,120 @@ pub(crate) fn decode(
         });
     }
 
-    let synd = syndromes(&field, received, e);
-    if synd.iter().all(|&s| s == 0) {
+    rs.syndromes_into(received, &mut s.synd);
+    if s.synd.iter().all(|&v| v == 0) {
         return Ok(Correction::default());
     }
 
-    // Erasure locator from position → locator α^(L−1−i).
-    let erasure_locs: Vec<u16> = erasures
-        .iter()
-        .map(|&i| field.alpha_pow((l_cw - 1 - i) as i64))
-        .collect();
-    let gamma = erasure_locator(&field, &erasure_locs);
+    // Erasure locator Γ(x) = Π_k (1 − X_k·x) from position → locator
+    // α^(L−1−i), built up one in-place step per erasure.
+    s.gamma.clear();
+    s.gamma.push(1);
+    for &pos in erasures {
+        let x = field.alpha_pow((l_cw - 1 - pos) as i64);
+        gamma_step(rs, &mut s.gamma, x);
+    }
 
     // Forney syndromes: coefficients ρ..E−1 of Γ(x)·S(x).
     let rho = erasures.len();
-    let gs = poly::mul(&field, &gamma, &synd);
-    let forney_synd: Vec<u16> = (rho..e).map(|i| *gs.get(i).unwrap_or(&0)).collect();
+    poly::mul_into(field, &s.gamma, &s.synd, &mut s.gs);
+    s.forney.clear();
+    s.forney
+        .extend((rho..e).map(|i| s.gs.get(i).copied().unwrap_or(0)));
 
-    let lambda = berlekamp_massey(&field, &forney_synd);
-    let nu = poly::degree(&lambda).unwrap_or(0);
+    berlekamp_massey_into(rs, &s.forney, &mut s.lambda, &mut s.prev, &mut s.tmp);
+    let nu = poly::degree(&s.lambda).unwrap_or(0);
     if 2 * nu + rho > e {
         return Err(RsError::TooManyErrors);
     }
 
     // Combined locator Ψ = Λ·Γ and evaluator Ω = S·Ψ mod x^E.
-    let psi = poly::mul(&field, &lambda, &gamma);
-    let omega = poly::mod_xk(&poly::mul(&field, &synd, &psi), e);
-    let psi_deg = poly::degree(&psi).unwrap_or(0);
+    poly::mul_into(field, &s.lambda, &s.gamma, &mut s.psi);
+    poly::mul_into(field, &s.synd, &s.psi, &mut s.omega);
+    s.omega.truncate(e);
+    let psi_deg = poly::degree(&s.psi).unwrap_or(0);
 
-    // Chien search: position i is corrupted iff Ψ(X_i^{-1}) = 0.
-    let psi_prime = poly::derivative(&field, &psi);
-    let mut fixes: Vec<(usize, u16)> = Vec::with_capacity(psi_deg);
+    // Chien search in coefficient-rotation form: register j holds
+    // Ψ_j · x_i^j for the current position's evaluation point
+    // x_i = X_i^{-1} = α^{−(L−1−i)}; position i is corrupted iff the
+    // registers XOR to zero. Stepping i → i+1 multiplies register j by
+    // α^j. Once deg Ψ roots are found no further roots can exist, so the
+    // scan exits early instead of walking all L positions.
+    s.chien.clear();
+    s.chien.extend_from_slice(&s.psi[..psi_deg + 1]);
+    s.alpha_step.clear();
+    s.alpha_step.push(1);
+    let x0 = field.alpha_pow(-((l_cw - 1) as i64));
+    let mut x0_pow = 1u16;
+    for j in 1..=psi_deg {
+        x0_pow = field.mul(x0_pow, x0);
+        s.chien[j] = field.mul(s.chien[j], x0_pow);
+        s.alpha_step.push(field.alpha_pow(j as i64));
+    }
+    s.fixes.clear();
     for i in 0..l_cw {
-        let x_inv = field.alpha_pow(-((l_cw - 1 - i) as i64));
-        if poly::eval(&field, &psi, x_inv) == 0 {
-            let num = poly::eval(&field, &omega, x_inv);
-            let den = poly::eval(&field, &psi_prime, x_inv);
-            let magnitude = field.div(num, den).map_err(|_| RsError::TooManyErrors)?;
-            fixes.push((i, magnitude));
+        if s.fixes.len() == psi_deg {
+            break; // every root found — the locator has no more
+        }
+        let eval = s.chien[..=psi_deg].iter().fold(0u16, |a, &c| a ^ c);
+        if eval == 0 {
+            let x_inv = field.alpha_pow(-((l_cw - 1 - i) as i64));
+            // Forney magnitude Ω(x)/Ψ'(x). In characteristic 2,
+            // x·Ψ'(x) = Σ_{j odd} Ψ_j x^j is the XOR of the odd
+            // registers, so the division scales both sides by x.
+            let num = s
+                .omega
+                .iter()
+                .rev()
+                .fold(0u16, |acc, &c| field.mul(acc, x_inv) ^ c);
+            let mut odd = 0u16;
+            let mut j = 1;
+            while j <= psi_deg {
+                odd ^= s.chien[j];
+                j += 2;
+            }
+            let magnitude = field
+                .div(field.mul(num, x_inv), odd)
+                .map_err(|_| RsError::TooManyErrors)?;
+            s.fixes.push((i, magnitude));
+        }
+        for j in 1..=psi_deg {
+            s.chien[j] = field.mul(s.chien[j], s.alpha_step[j]);
         }
     }
-    if fixes.len() != psi_deg {
+    if s.fixes.len() != psi_deg {
         // The locator does not split over the field: uncorrectable pattern.
         return Err(RsError::TooManyErrors);
     }
 
-    // Apply tentatively, verify, and roll back on mis-correction.
-    for &(i, mag) in &fixes {
+    // Apply tentatively, verify, and roll back on mis-correction. The
+    // verification updates the syndromes incrementally instead of
+    // re-scanning the codeword: flipping position i by `mag` changes
+    // S_j by mag·X_i^j with X_i = α^(L−1−i) — exact field arithmetic,
+    // so the verdict is identical to recomputing from scratch at a
+    // fraction of the cost (E products per fix instead of E·L loads).
+    for &(i, mag) in &s.fixes {
         received[i] ^= mag;
+        let x = field.alpha_pow((l_cw - 1 - i) as i64);
+        let mut cur = mag;
+        for slot in s.synd.iter_mut() {
+            cur = field.mul(cur, x);
+            *slot ^= cur;
+        }
     }
-    if syndromes(&field, received, e).iter().any(|&s| s != 0) {
-        for &(i, mag) in &fixes {
+    if s.synd.iter().any(|&v| v != 0) {
+        for &(i, mag) in &s.fixes {
             received[i] ^= mag;
         }
         return Err(RsError::TooManyErrors);
     }
 
     let mut correction = Correction::default();
-    for &(i, mag) in &fixes {
+    for &(i, mag) in &s.fixes {
         if mag == 0 {
             continue; // an erased position that already held the right symbol
         }
-        if seen[i] {
+        if s.seen[i] {
             correction.erasures += 1;
         } else {
             correction.errors += 1;
@@ -402,5 +450,40 @@ mod tests {
         let c = rs.decode(&mut cw, &[20, 30, 40]).unwrap();
         assert_eq!(cw, clean);
         assert_eq!(c.errors, 4);
+    }
+
+    #[test]
+    fn scratch_reuse_across_codes_and_failures_matches_fresh() {
+        // One scratch reused across different geometries, fields, and a
+        // failing decode in between; every result must equal a fresh-
+        // scratch decode.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut shared = RsScratch::new();
+        let codes = [
+            ReedSolomon::new(Field::gf16(), 9, 6).unwrap(),
+            ReedSolomon::new(Field::gf256(), 40, 16).unwrap(),
+            ReedSolomon::new(Field::gf65536(), 30, 10).unwrap(),
+        ];
+        for trial in 0..12 {
+            let rs = &codes[trial % codes.len()];
+            // Largest non-zero symbol (caps at u16::MAX for GF(65536)).
+            let max_sym = (rs.field().order() - 1).min(usize::from(u16::MAX)) as u16;
+            let data = sample_data(&mut rng, rs.data_len(), max_sym);
+            let clean = rs.encode(&data).unwrap();
+            let mut cw = clean.clone();
+            for k in 0..rs.parity_len() / 2 {
+                cw[(k * 5) % rs.codeword_len()] ^= 1 + (trial as u16 % max_sym);
+            }
+            let mut fresh_cw = cw.clone();
+            let fresh = rs.decode_with_scratch(&mut fresh_cw, &[], &mut RsScratch::new());
+            let shared_res = rs.decode_with_scratch(&mut cw, &[], &mut shared);
+            assert_eq!(fresh, shared_res, "trial {trial}");
+            assert_eq!(fresh_cw, cw, "trial {trial}");
+            // Poison the shared scratch with a hopeless decode.
+            let mut garbage: Vec<u16> = (0..rs.codeword_len())
+                .map(|_| rng.gen_range(0..=max_sym))
+                .collect();
+            let _ = rs.decode_with_scratch(&mut garbage, &[0, 2], &mut shared);
+        }
     }
 }

@@ -17,6 +17,14 @@
 //! and reports per-codeword correction statistics (used to reproduce the
 //! paper's Figure 11).
 //!
+//! The hot path is table-driven and allocation-free at steady state: the
+//! encoder's LFSR taps and the decoder's syndrome roots each own a
+//! precomputed [`dna_gf::MulTable`], and every decode intermediate lives
+//! in an [`RsScratch`] workspace ([`ReedSolomon::decode`] keeps a
+//! per-thread one; [`ReedSolomon::decode_with_scratch`] takes the
+//! caller's). Kernel design and measurements are documented in
+//! `PERFORMANCE.md` at the repository root.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,8 +51,10 @@
 
 mod code;
 mod decoder;
+mod scratch;
 
 pub use code::{Correction, ReedSolomon};
+pub use scratch::RsScratch;
 
 use std::error::Error;
 use std::fmt;

@@ -2,7 +2,7 @@
 //! within the code's correction capability.
 
 use dna_gf::Field;
-use dna_reed_solomon::{ReedSolomon, RsError};
+use dna_reed_solomon::{ReedSolomon, RsError, RsScratch};
 use proptest::prelude::*;
 
 /// Geometry + payload + a noise plan that respects `2ν + ρ ≤ E`.
@@ -91,6 +91,31 @@ proptest! {
     }
 
     #[test]
+    fn scratch_decode_is_byte_identical_even_after_poisoning(s in scenario()) {
+        let rs = ReedSolomon::new(Field::gf256(), s.data_len, s.parity_len).unwrap();
+        let clean = rs.encode(&s.data).unwrap();
+        let mut noisy = clean.clone();
+        for &(pos, mask) in &s.errors {
+            noisy[pos] ^= mask;
+        }
+        for &pos in &s.erasures {
+            noisy[pos] = 0;
+        }
+        // Reference: the plain API (itself scratch-backed per thread).
+        let mut reference_cw = noisy.clone();
+        let reference = rs.decode(&mut reference_cw, &s.erasures);
+        // Candidate: an explicit scratch poisoned by a failed decode of a
+        // hopeless word first — no state may leak into the real decode.
+        let mut scratch = RsScratch::new();
+        let mut hopeless: Vec<u16> = (0..rs.codeword_len() as u16).map(|i| i.wrapping_mul(37) % 251).collect();
+        let _ = rs.decode_with_scratch(&mut hopeless, &[0, 2, 4], &mut scratch);
+        let mut scratch_cw = noisy.clone();
+        let got = rs.decode_with_scratch(&mut scratch_cw, &s.erasures, &mut scratch);
+        prop_assert_eq!(reference, got);
+        prop_assert_eq!(reference_cw, scratch_cw);
+    }
+
+    #[test]
     fn failed_decode_never_mutates(
         data in proptest::collection::vec(0u16..256, 8..20),
         seed in any::<u64>(),
@@ -111,5 +136,48 @@ proptest! {
             Ok(_) => prop_assert!(rs.is_codeword(&cw)), // bounded-distance miscorrect
             Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
         }
+    }
+}
+
+/// The GF(65536) equivalent of the byte-identity property, with a plain
+/// seeded loop so the (expensive) full-scale field and its tables are
+/// built once rather than per proptest case.
+#[test]
+fn gf65536_scratch_decode_is_byte_identical() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let rs = ReedSolomon::new(Field::gf65536(), 50, 14).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut scratch = RsScratch::new();
+    for trial in 0..40 {
+        let data: Vec<u16> = (0..50).map(|_| rng.gen_range(0..=u16::MAX)).collect();
+        let clean = rs.encode(&data).unwrap();
+        let mut noisy = clean.clone();
+        // ρ erasures + ν errors with 2ν + ρ up to (and 25% beyond) E.
+        let rho = rng.gen_range(0..=8usize);
+        let nu = rng.gen_range(0..=4usize);
+        let mut positions: Vec<usize> = (0..rs.codeword_len()).collect();
+        for k in 0..rho + nu {
+            let j = rng.gen_range(k..positions.len());
+            positions.swap(k, j);
+        }
+        let erasures: Vec<usize> = positions[..rho].to_vec();
+        for &p in &erasures {
+            noisy[p] = rng.gen_range(0..=u16::MAX);
+        }
+        for &p in &positions[rho..rho + nu] {
+            noisy[p] ^= rng.gen_range(1..=u16::MAX);
+        }
+        let mut reference_cw = noisy.clone();
+        let reference = rs.decode(&mut reference_cw, &erasures);
+        let mut scratch_cw = noisy.clone();
+        let got = rs.decode_with_scratch(&mut scratch_cw, &erasures, &mut scratch);
+        assert_eq!(reference, got, "trial {trial}");
+        assert_eq!(reference_cw, scratch_cw, "trial {trial}");
+        // Poison the shared scratch before the next trial.
+        let mut junk: Vec<u16> = (0..rs.codeword_len())
+            .map(|_| rng.gen_range(0..=u16::MAX))
+            .collect();
+        let _ = rs.decode_with_scratch(&mut junk, &[1, 3, 5], &mut scratch);
     }
 }

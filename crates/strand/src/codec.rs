@@ -91,6 +91,24 @@ impl DirectCodec {
     /// Returns [`StrandError::OddSymbolWidth`] for odd widths and
     /// [`StrandError::ValueTooWide`] when the symbol exceeds the width.
     pub fn encode_symbol(&self, symbol: u16, width: u8) -> Result<DnaString, StrandError> {
+        let mut out = DnaString::with_capacity(usize::from(width) / 2);
+        self.encode_symbol_into(symbol, width, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DirectCodec::encode_symbol`] appending to an existing strand, so
+    /// assembling a molecule symbol-by-symbol costs no per-symbol
+    /// allocation. On error nothing is appended.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DirectCodec::encode_symbol`].
+    pub fn encode_symbol_into(
+        &self,
+        symbol: u16,
+        width: u8,
+        out: &mut DnaString,
+    ) -> Result<(), StrandError> {
         if !width.is_multiple_of(2) || width == 0 || width > 16 {
             return Err(StrandError::OddSymbolWidth(width));
         }
@@ -100,13 +118,12 @@ impl DirectCodec {
                 width,
             });
         }
-        let mut out = DnaString::with_capacity(usize::from(width) / 2);
         let mut shift = width;
         while shift >= 2 {
             shift -= 2;
             out.push(Base::from_bits((symbol >> shift) as u8));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Decodes `width / 2` bases into one `width`-bit symbol.

@@ -27,6 +27,22 @@ use crate::{Base, DnaString, StrandError};
 /// # Ok::<(), dna_strand::StrandError>(())
 /// ```
 pub fn encode_index(index: u32, width_bits: u8) -> Result<DnaString, StrandError> {
+    let mut out = DnaString::with_capacity(usize::from(width_bits) / 2);
+    encode_index_into(index, width_bits, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode_index`] appending to an existing strand, so molecule assembly
+/// pays no per-index allocation. On error nothing is appended.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_index`].
+pub fn encode_index_into(
+    index: u32,
+    width_bits: u8,
+    out: &mut DnaString,
+) -> Result<(), StrandError> {
     if width_bits == 0 || !width_bits.is_multiple_of(2) || width_bits > 32 {
         return Err(StrandError::OddSymbolWidth(width_bits));
     }
@@ -37,17 +53,12 @@ pub fn encode_index(index: u32, width_bits: u8) -> Result<DnaString, StrandError
         });
     }
     if width_bits <= 16 {
-        return DirectCodec.encode_symbol(index as u16, width_bits);
+        return DirectCodec.encode_symbol_into(index as u16, width_bits, out);
     }
     // Wide indexes: encode the high and low halves separately.
     let high_bits = width_bits - 16;
-    let mut out = DirectCodec.encode_symbol((index >> 16) as u16, high_bits)?;
-    out.extend(
-        DirectCodec
-            .encode_symbol((index & 0xFFFF) as u16, 16)?
-            .into_bases(),
-    );
-    Ok(out)
+    DirectCodec.encode_symbol_into((index >> 16) as u16, high_bits, out)?;
+    DirectCodec.encode_symbol_into((index & 0xFFFF) as u16, 16, out)
 }
 
 /// Decodes `width_bits / 2` bases back into an index value.

@@ -33,7 +33,7 @@ mod primer;
 mod strand;
 
 pub use base::Base;
-pub use index::{decode_index, encode_index};
+pub use index::{decode_index, encode_index, encode_index_into};
 pub use primer::{Primer, PrimerLibrary};
 pub use strand::DnaString;
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Snapshot the perf benches into BENCH_<tag>.json (default tag: pr2).
+#
+#   scripts/bench_snapshot.sh [tag]
+#
+# Runs the perf_pipeline + perf_components criterion benches at smoke
+# scale and records min/median/mean wall-clock per bench in microseconds.
+# When scripts/bench_baseline_<tag>.tsv exists (name<TAB>min_us per
+# line — the numbers captured before an optimization lands), each entry
+# also gets "baseline_min" and "speedup_min" = baseline / current, which
+# is how the repo's perf trajectory is tracked. See PERFORMANCE.md.
+set -eu
+
+TAG="${1:-pr2}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+DNA_REPRO_SCALE=smoke cargo bench -p dna-bench \
+    --bench perf_pipeline --bench perf_components | tee "$RAW"
+
+BASELINE="scripts/bench_baseline_${TAG}.tsv"
+[ -f "$BASELINE" ] || BASELINE=/dev/null
+
+awk -v tag="$TAG" -v baseline_file="$BASELINE" '
+function to_us(v, u) {
+    if (u == "ns") return v / 1000
+    if (u == "ms") return v * 1000
+    if (u == "s")  return v * 1000000
+    return v # µs
+}
+BEGIN {
+    while ((getline line < baseline_file) > 0) {
+        n = split(line, f, "\t")
+        if (n >= 2) base[f[1]] = f[2]
+    }
+    count = 0
+}
+$2 == "min" && $5 == "median" && $8 == "mean" {
+    name[count] = $1
+    minv[count]  = to_us($3, $4)
+    medv[count]  = to_us($6, $7)
+    meanv[count] = to_us($9, $10)
+    count++
+}
+END {
+    printf "{\n  \"tag\": \"%s\",\n  \"scale\": \"smoke\",\n  \"unit\": \"us\",\n  \"benches\": {\n", tag
+    for (i = 0; i < count; i++) {
+        printf "    \"%s\": {\"min\": %.3f, \"median\": %.3f, \"mean\": %.3f", \
+            name[i], minv[i], medv[i], meanv[i]
+        if (name[i] in base)
+            printf ", \"baseline_min\": %.3f, \"speedup_min\": %.2f", \
+                base[name[i]], base[name[i]] / minv[i]
+        printf "}%s\n", (i < count - 1) ? "," : ""
+    }
+    printf "  }\n}\n"
+}' "$RAW" > "BENCH_${TAG}.json"
+
+echo "wrote BENCH_${TAG}.json"
