@@ -14,7 +14,7 @@
 //! call, so batch pipelines can fan units out across threads while staying
 //! deterministic.
 
-use crate::{CoverageModel, ErrorModel, IdsChannel, ReadPool};
+use crate::{ChannelModel, CoverageModel, ErrorModel, ReadPool};
 use dna_strand::DnaString;
 
 /// A source of sequencing reads for encoded units.
@@ -44,22 +44,37 @@ pub fn unit_seed(seed: u64, unit_index: usize) -> u64 {
     crate::pool::splitmix_stream_seed(seed, unit_index as u64)
 }
 
-/// The simulated sequencer: IDS noise at a configured coverage model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The simulated sequencer: IDS noise — optionally position-dependent,
+/// with strand dropout, PCR bias, and bursts — at a configured coverage
+/// model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulatedSequencer {
-    model: ErrorModel,
+    channel: ChannelModel,
     coverage: CoverageModel,
 }
 
 impl SimulatedSequencer {
-    /// A simulator with the given error and coverage models.
+    /// A simulator with flat per-base rates — the paper's original
+    /// methodology, and the [`ChannelModel::uniform`] special case of
+    /// [`SimulatedSequencer::with_channel`]. Pools are byte-identical to
+    /// every pre-profile release for any seed.
     pub fn new(model: ErrorModel, coverage: CoverageModel) -> SimulatedSequencer {
-        SimulatedSequencer { model, coverage }
+        SimulatedSequencer::with_channel(ChannelModel::uniform(model), coverage)
     }
 
-    /// The error model.
+    /// A simulator running an arbitrary [`ChannelModel`].
+    pub fn with_channel(channel: ChannelModel, coverage: CoverageModel) -> SimulatedSequencer {
+        SimulatedSequencer { channel, coverage }
+    }
+
+    /// The base error model (per-base rates before position scaling).
     pub fn model(&self) -> &ErrorModel {
-        &self.model
+        self.channel.base()
+    }
+
+    /// The full channel model.
+    pub fn channel(&self) -> &ChannelModel {
+        &self.channel
     }
 
     /// The coverage model.
@@ -74,10 +89,9 @@ impl SequencingBackend for SimulatedSequencer {
     }
 
     fn sequence_unit(&self, unit_index: usize, strands: &[DnaString], seed: u64) -> ReadPool {
-        let channel = IdsChannel::new(self.model);
-        ReadPool::generate(
+        ReadPool::generate_with(
             strands,
-            &channel,
+            &self.channel,
             self.coverage,
             unit_seed(seed, unit_index),
         )
@@ -151,7 +165,7 @@ impl SequencingBackend for TraceReplay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Cluster;
+    use crate::{Cluster, IdsChannel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -4,6 +4,63 @@ use crate::ErrorModel;
 use dna_strand::{Base, DnaString};
 use rand::Rng;
 
+/// A contiguous indel event decided per read before the per-base scan
+/// (see [`crate::BurstModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BurstPlan {
+    /// Drop the bases in `start..start + len`.
+    Delete { start: usize, len: usize },
+    /// Insert `len` uniformly random bases before position `start`.
+    Insert { start: usize, len: usize },
+}
+
+/// The one IDS transmission loop behind both [`IdsChannel`] and
+/// [`crate::ChannelModel`]: at each surviving source position exactly one
+/// of deletion / insertion / substitution / copy happens, with the rates
+/// supplied per position by `rates(pos) -> (sub, ins, del)`.
+///
+/// Sharing the loop (and its RNG draw order) is what makes the uniform
+/// channel model *byte-identical* to the plain channel: with a constant
+/// rate closure and no burst, the draw sequence is exactly the historical
+/// one.
+pub(crate) fn transmit_core<R: Rng + ?Sized>(
+    strand: &DnaString,
+    mut rates: impl FnMut(usize) -> (f64, f64, f64),
+    burst: Option<BurstPlan>,
+    rng: &mut R,
+) -> DnaString {
+    let mut out = DnaString::with_capacity(strand.len() + 4);
+    for (pos, &b) in strand.iter().enumerate() {
+        match burst {
+            Some(BurstPlan::Insert { start, len }) if pos == start => {
+                for _ in 0..len {
+                    out.push(Base::from_bits(rng.gen()));
+                }
+            }
+            Some(BurstPlan::Delete { start, len }) if pos >= start && pos - start < len => {
+                continue;
+            }
+            _ => {}
+        }
+        let (ps, pi, pd) = rates(pos);
+        let u: f64 = rng.gen();
+        if u < pd {
+            // deletion: drop the base
+        } else if u < pd + pi {
+            // insertion before this base, base itself is kept
+            out.push(Base::from_bits(rng.gen()));
+            out.push(b);
+        } else if u < pd + pi + ps {
+            // substitution by one of the three other bases
+            let shift = rng.gen_range(1u8..4);
+            out.push(Base::from_bits(b.to_bits().wrapping_add(shift)));
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
 /// The IDS channel of paper §3: every source position independently suffers
 /// a deletion, an insertion (of a uniform base, before the position), a
 /// substitution (by a uniform *different* base), or none.
@@ -30,24 +87,7 @@ impl IdsChannel {
             self.model.ins_rate(),
             self.model.del_rate(),
         );
-        let mut out = DnaString::with_capacity(strand.len() + 4);
-        for &b in strand.iter() {
-            let u: f64 = rng.gen();
-            if u < pd {
-                // deletion: drop the base
-            } else if u < pd + pi {
-                // insertion before this base, base itself is kept
-                out.push(Base::from_bits(rng.gen()));
-                out.push(b);
-            } else if u < pd + pi + ps {
-                // substitution by one of the three other bases
-                let shift = rng.gen_range(1u8..4);
-                out.push(Base::from_bits(b.to_bits().wrapping_add(shift)));
-            } else {
-                out.push(b);
-            }
-        }
-        out
+        transmit_core(strand, |_| (ps, pi, pd), None, rng)
     }
 
     /// Produces `n` independent noisy reads.

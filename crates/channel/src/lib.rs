@@ -11,6 +11,11 @@
 //!   technology mixes discussed in §8 (NGS ≈ 25–30% indels, nanopore ≥ 60%
 //!   indels, enzymatic synthesis ≫ indels);
 //! - [`IdsChannel`]: the per-position distortion process of §3;
+//! - [`ChannelModel`]: composable reliability skew on top of the base
+//!   rates — a [`PositionProfile`] modulating rates along the strand,
+//!   whole-strand dropout, per-strand PCR amplification bias
+//!   ([`PcrBias`]), and burst indel events ([`BurstModel`]) — with the
+//!   uniform special case byte-identical to the plain channel;
 //! - [`CoverageModel`]: fixed or Gamma-distributed cluster sizes;
 //! - [`ReadPool`]: a pre-generated pool of noisy reads per strand that can
 //!   be *progressively* drawn down to simulate lower coverage, exactly as
@@ -42,12 +47,14 @@ mod backend;
 mod channel;
 mod coverage;
 mod error_model;
+mod model;
 mod pool;
 
 pub use backend::{unit_seed, SequencingBackend, SimulatedSequencer, TraceReplay};
 pub use channel::IdsChannel;
 pub use coverage::CoverageModel;
 pub use error_model::ErrorModel;
+pub use model::{BurstModel, ChannelModel, PcrBias, PositionProfile};
 pub use pool::{Cluster, ReadPool};
 
 use std::error::Error;
@@ -68,6 +75,20 @@ pub enum ChannelError {
     },
     /// Coverage parameters must be positive and finite.
     InvalidCoverage(f64),
+    /// A position profile with a negative/non-finite multiplier or an
+    /// empty per-position table.
+    InvalidProfile(String),
+    /// Strand dropout probability must lie in `[0, 1)`.
+    InvalidDropout(f64),
+    /// PCR bias shape must be positive and finite.
+    InvalidPcr(f64),
+    /// Burst rate must lie in `[0, 1]` and the mean length must be ≥ 1.
+    InvalidBurst {
+        /// Per-read burst probability.
+        rate: f64,
+        /// Mean burst length in bases.
+        mean_len: f64,
+    },
 }
 
 impl fmt::Display for ChannelError {
@@ -77,6 +98,18 @@ impl fmt::Display for ChannelError {
                 write!(f, "invalid IDS rates sub={sub} ins={ins} del={del}")
             }
             ChannelError::InvalidCoverage(c) => write!(f, "invalid coverage parameter {c}"),
+            ChannelError::InvalidProfile(msg) => write!(f, "invalid position profile: {msg}"),
+            ChannelError::InvalidDropout(d) => {
+                write!(f, "dropout probability {d} outside [0, 1)")
+            }
+            ChannelError::InvalidPcr(s) => {
+                write!(f, "PCR bias shape {s} must be positive and finite")
+            }
+            ChannelError::InvalidBurst { rate, mean_len } => write!(
+                f,
+                "invalid burst model: rate {rate} must lie in [0, 1] and mean length \
+                 {mean_len} must be at least 1"
+            ),
         }
     }
 }

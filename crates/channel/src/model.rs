@@ -1,0 +1,605 @@
+//! Composable channel models: position-dependent rates and strand-level
+//! effects layered on top of the base [`ErrorModel`].
+//!
+//! The paper's premise is that error rates are *not* uniform: trace
+//! reconstruction is least reliable in the middle of strands (§3), real
+//! sequencers degrade along the read, PCR amplifies some strands far more
+//! than others, and whole molecules drop out of the pool. A
+//! [`ChannelModel`] captures those effects as independent, composable
+//! knobs:
+//!
+//! - a [`PositionProfile`] that modulates the sub/ins/del rates along the
+//!   strand (uniform, linear end-decay, or an arbitrary per-position
+//!   table);
+//! - a **dropout** probability — each strand is lost entirely with this
+//!   probability (an erasure for every codeword crossing it);
+//! - a **PCR amplification bias** ([`PcrBias`]) — a per-strand coverage
+//!   multiplier with unit mean, skewing how many reads each molecule
+//!   receives;
+//! - a **burst** model ([`BurstModel`]) — occasional contiguous indel
+//!   events, as produced by polymerase slippage and nanopore stalls.
+//!
+//! [`ChannelModel::uniform`] disables every effect and is byte-identical
+//! to the plain [`IdsChannel`](crate::IdsChannel) path: old seeds keep
+//! reproducing the same pools and decodes.
+
+use crate::channel::{transmit_core, BurstPlan};
+use crate::{ChannelError, ErrorModel};
+use dna_strand::DnaString;
+use rand::Rng;
+use rand_distr::{Distribution, Gamma};
+
+/// How the per-base error rates vary along the strand.
+///
+/// The profile yields a non-negative multiplier per position; the base
+/// [`ErrorModel`] rates are scaled by it and then clamped so the total
+/// event probability never exceeds 1.
+///
+/// # Examples
+///
+/// ```
+/// use dna_channel::PositionProfile;
+///
+/// // Nanopore-like decay: clean at the 5' end, noisy at the 3' end.
+/// let decay = PositionProfile::linear(0.5, 2.0).unwrap();
+/// assert_eq!(decay.multiplier(0, 101), 0.5);
+/// assert_eq!(decay.multiplier(100, 101), 2.0);
+/// assert!((decay.multiplier(50, 101) - 1.25).abs() < 1e-12);
+///
+/// // The uniform profile multiplies every position by exactly 1.
+/// assert_eq!(PositionProfile::Uniform.multiplier(7, 100), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PositionProfile {
+    /// Every position sees the base rates unchanged (multiplier 1.0).
+    /// This is the pre-existing behavior and the default.
+    #[default]
+    Uniform,
+    /// The multiplier interpolates linearly from `start` at the first
+    /// base to `end` at the last base.
+    Linear {
+        /// Multiplier at the 5' end (position 0).
+        start: f64,
+        /// Multiplier at the 3' end (last position).
+        end: f64,
+    },
+    /// An explicit per-position multiplier table. Positions beyond the
+    /// table reuse its last entry, so one table serves strands of any
+    /// length.
+    Table(Vec<f64>),
+}
+
+impl PositionProfile {
+    /// A validated linear profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProfile`] when either endpoint is
+    /// negative or non-finite.
+    pub fn linear(start: f64, end: f64) -> Result<PositionProfile, ChannelError> {
+        let p = PositionProfile::Linear { start, end };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// A validated per-position multiplier table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProfile`] when the table is empty
+    /// or contains a negative or non-finite entry.
+    pub fn table(multipliers: impl Into<Vec<f64>>) -> Result<PositionProfile, ChannelError> {
+        let p = PositionProfile::Table(multipliers.into());
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks the profile's invariants (used by the validated
+    /// constructors and by [`ChannelModel::with_profile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProfile`] when a multiplier is
+    /// negative or non-finite, or when a table is empty.
+    pub fn validate(&self) -> Result<(), ChannelError> {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        match self {
+            PositionProfile::Uniform => Ok(()),
+            PositionProfile::Linear { start, end } => {
+                if ok(*start) && ok(*end) {
+                    Ok(())
+                } else {
+                    Err(ChannelError::InvalidProfile(format!(
+                        "linear profile endpoints must be finite and non-negative, got \
+                         start={start} end={end}"
+                    )))
+                }
+            }
+            PositionProfile::Table(t) => {
+                if t.is_empty() {
+                    return Err(ChannelError::InvalidProfile(
+                        "per-position table must not be empty".into(),
+                    ));
+                }
+                match t.iter().position(|&m| !ok(m)) {
+                    None => Ok(()),
+                    Some(i) => Err(ChannelError::InvalidProfile(format!(
+                        "table entry {i} ({}) must be finite and non-negative",
+                        t[i]
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// The rate multiplier at `pos` of a strand of `len` bases.
+    ///
+    /// The uniform profile returns exactly `1.0`, which keeps the scaled
+    /// rates bit-identical to the unscaled ones.
+    pub fn multiplier(&self, pos: usize, len: usize) -> f64 {
+        match self {
+            PositionProfile::Uniform => 1.0,
+            PositionProfile::Linear { start, end } => {
+                if len <= 1 {
+                    *start
+                } else {
+                    start + (end - start) * (pos as f64 / (len - 1) as f64)
+                }
+            }
+            PositionProfile::Table(t) => t[pos.min(t.len() - 1)],
+        }
+    }
+
+    /// Whether this is the uniform (multiplier-1 everywhere) profile.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, PositionProfile::Uniform)
+    }
+}
+
+/// Per-strand PCR amplification bias: a coverage multiplier drawn from a
+/// unit-mean Gamma distribution, `Gamma(shape, 1/shape)`.
+///
+/// Smaller shapes give heavier skew — a few strands hog the sequencer
+/// while others starve, which is exactly the cluster-size inequality the
+/// paper's Gamma coverage models at the pool level, now correlated per
+/// strand across every coverage draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcrBias {
+    shape: f64,
+}
+
+impl PcrBias {
+    /// A bias with the given Gamma shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidPcr`] for non-positive or
+    /// non-finite shapes.
+    pub fn new(shape: f64) -> Result<PcrBias, ChannelError> {
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(ChannelError::InvalidPcr(shape));
+        }
+        Ok(PcrBias { shape })
+    }
+
+    /// The Gamma shape parameter.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Draws one coverage multiplier (mean 1.0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Gamma::new(self.shape, 1.0 / self.shape)
+            .expect("validated PCR shape")
+            .sample(rng)
+    }
+}
+
+/// Occasional contiguous indel events: each read independently suffers at
+/// most one burst — a run of deleted bases or a run of inserted random
+/// bases — with probability `rate`, at a uniform position, with a
+/// geometric-like length of mean `mean_len` (capped at the strand
+/// length).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstModel {
+    rate: f64,
+    mean_len: f64,
+}
+
+impl BurstModel {
+    /// A validated burst model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidBurst`] when `rate` is outside
+    /// `[0, 1]` or `mean_len` is below 1 or non-finite.
+    pub fn new(rate: f64, mean_len: f64) -> Result<BurstModel, ChannelError> {
+        if !rate.is_finite()
+            || !(0.0..=1.0).contains(&rate)
+            || !mean_len.is_finite()
+            || mean_len < 1.0
+        {
+            return Err(ChannelError::InvalidBurst { rate, mean_len });
+        }
+        Ok(BurstModel { rate, mean_len })
+    }
+
+    /// Per-read burst probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean burst length in bases.
+    pub fn mean_len(&self) -> f64 {
+        self.mean_len
+    }
+
+    /// Decides whether (and where) this read suffers a burst. Consumes
+    /// RNG draws only when the model is attached to a channel, so
+    /// burst-free channels keep their exact noise streams.
+    pub(crate) fn plan<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Option<BurstPlan> {
+        if len == 0 || rng.gen::<f64>() >= self.rate {
+            return None;
+        }
+        let start = rng.gen_range(0..len);
+        // Exponential length of mean (mean_len − 1), shifted by 1, capped
+        // at the strand length: mean mean_len, minimum 1.
+        let u: f64 = rng.gen();
+        let extra = (-(1.0 - u).ln()) * (self.mean_len - 1.0);
+        let burst_len = (1.0 + extra.round()).min(len as f64) as usize;
+        Some(if rng.gen::<f64>() < 0.5 {
+            BurstPlan::Delete {
+                start,
+                len: burst_len,
+            }
+        } else {
+            BurstPlan::Insert {
+                start,
+                len: burst_len,
+            }
+        })
+    }
+}
+
+/// A complete channel operating point: base IDS rates plus position- and
+/// strand-level reliability skew.
+///
+/// # Examples
+///
+/// Compose the knobs individually — each setter validates:
+///
+/// ```
+/// use dna_channel::{ChannelModel, ErrorModel, PositionProfile};
+///
+/// # fn main() -> Result<(), dna_channel::ChannelError> {
+/// let channel = ChannelModel::uniform(ErrorModel::nanopore(0.06))
+///     .with_profile(PositionProfile::linear(0.5, 2.0)?)?
+///     .with_dropout(0.02)?   // 2% of molecules vanish outright
+///     .with_pcr_bias(1.5)?;  // heavy per-strand amplification skew
+/// assert!(!channel.is_uniform());
+/// assert_eq!(channel.dropout(), 0.02);
+///
+/// // Invalid knobs are rejected, not clamped silently:
+/// assert!(channel.clone().with_dropout(1.0).is_err());
+/// assert!(ChannelModel::uniform(ErrorModel::noiseless())
+///     .with_profile(PositionProfile::Table(vec![]))
+///     .is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelModel {
+    base: ErrorModel,
+    profile: PositionProfile,
+    dropout: f64,
+    pcr: Option<PcrBias>,
+    burst: Option<BurstModel>,
+}
+
+impl ChannelModel {
+    /// The classic flat channel: `base` rates at every position, no
+    /// dropout, no PCR bias, no bursts. Byte-identical to the plain
+    /// [`IdsChannel`](crate::IdsChannel) pool-generation path for any
+    /// seed.
+    pub fn uniform(base: ErrorModel) -> ChannelModel {
+        ChannelModel {
+            base,
+            profile: PositionProfile::Uniform,
+            dropout: 0.0,
+            pcr: None,
+            burst: None,
+        }
+    }
+
+    /// A nanopore-like preset at total rate `p`: indel-heavy base mix
+    /// whose rates decay from half strength at the 5' end to nearly
+    /// double at the 3' end — the read-quality rolloff of long-read
+    /// sequencers (paper §8 discusses the ≥ 60% indel regime).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn nanopore_decay(p: f64) -> ChannelModel {
+        ChannelModel::uniform(ErrorModel::nanopore(p))
+            .with_profile(PositionProfile::Linear {
+                start: 0.5,
+                end: 1.8,
+            })
+            .expect("static profile is valid")
+    }
+
+    /// A PCR-skewed preset at total rate `p`: uniform thirds base rates,
+    /// with heavy per-strand amplification bias (Gamma shape 1.5) so a
+    /// few molecules dominate the read pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn pcr_skewed(p: f64) -> ChannelModel {
+        ChannelModel::uniform(ErrorModel::uniform(p))
+            .with_pcr_bias(1.5)
+            .expect("static PCR shape is valid")
+    }
+
+    /// A dropout-prone preset at total rate `p`: uniform thirds base
+    /// rates, with each molecule lost outright with probability
+    /// `dropout` — the strand-loss regime that turns into erasures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]` or `dropout` not in `[0, 1)`.
+    pub fn dropout_prone(p: f64, dropout: f64) -> ChannelModel {
+        ChannelModel::uniform(ErrorModel::uniform(p))
+            .with_dropout(dropout)
+            .expect("dropout must lie in [0, 1)")
+    }
+
+    /// A bursty preset at total rate `p`: uniform thirds base rates plus
+    /// contiguous indel bursts (10% of reads, mean length 4) — the
+    /// polymerase-slippage / nanopore-stall regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn bursty(p: f64) -> ChannelModel {
+        ChannelModel::uniform(ErrorModel::uniform(p))
+            .with_burst(0.10, 4.0)
+            .expect("static burst parameters are valid")
+    }
+
+    /// Replaces the position profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProfile`] when the profile fails
+    /// [`PositionProfile::validate`].
+    pub fn with_profile(mut self, profile: PositionProfile) -> Result<ChannelModel, ChannelError> {
+        profile.validate()?;
+        self.profile = profile;
+        Ok(self)
+    }
+
+    /// Sets the per-strand dropout probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidDropout`] when `dropout` is not in
+    /// `[0, 1)` — a dropout of 1 would lose every molecule, which is a
+    /// configuration mistake, not a channel.
+    pub fn with_dropout(mut self, dropout: f64) -> Result<ChannelModel, ChannelError> {
+        if !dropout.is_finite() || !(0.0..1.0).contains(&dropout) {
+            return Err(ChannelError::InvalidDropout(dropout));
+        }
+        self.dropout = dropout;
+        Ok(self)
+    }
+
+    /// Enables PCR amplification bias with the given Gamma shape
+    /// (see [`PcrBias::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidPcr`] for non-positive or
+    /// non-finite shapes.
+    pub fn with_pcr_bias(mut self, shape: f64) -> Result<ChannelModel, ChannelError> {
+        self.pcr = Some(PcrBias::new(shape)?);
+        Ok(self)
+    }
+
+    /// Enables burst indel events (see [`BurstModel::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidBurst`] for out-of-range
+    /// parameters.
+    pub fn with_burst(mut self, rate: f64, mean_len: f64) -> Result<ChannelModel, ChannelError> {
+        self.burst = Some(BurstModel::new(rate, mean_len)?);
+        Ok(self)
+    }
+
+    /// The base per-base rates.
+    pub fn base(&self) -> &ErrorModel {
+        &self.base
+    }
+
+    /// The position profile.
+    pub fn profile(&self) -> &PositionProfile {
+        &self.profile
+    }
+
+    /// Per-strand dropout probability.
+    pub fn dropout(&self) -> f64 {
+        self.dropout
+    }
+
+    /// The PCR bias, when enabled.
+    pub fn pcr(&self) -> Option<&PcrBias> {
+        self.pcr.as_ref()
+    }
+
+    /// The burst model, when enabled.
+    pub fn burst(&self) -> Option<&BurstModel> {
+        self.burst.as_ref()
+    }
+
+    /// Whether every extension is disabled — the flat channel whose pools
+    /// are byte-identical to the pre-profile simulator.
+    pub fn is_uniform(&self) -> bool {
+        self.profile.is_uniform()
+            && self.dropout == 0.0
+            && self.pcr.is_none()
+            && self.burst.is_none()
+    }
+
+    /// The effective `(sub, ins, del)` rates at `pos` of a strand of
+    /// `len` bases: base rates scaled by the profile multiplier, then
+    /// normalized so their total never exceeds 1 (each rate therefore
+    /// stays in `[0, 1]`).
+    pub fn rates_at(&self, pos: usize, len: usize) -> (f64, f64, f64) {
+        let mult = self.profile.multiplier(pos, len);
+        let mut ps = self.base.sub_rate() * mult;
+        let mut pi = self.base.ins_rate() * mult;
+        let mut pd = self.base.del_rate() * mult;
+        let total = ps + pi + pd;
+        if total > 1.0 {
+            let scale = 1.0 / total;
+            ps *= scale;
+            pi *= scale;
+            pd *= scale;
+        }
+        (ps, pi, pd)
+    }
+
+    /// Produces one noisy read of `strand` under this model (positional
+    /// rates and bursts; dropout and PCR bias act at the pool level — see
+    /// [`ReadPool::generate_with`](crate::ReadPool::generate_with)).
+    pub fn transmit<R: Rng + ?Sized>(&self, strand: &DnaString, rng: &mut R) -> DnaString {
+        let burst = match &self.burst {
+            Some(b) => b.plan(strand.len(), rng),
+            None => None,
+        };
+        let len = strand.len();
+        if self.profile.is_uniform() {
+            // Hoist the (position-independent) rates out of the per-base
+            // loop, as the plain channel always has.
+            let rates = self.rates_at(0, len);
+            transmit_core(strand, |_| rates, burst, rng)
+        } else {
+            transmit_core(strand, |pos| self.rates_at(pos, len), burst, rng)
+        }
+    }
+}
+
+impl From<ErrorModel> for ChannelModel {
+    fn from(base: ErrorModel) -> ChannelModel {
+        ChannelModel::uniform(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_profile_multiplier_is_exactly_one() {
+        let p = PositionProfile::Uniform;
+        for (pos, len) in [(0, 1), (5, 10), (99, 100)] {
+            assert_eq!(p.multiplier(pos, len), 1.0);
+        }
+    }
+
+    #[test]
+    fn linear_profile_interpolates_endpoints() {
+        let p = PositionProfile::linear(0.4, 2.0).unwrap();
+        assert_eq!(p.multiplier(0, 11), 0.4);
+        assert_eq!(p.multiplier(10, 11), 2.0);
+        let mid = p.multiplier(5, 11);
+        assert!((mid - 1.2).abs() < 1e-12, "mid {mid}");
+        // Degenerate 1-base strand takes the start multiplier.
+        assert_eq!(p.multiplier(0, 1), 0.4);
+    }
+
+    #[test]
+    fn table_profile_extends_its_last_entry() {
+        let p = PositionProfile::table(vec![2.0, 0.5]).unwrap();
+        assert_eq!(p.multiplier(0, 10), 2.0);
+        assert_eq!(p.multiplier(1, 10), 0.5);
+        assert_eq!(p.multiplier(9, 10), 0.5);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        assert!(PositionProfile::linear(-0.1, 1.0).is_err());
+        assert!(PositionProfile::linear(1.0, f64::NAN).is_err());
+        assert!(PositionProfile::table(vec![]).is_err());
+        assert!(PositionProfile::table(vec![1.0, -2.0]).is_err());
+        assert!(PositionProfile::table(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn rates_are_scaled_and_clamped() {
+        let m = ChannelModel::uniform(ErrorModel::uniform(0.30))
+            .with_profile(PositionProfile::linear(0.0, 10.0).unwrap())
+            .unwrap();
+        let (s0, i0, d0) = m.rates_at(0, 101);
+        assert_eq!((s0, i0, d0), (0.0, 0.0, 0.0));
+        let (s, i, d) = m.rates_at(100, 101);
+        let total = s + i + d;
+        assert!(total <= 1.0 + 1e-12, "clamped total {total}");
+        assert!(
+            (s - i).abs() < 1e-12 && (i - d).abs() < 1e-12,
+            "even split kept"
+        );
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        let base = || ChannelModel::uniform(ErrorModel::uniform(0.03));
+        assert!(base().with_dropout(1.0).is_err());
+        assert!(base().with_dropout(-0.1).is_err());
+        assert!(base().with_dropout(f64::NAN).is_err());
+        assert!(base().with_pcr_bias(0.0).is_err());
+        assert!(base().with_pcr_bias(-1.0).is_err());
+        assert!(base().with_burst(1.5, 4.0).is_err());
+        assert!(base().with_burst(0.1, 0.5).is_err());
+        assert!(base().with_dropout(0.999).is_ok());
+    }
+
+    #[test]
+    fn pcr_bias_multipliers_have_unit_mean() {
+        let bias = PcrBias::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| bias.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean multiplier {mean}");
+    }
+
+    #[test]
+    fn bursty_transmissions_shift_read_lengths() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let strand = DnaString::random(200, &mut rng);
+        let model = ChannelModel::uniform(ErrorModel::noiseless())
+            .with_burst(1.0, 8.0)
+            .unwrap();
+        let mut shifted = 0;
+        for _ in 0..50 {
+            let read = model.transmit(&strand, &mut rng);
+            if read.len() != strand.len() {
+                shifted += 1;
+            }
+        }
+        // Every read gets a burst; nearly all should change length.
+        assert!(shifted > 40, "only {shifted}/50 reads changed length");
+    }
+
+    #[test]
+    fn presets_compose_the_documented_knobs() {
+        assert!(!ChannelModel::nanopore_decay(0.08).profile().is_uniform());
+        assert!(ChannelModel::pcr_skewed(0.04).pcr().is_some());
+        assert_eq!(ChannelModel::dropout_prone(0.03, 0.05).dropout(), 0.05);
+        assert!(ChannelModel::bursty(0.03).burst().is_some());
+        assert!(ChannelModel::uniform(ErrorModel::uniform(0.05)).is_uniform());
+    }
+}

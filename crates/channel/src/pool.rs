@@ -7,10 +7,10 @@
 //! coverage, then take nested prefixes for every lower coverage point, so
 //! higher-coverage experiments strictly extend lower-coverage ones.
 
-use crate::{CoverageModel, IdsChannel};
+use crate::{ChannelModel, CoverageModel, IdsChannel};
 use dna_strand::DnaString;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// The noisy reads attributed to one source strand (perfect clustering, as
 /// in the paper's methodology; an empty cluster is a lost molecule).
@@ -70,15 +70,50 @@ impl ReadPool {
         coverage: CoverageModel,
         seed: u64,
     ) -> ReadPool {
+        // One generation loop for both APIs: the flat channel is the
+        // uniform special case of the model-aware path (byte-identical —
+        // disabled knobs draw nothing from the RNG).
+        ReadPool::generate_with(
+            strands,
+            &ChannelModel::uniform(*channel.model()),
+            coverage,
+            seed,
+        )
+    }
+
+    /// Generates the pool under a full [`ChannelModel`]: per strand, a
+    /// dropout draw (the molecule may vanish entirely), a coverage draw,
+    /// an optional PCR amplification multiplier on the cluster size, and
+    /// then that many reads through the position-aware transmit path.
+    ///
+    /// Draws that a disabled knob would make are **skipped entirely**, so
+    /// a [`ChannelModel::uniform`] model consumes exactly the historical
+    /// RNG stream and this function is byte-identical to
+    /// [`ReadPool::generate`] for any `(seed, model, coverage)`.
+    pub fn generate_with(
+        strands: &[DnaString],
+        model: &ChannelModel,
+        coverage: CoverageModel,
+        seed: u64,
+    ) -> ReadPool {
         let full = strands
             .iter()
             .enumerate()
             .map(|(i, s)| {
                 let mut rng = StdRng::seed_from_u64(substream_seed(seed, i as u64));
-                let n = coverage.sample(&mut rng);
+                if model.dropout() > 0.0 && rng.gen::<f64>() < model.dropout() {
+                    return Cluster {
+                        source: i,
+                        reads: Vec::new(),
+                    };
+                }
+                let mut n = coverage.sample(&mut rng);
+                if let Some(pcr) = model.pcr() {
+                    n = ((n as f64) * pcr.sample(&mut rng)).round() as usize;
+                }
                 Cluster {
                     source: i,
-                    reads: channel.transmit_many(s, n, &mut rng),
+                    reads: (0..n).map(|_| model.transmit(s, &mut rng)).collect(),
                 }
             })
             .collect();

@@ -1,0 +1,182 @@
+//! Property tests for the channel-model subsystem: rate clamping,
+//! profile invariants, and — the backward-compatibility contract — the
+//! uniform channel model being byte-identical to the pre-profile
+//! sequencer for arbitrary (seed, model, coverage) triples.
+
+use dna_channel::{
+    ChannelModel, CoverageModel, ErrorModel, IdsChannel, PositionProfile, ReadPool,
+    SequencingBackend, SimulatedSequencer,
+};
+use dna_strand::DnaString;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Valid base-rate triples: each in [0, 1/3], so the total stays ≤ 1.
+fn error_model() -> impl Strategy<Value = ErrorModel> {
+    (0.0..0.33f64, 0.0..0.33f64, 0.0..0.33f64)
+        .prop_map(|(s, i, d)| ErrorModel::new(s, i, d).expect("rates in range"))
+}
+
+fn profile() -> impl Strategy<Value = PositionProfile> {
+    (
+        0usize..3,
+        0.0..8.0f64,
+        0.0..8.0f64,
+        proptest::collection::vec(0.0..8.0f64, 1..20),
+    )
+        .prop_map(|(pick, a, b, t)| match pick {
+            0 => PositionProfile::Uniform,
+            1 => PositionProfile::linear(a, b).expect("valid linear"),
+            _ => PositionProfile::table(t).expect("valid table"),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The backward-compatibility contract: a uniform-profile simulator is
+    /// byte-identical to the pre-PR read-generation path for random
+    /// (seed, model, coverage) triples, under fixed and Gamma coverage.
+    #[test]
+    fn uniform_sequencer_is_byte_identical_to_pre_pr_path(
+        seed in any::<u64>(),
+        model in error_model(),
+        fixed_cov in 0usize..12,
+        gamma_mean in 0.5..20.0f64,
+        use_gamma in any::<bool>(),
+        n_strands in 1usize..10,
+        strand_len in 10usize..80,
+    ) {
+        let coverage = if use_gamma {
+            CoverageModel::Gamma { mean: gamma_mean, shape: 6.0 }
+        } else {
+            CoverageModel::Fixed(fixed_cov)
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let strands: Vec<DnaString> =
+            (0..n_strands).map(|_| DnaString::random(strand_len, &mut rng)).collect();
+
+        // The pre-PR sequencer: plain IdsChannel through ReadPool::generate.
+        let old = ReadPool::generate(&strands, &IdsChannel::new(model), coverage, seed);
+        // The new paths: the uniform ChannelModel and the backend wrapper.
+        let via_model =
+            ReadPool::generate_with(&strands, &ChannelModel::uniform(model), coverage, seed);
+        let backend = SimulatedSequencer::new(model, coverage);
+        let via_backend = backend.sequence_unit(0, &strands, seed);
+
+        prop_assert_eq!(old.clusters(), via_model.clusters());
+        prop_assert_eq!(old.clusters(), via_backend.clusters());
+        prop_assert!(backend.channel().is_uniform());
+    }
+
+    /// Effective rates are clamped into [0, 1] with total ≤ 1 at every
+    /// position, for any profile multiplier.
+    #[test]
+    fn effective_rates_are_clamped(
+        model in error_model(),
+        profile in profile(),
+        len in 1usize..200,
+    ) {
+        let channel = ChannelModel::uniform(model).with_profile(profile).expect("valid");
+        for pos in 0..len {
+            let (s, i, d) = channel.rates_at(pos, len);
+            for r in [s, i, d] {
+                prop_assert!((0.0..=1.0).contains(&r), "rate {r} at pos {pos}");
+            }
+            prop_assert!(s + i + d <= 1.0 + 1e-12, "total {} at pos {pos}", s + i + d);
+        }
+    }
+
+    /// Linear profiles are monotone between their endpoints, and every
+    /// multiplier stays inside the endpoint interval.
+    #[test]
+    fn linear_profiles_are_monotone(
+        start in 0.0..5.0f64,
+        end in 0.0..5.0f64,
+        len in 2usize..150,
+    ) {
+        let p = PositionProfile::linear(start, end).expect("valid");
+        let (lo, hi) = (start.min(end), start.max(end));
+        let mut prev = p.multiplier(0, len);
+        prop_assert_eq!(prev, start);
+        for pos in 1..len {
+            let m = p.multiplier(pos, len);
+            if end >= start {
+                prop_assert!(m >= prev - 1e-12, "not non-decreasing at {pos}");
+            } else {
+                prop_assert!(m <= prev + 1e-12, "not non-increasing at {pos}");
+            }
+            prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&m));
+            prev = m;
+        }
+        prop_assert!((prev - end).abs() < 1e-9, "last multiplier {prev} vs end {end}");
+    }
+
+    /// Table profiles answer exactly their entries and extend the last one.
+    #[test]
+    fn table_profiles_answer_their_entries(
+        table in proptest::collection::vec(0.0..8.0f64, 1..24),
+    ) {
+        let p = PositionProfile::table(table.clone()).expect("valid");
+        let len = table.len() + 10;
+        for (pos, &want) in table.iter().enumerate() {
+            prop_assert_eq!(p.multiplier(pos, len), want);
+        }
+        for pos in table.len()..len {
+            prop_assert_eq!(p.multiplier(pos, len), *table.last().expect("non-empty"));
+        }
+    }
+
+    /// Pool generation under any channel model is deterministic in the
+    /// seed — dropout, PCR bias, and bursts included.
+    #[test]
+    fn skewed_pools_are_deterministic_in_the_seed(
+        seed in any::<u64>(),
+        model in error_model(),
+        dropout in 0.0..0.9f64,
+        pcr_shape in 0.5..8.0f64,
+        burst_rate in 0.0..1.0f64,
+    ) {
+        let channel = ChannelModel::uniform(model)
+            .with_profile(PositionProfile::linear(0.5, 1.5).expect("valid"))
+            .expect("valid")
+            .with_dropout(dropout)
+            .expect("valid")
+            .with_pcr_bias(pcr_shape)
+            .expect("valid")
+            .with_burst(burst_rate, 4.0)
+            .expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
+        let strands: Vec<DnaString> = (0..6).map(|_| DnaString::random(50, &mut rng)).collect();
+        let cov = CoverageModel::Fixed(5);
+        let a = ReadPool::generate_with(&strands, &channel, cov, seed);
+        let b = ReadPool::generate_with(&strands, &channel, cov, seed);
+        prop_assert_eq!(a.clusters(), b.clusters());
+        // A different seed gives a different realization — except when
+        // the channel is nearly noise-free (nothing random can differ) or
+        // dropout killed every molecule in both runs (both pools are the
+        // same all-lost degenerate).
+        if model.total_rate() > 0.01 {
+            let c = ReadPool::generate_with(&strands, &channel, cov, seed.wrapping_add(1));
+            let all_lost = |p: &ReadPool| p.clusters().iter().all(|cl| cl.is_lost());
+            if !(all_lost(&a) && all_lost(&c)) {
+                prop_assert_ne!(a.clusters(), c.clusters());
+            }
+        }
+    }
+
+    /// Dropout loses roughly the configured fraction of molecules.
+    #[test]
+    fn dropout_rate_is_respected(drop in 0.1..0.9f64) {
+        let channel = ChannelModel::uniform(ErrorModel::noiseless())
+            .with_dropout(drop)
+            .expect("valid");
+        let mut rng = StdRng::seed_from_u64(3);
+        let strands: Vec<DnaString> = (0..400).map(|_| DnaString::random(30, &mut rng)).collect();
+        let pool = ReadPool::generate_with(&strands, &channel, CoverageModel::Fixed(2), 17);
+        let lost = pool.clusters().iter().filter(|c| c.is_lost()).count();
+        let frac = lost as f64 / strands.len() as f64;
+        prop_assert!((frac - drop).abs() < 0.12, "dropout {drop}, observed {frac}");
+    }
+}

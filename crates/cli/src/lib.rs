@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dna_channel::ErrorModel;
+use dna_channel::{ChannelModel, ErrorModel};
 use dna_storage::{CodecParams, DecodeReport, Layout, Pipeline, Scenario, StorageError};
 use dna_strand::DnaString;
 use std::fmt;
@@ -117,6 +117,60 @@ pub fn parse_error_model(s: &str) -> Result<ErrorModel, CliError> {
             )))
         }
     })
+}
+
+/// A parsed channel-model preset: `preset` or `preset:rate`, where
+/// `preset` is one of
+///
+/// - `uniform` — flat rates (the paper's methodology; default rate 6%);
+/// - `nanopore-decay` — indel-heavy rates decaying along the read
+///   (default 8%);
+/// - `pcr-skewed` — flat rates + heavy per-strand amplification bias
+///   (default 6%);
+/// - `dropout` — flat 6% rates; the suffix sets the **whole-strand
+///   dropout probability** (default 5%), the knob the preset is named
+///   after;
+/// - `bursty` — flat rates + contiguous indel bursts (default 6%).
+///
+/// Any base error-model `kind:rate` accepted by [`parse_error_model`]
+/// (e.g. `ngs:0.01`) is also accepted and runs as a flat channel.
+pub fn parse_channel_model(s: &str) -> Result<ChannelModel, CliError> {
+    let (kind, rate) = match s.split_once(':') {
+        Some((k, r)) => (k, Some(r)),
+        None => (s, None),
+    };
+    let parse_rate = |default: f64| -> Result<f64, CliError> {
+        let Some(r) = rate else {
+            return Ok(default);
+        };
+        let p: f64 = r
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad channel rate {r:?}")))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CliError::Usage(format!("channel rate {p} outside [0, 1]")));
+        }
+        Ok(p)
+    };
+    // Base error-model kinds parse_error_model understands; their own
+    // errors (bad rate, missing rate) propagate untouched so the user is
+    // not told a valid kind is unknown.
+    const BASE_KINDS: [&str; 6] = ["uniform", "ngs", "nanopore", "subs", "indels", "enzymatic"];
+    match kind {
+        "uniform" => Ok(ChannelModel::uniform(ErrorModel::uniform(parse_rate(
+            0.06,
+        )?))),
+        "nanopore-decay" => Ok(ChannelModel::nanopore_decay(parse_rate(0.08)?)),
+        "pcr-skewed" => Ok(ChannelModel::pcr_skewed(parse_rate(0.06)?)),
+        "dropout" => ChannelModel::uniform(ErrorModel::uniform(0.06))
+            .with_dropout(parse_rate(0.05)?)
+            .map_err(|e| CliError::Usage(e.to_string())),
+        "bursty" => Ok(ChannelModel::bursty(parse_rate(0.06)?)),
+        _ if BASE_KINDS.contains(&kind) => parse_error_model(s).map(ChannelModel::uniform),
+        _ => Err(CliError::Usage(format!(
+            "unknown channel model {s:?} (uniform|nanopore-decay|pcr-skewed|dropout|bursty, \
+             or an error model kind:rate)"
+        ))),
+    }
 }
 
 /// The laptop-scale pipeline every CLI subcommand uses, built through the
@@ -272,7 +326,7 @@ pub struct SimulationOutcome {
 }
 
 /// `simulate`: full encode → noisy channel → decode round trip over the
-/// batch pipeline, described by one [`Scenario`].
+/// batch pipeline under a flat channel at the given rates.
 pub fn simulate(
     payload: &[u8],
     layout: LayoutChoice,
@@ -280,8 +334,29 @@ pub fn simulate(
     coverage: f64,
     seed: u64,
 ) -> Result<SimulationOutcome, CliError> {
+    simulate_channel(
+        payload,
+        layout,
+        ChannelModel::uniform(model),
+        coverage,
+        seed,
+    )
+}
+
+/// [`simulate`] under a full [`ChannelModel`] (position profiles,
+/// dropout, PCR bias, bursts — the `--channel` presets).
+pub fn simulate_channel(
+    payload: &[u8],
+    layout: LayoutChoice,
+    channel: ChannelModel,
+    coverage: f64,
+    seed: u64,
+) -> Result<SimulationOutcome, CliError> {
     let pipeline = laptop_pipeline(layout)?;
-    let scenario = Scenario::new(model).single_coverage(coverage).seed(seed);
+    let scenario = Scenario::with_channel(channel)
+        .single_coverage(coverage)
+        .seed(seed);
+    scenario.validate()?;
     let units = pipeline.encode_chunked(payload)?;
     let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
     let per_unit_clusters: Vec<Vec<dna_channel::Cluster>> =
@@ -370,6 +445,44 @@ mod tests {
         assert!(parse_error_model("martian:0.1").is_err());
         let m = parse_error_model("indels:0.1").unwrap();
         assert_eq!(m.indel_fraction(), 1.0);
+    }
+
+    #[test]
+    fn channel_model_parsing() {
+        let nano = parse_channel_model("nanopore-decay:0.12").unwrap();
+        assert!(!nano.profile().is_uniform());
+        assert!((nano.base().total_rate() - 0.12).abs() < 1e-9);
+        assert!(parse_channel_model("pcr-skewed").unwrap().pcr().is_some());
+        // The dropout suffix sets the strand-loss probability itself.
+        assert_eq!(parse_channel_model("dropout:0.04").unwrap().dropout(), 0.04);
+        assert_eq!(parse_channel_model("dropout").unwrap().dropout(), 0.05);
+        let err = parse_channel_model("dropout:1.0").unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1)"), "{err}");
+        assert!(parse_channel_model("bursty").unwrap().burst().is_some());
+        assert!(parse_channel_model("uniform:0.06").unwrap().is_uniform());
+        // Plain error-model kinds still parse, as flat channels — and
+        // their own errors surface, not "unknown channel model".
+        assert!(parse_channel_model("ngs:0.01").unwrap().is_uniform());
+        let err = parse_channel_model("ngs:5").unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+        assert!(parse_channel_model("nanopore-decay:1.5").is_err());
+        let err = parse_channel_model("martian").unwrap_err();
+        assert!(err.to_string().contains("unknown channel model"), "{err}");
+        assert!(parse_channel_model("martian:0.1").is_err());
+    }
+
+    #[test]
+    fn channel_presets_simulate_end_to_end() {
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i * 13 % 256) as u8).collect();
+        for preset in ["nanopore-decay:0.06", "pcr-skewed:0.03", "dropout:0.03"] {
+            let channel = parse_channel_model(preset).unwrap();
+            let outcome =
+                simulate_channel(&payload, LayoutChoice::Gini, channel, 20.0, 11).unwrap();
+            assert!(
+                outcome.byte_accuracy > 0.95,
+                "{preset}: accuracy {outcome:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!                   --errors nanopore:0.12 --coverage 18 --seed 7
 //! ```
 
-use dna_skew_cli::{decode, encode, parse_error_model, simulate, CliError, LayoutChoice};
+use dna_channel::ChannelModel;
+use dna_skew_cli::{
+    decode, encode, parse_channel_model, parse_error_model, simulate_channel, CliError,
+    LayoutChoice,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -18,9 +22,12 @@ dnastore — DNA storage pipeline from 'Managing Reliability Bias in DNA Storage
 USAGE:
   dnastore encode   --input <file> [--layout baseline|gini|dnamapper] --output <strands>
   dnastore decode   --input <strands> --output <file>
-  dnastore simulate --input <file> [--layout …] [--errors kind:rate] [--coverage N] [--seed N]
+  dnastore simulate --input <file> [--layout …] [--errors kind:rate | --channel preset[:rate]]
+                    [--coverage N] [--seed N]
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
+channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty
+                   (position- and strand-aware models; rate optional)
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -84,7 +91,17 @@ fn run() -> Result<(), CliError> {
         }
         "simulate" => {
             let input = std::fs::read(required(&flags, "input")?)?;
-            let model = parse_error_model(flags.get("errors").map_or("uniform:0.06", |v| v))?;
+            let channel = match (flags.get("channel"), flags.get("errors")) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--channel and --errors are mutually exclusive".into(),
+                    ))
+                }
+                (Some(c), None) => parse_channel_model(c)?,
+                (None, errors) => {
+                    ChannelModel::uniform(parse_error_model(errors.map_or("uniform:0.06", |v| v))?)
+                }
+            };
             let coverage: f64 = flags.get("coverage").map_or(Ok(12.0), |v| {
                 v.parse()
                     .map_err(|_| CliError::Usage(format!("bad coverage {v:?}")))
@@ -93,10 +110,11 @@ fn run() -> Result<(), CliError> {
                 v.parse()
                     .map_err(|_| CliError::Usage(format!("bad seed {v:?}")))
             })?;
-            let outcome = simulate(&input, layout, model, coverage, seed)?;
+            let base_rate = channel.base().total_rate();
+            let outcome = simulate_channel(&input, layout, channel, coverage, seed)?;
             println!(
-                "layout {layout:?} | errors {:.2}% | coverage {coverage}",
-                model.total_rate() * 100.0
+                "layout {layout:?} | base errors {:.2}% | coverage {coverage}",
+                base_rate * 100.0
             );
             println!(
                 "exact={} byte-accuracy={:.4} corrected={} failed-codewords={} lost-molecules={}",

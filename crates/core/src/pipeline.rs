@@ -12,7 +12,8 @@ use crate::workspace::DecodeWorkspace;
 use crate::StorageError;
 use dna_align::edit_distance_bounded_with;
 use dna_channel::{
-    Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend, SimulatedSequencer,
+    ChannelModel, Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend,
+    SimulatedSequencer,
 };
 use dna_consensus::TraceReconstructor;
 use dna_reed_solomon::{ReedSolomon, RsError};
@@ -315,6 +316,25 @@ impl Pipeline {
         seed: u64,
     ) -> ReadPool {
         self.sequence_with(&SimulatedSequencer::new(model, coverage), unit, 0, seed)
+    }
+
+    /// [`Pipeline::sequence`] under a full [`ChannelModel`] — position-
+    /// dependent rates, strand dropout, PCR amplification bias, and burst
+    /// indels. With [`ChannelModel::uniform`] this is byte-identical to
+    /// [`Pipeline::sequence`] at the same seed.
+    pub fn sequence_model(
+        &self,
+        unit: &EncodedUnit,
+        channel: &ChannelModel,
+        coverage: CoverageModel,
+        seed: u64,
+    ) -> ReadPool {
+        self.sequence_with(
+            &SimulatedSequencer::with_channel(channel.clone(), coverage),
+            unit,
+            0,
+            seed,
+        )
     }
 
     /// Produces a unit's read pool through any [`SequencingBackend`]

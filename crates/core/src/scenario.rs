@@ -8,19 +8,20 @@
 //! and hands out the derived pieces: the pool-generation coverage model,
 //! per-trial seeds, and a ready-made [`SimulatedSequencer`] backend.
 
-use dna_channel::{CoverageModel, ErrorModel, SimulatedSequencer};
+use crate::StorageError;
+use dna_channel::{ChannelModel, CoverageModel, ErrorModel, SimulatedSequencer};
 
 /// The default Gamma shape used across the paper's experiments (§6.1.2).
 pub const GAMMA_SHAPE: f64 = 6.0;
 
-/// One channel operating point: error model + coverage draw + sweep +
+/// One channel operating point: channel model + coverage draw + sweep +
 /// trials + seed.
 ///
 /// # Examples
 ///
 /// ```
 /// use dna_storage::Scenario;
-/// use dna_channel::ErrorModel;
+/// use dna_channel::{ChannelModel, ErrorModel};
 ///
 /// let scenario = Scenario::new(ErrorModel::uniform(0.06))
 ///     .coverage_range(2, 30)
@@ -28,11 +29,17 @@ pub const GAMMA_SHAPE: f64 = 6.0;
 ///     .seed(11);
 /// assert_eq!(scenario.max_coverage(), 30.0);
 /// assert_ne!(scenario.trial_seed(0), scenario.trial_seed(1));
+///
+/// // Richer channels slot into the same operating point:
+/// let nanopore = Scenario::with_channel(ChannelModel::nanopore_decay(0.08))
+///     .single_coverage(16.0);
+/// assert!(!nanopore.channel.is_uniform());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Per-base IDS error rates.
-    pub model: ErrorModel,
+    /// The channel model: base IDS rates plus position- and strand-level
+    /// skew (profile, dropout, PCR bias, bursts).
+    pub channel: ChannelModel,
     /// The sweep's mean coverages. Pools are generated at the maximum and
     /// progressively drawn down (paper §6.1.2).
     pub coverages: Vec<f64>,
@@ -47,16 +54,28 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// A scenario with the paper's defaults: coverages 3–30, Gamma
-    /// cluster sizes, 5 trials, seed 1.
+    /// A flat-channel scenario with the paper's defaults: coverages 3–30,
+    /// Gamma cluster sizes, 5 trials, seed 1.
     pub fn new(model: ErrorModel) -> Scenario {
+        Scenario::with_channel(ChannelModel::uniform(model))
+    }
+
+    /// A scenario running an arbitrary [`ChannelModel`], with the same
+    /// sweep/trial/seed defaults as [`Scenario::new`].
+    pub fn with_channel(channel: ChannelModel) -> Scenario {
         Scenario {
-            model,
+            channel,
             coverages: (3..=30).map(f64::from).collect(),
             gamma: true,
             trials: 5,
             seed: 1,
         }
+    }
+
+    /// Replaces the channel model, keeping the sweep, trials, and seed.
+    pub fn channel_model(mut self, channel: ChannelModel) -> Scenario {
+        self.channel = channel;
+        self
     }
 
     /// Replaces the coverage sweep. The caller's order is preserved —
@@ -129,9 +148,46 @@ impl Scenario {
         }
     }
 
+    /// The base per-base error rates of the channel.
+    pub fn model(&self) -> &ErrorModel {
+        self.channel.base()
+    }
+
     /// A simulated-sequencing backend for this operating point.
     pub fn backend(&self) -> SimulatedSequencer {
-        SimulatedSequencer::new(self.model, self.pool_coverage())
+        SimulatedSequencer::with_channel(self.channel.clone(), self.pool_coverage())
+    }
+
+    /// Checks that the scenario can actually measure something: at least
+    /// one trial, a non-empty coverage sweep, and finite, non-negative
+    /// coverages. The experiment harnesses treat degenerate scenarios as
+    /// vacuous (they return `None`/empty); strict callers — the CLI, the
+    /// conformance suite — call this first to get a descriptive error
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        if self.trials == 0 {
+            return Err(StorageError::InvalidParams(
+                "scenario has zero trials: nothing would be measured (set .trials(n) with n ≥ 1)"
+                    .into(),
+            ));
+        }
+        if self.coverages.is_empty() {
+            return Err(StorageError::InvalidParams(
+                "scenario has an empty coverage sweep: set .coverages(..) or .coverage_range(..)"
+                    .into(),
+            ));
+        }
+        if let Some(&bad) = self.coverages.iter().find(|c| !c.is_finite() || **c < 0.0) {
+            return Err(StorageError::InvalidParams(format!(
+                "coverage {bad} must be finite and non-negative"
+            )));
+        }
+        Ok(())
     }
 
     /// The seed of trial `t`. Trial 0 keeps the base seed. This is the

@@ -1,0 +1,141 @@
+//! Error-path coverage for `PipelineBuilder` and `Scenario`: every
+//! misconfiguration — invalid channel parameters, out-of-range layout
+//! knobs, degenerate scenarios — must surface as a descriptive error,
+//! never a panic.
+
+use dna_channel::{ChannelError, ChannelModel, ErrorModel, PositionProfile};
+use dna_storage::{min_coverage, CodecParams, Layout, Pipeline, Scenario, StorageError};
+
+fn tiny() -> CodecParams {
+    CodecParams::tiny().expect("tiny params")
+}
+
+#[test]
+fn negative_and_overfull_error_rates_are_descriptive_errors() {
+    for (s, i, d) in [(-0.1, 0.0, 0.0), (0.0, -0.5, 0.0), (0.5, 0.4, 0.2)] {
+        let err = ErrorModel::new(s, i, d).unwrap_err();
+        assert!(matches!(err, ChannelError::InvalidRates { .. }), "{err}");
+        assert!(err.to_string().contains("invalid IDS rates"), "{err}");
+    }
+}
+
+#[test]
+fn empty_position_table_is_a_descriptive_error() {
+    let err = ChannelModel::uniform(ErrorModel::uniform(0.03))
+        .with_profile(PositionProfile::Table(vec![]))
+        .unwrap_err();
+    assert!(matches!(err, ChannelError::InvalidProfile(_)), "{err}");
+    assert!(err.to_string().contains("must not be empty"), "{err}");
+
+    let err = PositionProfile::table([1.0, -0.5]).unwrap_err();
+    assert!(err.to_string().contains("finite and non-negative"), "{err}");
+}
+
+#[test]
+fn dropout_of_one_or_more_is_a_descriptive_error() {
+    for bad in [1.0, 1.5, -0.01, f64::NAN, f64::INFINITY] {
+        let err = ChannelModel::uniform(ErrorModel::uniform(0.03))
+            .with_dropout(bad)
+            .unwrap_err();
+        assert!(matches!(err, ChannelError::InvalidDropout(_)), "{err}");
+        assert!(err.to_string().contains("outside [0, 1)"), "{err}");
+    }
+}
+
+#[test]
+fn invalid_pcr_and_burst_knobs_are_descriptive_errors() {
+    let base = || ChannelModel::uniform(ErrorModel::uniform(0.03));
+    let err = base().with_pcr_bias(-2.0).unwrap_err();
+    assert!(err.to_string().contains("PCR bias shape"), "{err}");
+    let err = base().with_burst(2.0, 4.0).unwrap_err();
+    assert!(err.to_string().contains("burst"), "{err}");
+    let err = base().with_burst(0.1, 0.0).unwrap_err();
+    assert!(err.to_string().contains("at least 1"), "{err}");
+}
+
+#[test]
+fn out_of_range_gini_rows_are_descriptive_builder_errors() {
+    let err = Pipeline::builder()
+        .params(tiny())
+        .layout(Layout::Gini {
+            excluded_rows: vec![17],
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, StorageError::InvalidParams(_)), "{err}");
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    let err = Pipeline::builder()
+        .params(tiny())
+        .layout(Layout::Gini {
+            excluded_rows: vec![1, 1],
+        })
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("listed twice"), "{err}");
+
+    let err = Pipeline::builder()
+        .params(tiny())
+        .layout(Layout::Gini {
+            excluded_rows: (0..6).collect(),
+        })
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("remain interleaved"), "{err}");
+}
+
+#[test]
+fn zero_trial_scenarios_validate_to_descriptive_errors() {
+    let err = Scenario::new(ErrorModel::uniform(0.03))
+        .trials(0)
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, StorageError::InvalidParams(_)), "{err}");
+    assert!(err.to_string().contains("zero trials"), "{err}");
+
+    let err = Scenario::new(ErrorModel::uniform(0.03))
+        .coverages([])
+        .validate()
+        .unwrap_err();
+    assert!(err.to_string().contains("empty coverage sweep"), "{err}");
+
+    let err = Scenario::new(ErrorModel::uniform(0.03))
+        .coverages([3.0, f64::NAN])
+        .validate()
+        .unwrap_err();
+    assert!(err.to_string().contains("finite"), "{err}");
+
+    let err = Scenario::new(ErrorModel::uniform(0.03))
+        .coverages([-2.0])
+        .validate()
+        .unwrap_err();
+    assert!(err.to_string().contains("non-negative"), "{err}");
+
+    assert!(Scenario::new(ErrorModel::uniform(0.03)).validate().is_ok());
+}
+
+#[test]
+fn degenerate_scenarios_stay_vacuous_in_the_harnesses() {
+    // The experiment harnesses keep their documented measurement
+    // semantics — degenerate scenarios return None, they do not panic.
+    let pipeline = Pipeline::new(tiny(), Layout::Baseline).unwrap();
+    let payload: Vec<u8> = (0..30).collect();
+    let zero_trials = Scenario::new(ErrorModel::noiseless()).trials(0);
+    assert_eq!(
+        min_coverage(&pipeline, &payload, &zero_trials).unwrap(),
+        None
+    );
+    let no_coverages = Scenario::new(ErrorModel::noiseless()).coverages([]);
+    assert_eq!(
+        min_coverage(&pipeline, &payload, &no_coverages).unwrap(),
+        None
+    );
+}
+
+#[test]
+fn builder_missing_geometry_remains_descriptive() {
+    let err = Pipeline::builder().build().unwrap_err();
+    assert!(err.to_string().contains("needs a geometry"), "{err}");
+    let err = Pipeline::builder().rows(6).build().unwrap_err();
+    assert!(err.to_string().contains("set .params"), "{err}");
+}

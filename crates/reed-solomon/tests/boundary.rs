@@ -1,0 +1,173 @@
+//! Boundary tests for the errors-and-erasures decoder: behavior at
+//! exactly the erasure capacity `n − k`, one past it, and scratch/plain
+//! equivalence under burst-shaped corruption — the symbol-level footprint
+//! of the channel crate's new [`dna_channel::BurstModel`] (a surviving
+//! burst misaligns consensus around it, which reaches the RS layer as a
+//! contiguous run of symbol errors).
+
+use dna_channel::{ChannelModel, ErrorModel};
+use dna_gf::Field;
+use dna_reed_solomon::{ReedSolomon, RsError, RsScratch};
+use dna_strand::DnaString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn patterned_data(n: usize, field_max: u16) -> Vec<u16> {
+    (0..n as u32)
+        .map(|i| ((i * 37 + 5) % (field_max as u32 + 1)) as u16)
+        .collect()
+}
+
+/// Largest symbol value of the code's field.
+fn max_sym(rs: &ReedSolomon) -> u16 {
+    (rs.field().order() - 1) as u16
+}
+
+/// The codes the boundary matrix runs over: the tiny-geometry code, the
+/// laptop-geometry code's shape, and a GF(2^16) code.
+fn codes() -> Vec<ReedSolomon> {
+    vec![
+        ReedSolomon::new(Field::gf16(), 10, 5).unwrap(),
+        ReedSolomon::new(Field::gf256(), 40, 20).unwrap(),
+        ReedSolomon::new(Field::gf65536(), 30, 8).unwrap(),
+    ]
+}
+
+#[test]
+fn decode_at_exactly_n_minus_k_erasures_succeeds() {
+    for rs in codes() {
+        let (n, k) = (rs.codeword_len(), rs.data_len());
+        let e = n - k;
+        let clean = rs.encode(&patterned_data(k, max_sym(&rs))).unwrap();
+        // Three erasure geometries: a leading block, a trailing block, and
+        // a contiguous mid-codeword burst — all exactly at capacity.
+        let patterns: [Vec<usize>; 3] = [
+            (0..e).collect(),
+            (n - e..n).collect(),
+            (k / 2..k / 2 + e).collect(),
+        ];
+        for erasures in patterns {
+            let mut cw = clean.clone();
+            for &p in &erasures {
+                cw[p] ^= 1; // wrong symbol at every erased slot
+            }
+            let correction = rs
+                .decode(&mut cw, &erasures)
+                .unwrap_or_else(|err| panic!("decode at exactly {e} erasures must succeed: {err}"));
+            assert_eq!(cw, clean, "codeword not restored at capacity");
+            assert_eq!(correction.erasures, e, "all erased slots needed fixing");
+            assert_eq!(correction.errors, 0);
+        }
+    }
+}
+
+#[test]
+fn decode_at_n_minus_k_plus_one_erasures_fails_cleanly() {
+    for rs in codes() {
+        let (n, k) = (rs.codeword_len(), rs.data_len());
+        let e = n - k;
+        let clean = rs.encode(&patterned_data(k, max_sym(&rs))).unwrap();
+        let erasures: Vec<usize> = (0..=e).collect(); // one beyond capacity
+        let mut cw = clean.clone();
+        for &p in &erasures {
+            cw[p] ^= 1;
+        }
+        let snapshot = cw.clone();
+        let err = rs.decode(&mut cw, &erasures).unwrap_err();
+        assert_eq!(
+            err,
+            RsError::TooManyErasures {
+                erasures: e + 1,
+                capacity: e
+            },
+            "failure must be the typed over-capacity error"
+        );
+        assert_eq!(cw, snapshot, "failed decode must not mutate the word");
+
+        // The scratch path fails identically — and the same scratch then
+        // still decodes a within-capacity word correctly (clean failure,
+        // no latent state).
+        let mut scratch = RsScratch::new();
+        let mut cw2 = snapshot.clone();
+        assert_eq!(
+            rs.decode_with_scratch(&mut cw2, &erasures, &mut scratch),
+            Err(err)
+        );
+        assert_eq!(cw2, snapshot);
+        let within: Vec<usize> = (0..e).collect();
+        let mut cw3 = clean.clone();
+        for &p in &within {
+            cw3[p] ^= 1;
+        }
+        rs.decode_with_scratch(&mut cw3, &within, &mut scratch)
+            .expect("scratch must be reusable after a clean failure");
+        assert_eq!(cw3, clean);
+    }
+}
+
+/// Burst lengths drawn from the real channel-level burst model: transmit
+/// an otherwise noiseless strand through an always-burst channel and read
+/// the burst size off the length change.
+fn channel_burst_lengths(count: usize, mean_len: f64, seed: u64) -> Vec<usize> {
+    let model = ChannelModel::uniform(ErrorModel::noiseless())
+        .with_burst(1.0, mean_len)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let strand = DnaString::random(400, &mut rng);
+    (0..count)
+        .map(|_| {
+            model
+                .transmit(&strand, &mut rng)
+                .len()
+                .abs_diff(strand.len())
+                .max(1)
+        })
+        .collect()
+}
+
+#[test]
+fn poisoned_scratch_matches_plain_decode_under_bursty_corruption() {
+    let rs = ReedSolomon::new(Field::gf256(), 40, 20).unwrap();
+    let (n, k) = (rs.codeword_len(), rs.data_len());
+    let clean = rs.encode(&patterned_data(k, max_sym(&rs))).unwrap();
+    let bursts = channel_burst_lengths(60, 5.0, 0xB0B);
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for (case, &burst_len) in bursts.iter().enumerate() {
+        // A contiguous burst of symbol errors (possibly beyond the error
+        // capacity) plus a few declared erasures elsewhere.
+        let start = rng.gen_range(0..n);
+        let mut noisy = clean.clone();
+        for off in 0..burst_len.min(n) {
+            let p = (start + off) % n;
+            noisy[p] ^= rng.gen_range(1..=max_sym(&rs));
+        }
+        let n_erasures = rng.gen_range(0..4);
+        let erasures: Vec<usize> = (0..n_erasures)
+            .map(|i| (start + n - 2 - 3 * i) % n)
+            .collect();
+        for &p in &erasures {
+            noisy[p] = 0;
+        }
+
+        // Reference: the plain API (per-thread scratch).
+        let mut plain_cw = noisy.clone();
+        let plain = rs.decode(&mut plain_cw, &erasures);
+
+        // Candidate: a scratch poisoned by a failed decode of garbage.
+        let mut scratch = RsScratch::new();
+        let mut garbage: Vec<u16> = (0..n as u16).map(|i| i.wrapping_mul(97) % 251).collect();
+        let _ = rs.decode_with_scratch(&mut garbage, &[1, 3, 5, 7], &mut scratch);
+        let mut scratch_cw = noisy.clone();
+        let got = rs.decode_with_scratch(&mut scratch_cw, &erasures, &mut scratch);
+
+        assert_eq!(plain, got, "case {case}: results diverged");
+        assert_eq!(plain_cw, scratch_cw, "case {case}: codewords diverged");
+        // Within capacity (2ν + ρ ≤ E) the burst must actually be fixed.
+        if 2 * burst_len + erasures.len() <= n - k && plain.is_ok() {
+            assert_eq!(
+                plain_cw, clean,
+                "case {case}: in-capacity burst not repaired"
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Channel models: the same archive under progressively nastier channels —
+//! flat IDS noise, nanopore-style positional decay, PCR amplification
+//! skew, whole-strand dropout, and burst indels — comparing how the
+//! baseline and Gini layouts degrade.
+//!
+//! ```text
+//! cargo run --release --example channel_models
+//! ```
+
+use dna_skew::prelude::*;
+use dna_skew::storage::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = CodecParams::laptop()?;
+    let payload: Vec<u8> = (0..params.payload_bytes())
+        .map(|i| (i.wrapping_mul(97) % 256) as u8)
+        .collect();
+
+    // Each preset is one composable ChannelModel; all other knobs (the
+    // coverage draw, the trial seed) stay identical so only the channel
+    // changes between rows. Custom mixes compose the same way, e.g.:
+    //   ChannelModel::uniform(ErrorModel::ngs(0.01))
+    //       .with_profile(PositionProfile::linear(0.8, 1.4)?)?
+    //       .with_dropout(0.02)?
+    let channels: [(&str, ChannelModel); 5] = [
+        (
+            "uniform 6%",
+            ChannelModel::uniform(ErrorModel::uniform(0.06)),
+        ),
+        ("nanopore-decay 6%", ChannelModel::nanopore_decay(0.06)),
+        ("pcr-skewed 6%", ChannelModel::pcr_skewed(0.06)),
+        ("dropout 6% + 4%", ChannelModel::dropout_prone(0.06, 0.04)),
+        ("bursty 6%", ChannelModel::bursty(0.06)),
+    ];
+
+    println!("{:<20} {:>14} {:>14}", "channel", "baseline", "gini");
+    for (name, channel) in channels {
+        let scenario = Scenario::with_channel(channel)
+            .single_coverage(14.0)
+            .seed(2026);
+        scenario.validate()?;
+        let mut cells = Vec::new();
+        for layout in [
+            Layout::Baseline,
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+        ] {
+            let pipeline = Pipeline::builder()
+                .params(params.clone())
+                .layout(layout)
+                .build()?;
+            let unit = pipeline.encode_unit(&payload)?;
+            let pool = pipeline.sequence_with(&scenario.backend(), &unit, 0, scenario.seed);
+            let (decoded, report) = pipeline.decode_unit(&pool.at_coverage(14.0))?;
+            let exact = decoded == payload;
+            cells.push(format!(
+                "{} ({:>3}✚ {:>2}✖)",
+                if exact { "ok " } else { "LOSS" },
+                report.total_corrected(),
+                report.failed_codewords(),
+            ));
+        }
+        println!("{name:<20} {:>14} {:>14}", cells[0], cells[1]);
+    }
+    println!("\n(✚ corrected symbols, ✖ failed codewords; coverage 14, one realization each)");
+    println!("Position- and strand-level skew is exactly the regime Gini was designed for.");
+    Ok(())
+}

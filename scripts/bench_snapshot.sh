@@ -5,24 +5,32 @@
 #
 # Runs the perf_pipeline + perf_components criterion benches at smoke
 # scale and records min/median/mean wall-clock per bench in microseconds.
-# When scripts/bench_baseline_<tag>.tsv exists (name<TAB>min_us per
-# line — the numbers captured before an optimization lands), each entry
-# also gets "baseline_min" and "speedup_min" = baseline / current, which
-# is how the repo's perf trajectory is tracked. See PERFORMANCE.md.
+# scripts/bench_baseline_<tag>.tsv (name<TAB>min_us per line — the
+# numbers captured before an optimization lands) must exist: each entry
+# gets "baseline_min" and "speedup_min" = baseline / current, which is
+# how the repo's perf trajectory is tracked. See PERFORMANCE.md.
 set -eu
 
 TAG="${1:-pr2}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
+# Fail fast on a missing baseline: a snapshot without its reference TSV
+# would silently record no speedups, which defeats the point of the
+# trajectory file.
+BASELINE="scripts/bench_baseline_${TAG}.tsv"
+if [ ! -f "$BASELINE" ]; then
+    echo "error: baseline TSV '$BASELINE' not found." >&2
+    echo "       Capture one first (name<TAB>min_us per line) or pass a tag" >&2
+    echo "       that has a baseline: scripts/bench_snapshot.sh <tag>" >&2
+    exit 1
+fi
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 DNA_REPRO_SCALE=smoke cargo bench -p dna-bench \
     --bench perf_pipeline --bench perf_components | tee "$RAW"
-
-BASELINE="scripts/bench_baseline_${TAG}.tsv"
-[ -f "$BASELINE" ] || BASELINE=/dev/null
 
 awk -v tag="$TAG" -v baseline_file="$BASELINE" '
 function to_us(v, u) {

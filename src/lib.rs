@@ -103,8 +103,8 @@ pub use dna_strand as strand;
 /// The most commonly used types, for one-line imports.
 pub mod prelude {
     pub use dna_channel::{
-        Cluster, CoverageModel, ErrorModel, IdsChannel, ReadPool, SequencingBackend,
-        SimulatedSequencer, TraceReplay,
+        BurstModel, ChannelModel, Cluster, CoverageModel, ErrorModel, IdsChannel, PcrBias,
+        PositionProfile, ReadPool, SequencingBackend, SimulatedSequencer, TraceReplay,
     };
     pub use dna_consensus::{
         BmaOneWay, BmaTwoWay, ConstrainedMedian, IterativeReconstructor, TraceReconstructor,

@@ -1,0 +1,259 @@
+//! The scenario conformance suite: a deterministic matrix of
+//! {channel preset × layout × coverage} encode → sequence → decode runs
+//! with pinned seeds, asserted against golden summary reports.
+//!
+//! Each cell's summary pins the FNV-1a hash of the decoded bytes plus the
+//! erasure/correction/failure counts of the decode reports. The goldens
+//! serve two contracts:
+//!
+//! 1. **Seed stability** — the uniform cells (and the pool hashes below)
+//!    were captured from the release *before* the channel-model subsystem
+//!    landed. They must never change: old seeds keep producing
+//!    byte-identical pools and decodes through the uniform path.
+//! 2. **Thread independence** — the whole matrix is recomputed under
+//!    `DNA_SKEW_THREADS` ∈ {1, 2, 8} and must be identical. CI
+//!    additionally runs the full test suite under 1 and 8 threads.
+//!
+//! Regenerating goldens after an *intentional* channel change:
+//! `DNA_SKEW_BLESS=1 cargo test --test scenario_conformance -- --nocapture`
+//! prints the computed lines; paste them over `GOLDEN_MATRIX`. Never
+//! regenerate the `uniform` cells or the pool hashes — those are the
+//! backward-compatibility contract.
+
+use dna_skew::prelude::*;
+use dna_skew::storage::Scenario;
+use std::sync::Mutex;
+
+/// Serializes every test in this binary: the thread-invariance test
+/// mutates `DNA_SKEW_THREADS` with `std::env::set_var`, and concurrent
+/// setenv/getenv is undefined behavior on glibc, so nothing else may be
+/// reading the environment (every `parallel_map` does) while it runs.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// FNV-1a 64-bit, the suite's stable content fingerprint.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes a pool's full structure: cluster sources, read boundaries, and
+/// every base.
+fn pool_hash(pool: &ReadPool) -> u64 {
+    let mut bytes = Vec::new();
+    for c in pool.clusters() {
+        bytes.push(0xFE);
+        bytes.extend_from_slice(&(c.source as u64).to_le_bytes());
+        for r in &c.reads {
+            bytes.push(0xFD);
+            for &b in r.iter() {
+                bytes.push(b.to_bits());
+            }
+        }
+    }
+    fnv64(&bytes)
+}
+
+/// The channel presets of the matrix. The `uniform` row is the pre-PR
+/// behavior; its goldens are frozen.
+fn presets() -> Vec<(&'static str, ChannelModel)> {
+    vec![
+        (
+            "uniform:0.04",
+            ChannelModel::uniform(ErrorModel::uniform(0.04)),
+        ),
+        ("nanopore-decay:0.06", ChannelModel::nanopore_decay(0.06)),
+        ("pcr-skewed:0.04", ChannelModel::pcr_skewed(0.04)),
+        ("dropout:0.04", ChannelModel::dropout_prone(0.04, 0.05)),
+        ("bursty:0.04", ChannelModel::bursty(0.04)),
+    ]
+}
+
+fn layouts() -> Vec<(&'static str, Layout)> {
+    vec![
+        ("baseline", Layout::Baseline),
+        (
+            "gini",
+            Layout::Gini {
+                excluded_rows: vec![],
+            },
+        ),
+    ]
+}
+
+const COVERAGES: [f64; 2] = [6.0, 12.0];
+const MATRIX_SEED: u64 = 0xC0FFEE;
+
+/// 90 bytes = 3 tiny units, so the batch (parallel) paths are exercised.
+fn matrix_payload() -> Vec<u8> {
+    (0..90u32)
+        .map(|i| (i.wrapping_mul(131) % 256) as u8)
+        .collect()
+}
+
+/// Runs one cell of the matrix through the batch pipeline and summarizes
+/// it: decoded-bytes hash + erasure/correction/failure totals.
+fn cell_summary(
+    preset: &str,
+    channel: &ChannelModel,
+    lname: &str,
+    layout: &Layout,
+    cov: f64,
+) -> String {
+    let pipeline = Pipeline::builder()
+        .params(CodecParams::tiny().expect("tiny params"))
+        .layout(layout.clone())
+        .build()
+        .expect("tiny pipeline");
+    let scenario = Scenario::with_channel(channel.clone())
+        .single_coverage(cov)
+        .seed(MATRIX_SEED);
+    scenario.validate().expect("matrix scenarios are valid");
+    let units = pipeline.encode_chunked(&matrix_payload()).expect("encode");
+    let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
+    let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.at_coverage(cov)).collect();
+    let mut decoded = Vec::new();
+    let (mut lost, mut corrected, mut failed) = (0usize, 0usize, 0usize);
+    for (bytes, report) in pipeline.decode_batch(&clusters).expect("decode") {
+        decoded.extend_from_slice(&bytes);
+        lost += report.lost_columns;
+        corrected += report.total_corrected();
+        failed += report.failed_codewords();
+    }
+    format!(
+        "preset={preset} layout={lname} cov={cov} hash={:#018x} lost={lost} corrected={corrected} failed={failed}",
+        fnv64(&decoded)
+    )
+}
+
+fn compute_matrix() -> Vec<String> {
+    let mut out = Vec::new();
+    for (preset, channel) in presets() {
+        for (lname, layout) in layouts() {
+            for cov in COVERAGES {
+                out.push(cell_summary(preset, &channel, lname, &layout, cov));
+            }
+        }
+    }
+    out
+}
+
+/// Golden summaries. The four `preset=uniform` lines were captured from
+/// the pre-channel-model release and freeze the uniform path's exact
+/// behavior; the remaining lines pin the new presets going forward.
+const GOLDEN_MATRIX: [&str; 20] = [
+    "preset=uniform:0.04 layout=baseline cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=3 failed=0",
+    "preset=uniform:0.04 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=1 corrected=6 failed=0",
+    "preset=uniform:0.04 layout=gini cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=3 failed=0",
+    "preset=uniform:0.04 layout=gini cov=12 hash=0x7441d7e2f2760db4 lost=1 corrected=6 failed=0",
+    "preset=nanopore-decay:0.06 layout=baseline cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=6 failed=0",
+    "preset=nanopore-decay:0.06 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=0 corrected=6 failed=0",
+    "preset=nanopore-decay:0.06 layout=gini cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=6 failed=0",
+    "preset=nanopore-decay:0.06 layout=gini cov=12 hash=0x7441d7e2f2760db4 lost=0 corrected=6 failed=0",
+    "preset=pcr-skewed:0.04 layout=baseline cov=6 hash=0x83db1b14f43e984d lost=6 corrected=12 failed=6",
+    "preset=pcr-skewed:0.04 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=2 corrected=13 failed=0",
+    "preset=pcr-skewed:0.04 layout=gini cov=6 hash=0x38ec970fe822120b lost=6 corrected=28 failed=2",
+    "preset=pcr-skewed:0.04 layout=gini cov=12 hash=0x7441d7e2f2760db4 lost=1 corrected=9 failed=0",
+    "preset=dropout:0.04 layout=baseline cov=6 hash=0x7441d7e2f2760db4 lost=4 corrected=23 failed=0",
+    "preset=dropout:0.04 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=4 corrected=23 failed=0",
+    "preset=dropout:0.04 layout=gini cov=6 hash=0x7441d7e2f2760db4 lost=4 corrected=25 failed=0",
+    "preset=dropout:0.04 layout=gini cov=12 hash=0x7441d7e2f2760db4 lost=4 corrected=23 failed=0",
+    "preset=bursty:0.04 layout=baseline cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=9 failed=0",
+    "preset=bursty:0.04 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=0 corrected=2 failed=0",
+    "preset=bursty:0.04 layout=gini cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=7 failed=0",
+    "preset=bursty:0.04 layout=gini cov=12 hash=0x7441d7e2f2760db4 lost=0 corrected=2 failed=0",
+];
+
+fn assert_matches_golden(matrix: &[String], context: &str) {
+    if std::env::var("DNA_SKEW_BLESS").is_ok() {
+        for line in matrix {
+            println!("    \"{line}\",");
+        }
+        return;
+    }
+    assert_eq!(matrix.len(), GOLDEN_MATRIX.len(), "{context}: matrix size");
+    for (got, want) in matrix.iter().zip(GOLDEN_MATRIX.iter()) {
+        assert_eq!(got, want, "{context}");
+    }
+}
+
+#[test]
+fn conformance_matrix_matches_golden_reports() {
+    let _guard = env_guard();
+    assert_matches_golden(&compute_matrix(), "default thread count");
+}
+
+#[test]
+fn conformance_matrix_is_thread_count_invariant() {
+    let _guard = env_guard();
+    let original = std::env::var("DNA_SKEW_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("DNA_SKEW_THREADS", threads);
+        assert_matches_golden(&compute_matrix(), &format!("DNA_SKEW_THREADS={threads}"));
+    }
+    match original {
+        Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
+        None => std::env::remove_var("DNA_SKEW_THREADS"),
+    }
+}
+
+/// The uniform-preset pool fingerprints, captured from the pre-channel-
+/// model release: `SimulatedSequencer::new` (and the whole
+/// `ChannelModel::uniform` path) must reproduce these pools byte-for-byte
+/// for old seeds, under both fixed and Gamma coverage.
+#[test]
+fn uniform_pools_are_byte_identical_to_pre_channel_release() {
+    let _guard = env_guard();
+    let pipeline = Pipeline::new(CodecParams::tiny().unwrap(), Layout::Baseline).unwrap();
+    let payload: Vec<u8> = (0..30u8)
+        .map(|i| i.wrapping_mul(37).wrapping_add(11))
+        .collect();
+    let unit = pipeline.encode_unit(&payload).unwrap();
+    let golden: [(u64, f64, usize, u64, u64); 3] = [
+        (1, 0.05, 4, 0xe1a3a5aab06db97a, 0xa97409cb4be96881),
+        (42, 0.09, 8, 0x494fe3200abfa53b, 0x3d66dc5dfc93bc8b),
+        (0xBEEF, 0.02, 6, 0xd303b7a9914464fd, 0x4461e57048468653),
+    ];
+    for (seed, p, cov, fixed_hash, gamma_hash) in golden {
+        let fixed = pipeline.sequence(
+            &unit,
+            ErrorModel::uniform(p),
+            CoverageModel::Fixed(cov),
+            seed,
+        );
+        assert_eq!(
+            pool_hash(&fixed),
+            fixed_hash,
+            "fixed-coverage pool drifted at seed={seed} p={p} cov={cov}"
+        );
+        let gamma = pipeline.sequence(
+            &unit,
+            ErrorModel::uniform(p),
+            CoverageModel::Gamma {
+                mean: cov as f64,
+                shape: 6.0,
+            },
+            seed,
+        );
+        assert_eq!(
+            pool_hash(&gamma),
+            gamma_hash,
+            "gamma-coverage pool drifted at seed={seed} p={p} cov={cov}"
+        );
+        // The explicit channel-model route is the same bytes again.
+        let via_model = pipeline.sequence_model(
+            &unit,
+            &ChannelModel::uniform(ErrorModel::uniform(p)),
+            CoverageModel::Fixed(cov),
+            seed,
+        );
+        assert_eq!(pool_hash(&via_model), fixed_hash);
+    }
+}
