@@ -10,7 +10,10 @@
 #![warn(missing_docs)]
 
 use dna_channel::{ChannelModel, ErrorModel};
-use dna_storage::{CodecParams, DecodeReport, Layout, Pipeline, Scenario, StorageError};
+use dna_storage::{
+    CodecParams, DecodeReport, Layout, Pipeline, ProtectionPlan, ProtectionPlanner, Scenario,
+    SkewProfile, StorageError,
+};
 use dna_strand::DnaString;
 use std::fmt;
 use std::str::FromStr;
@@ -173,6 +176,53 @@ pub fn parse_channel_model(s: &str) -> Result<ChannelModel, CliError> {
     }
 }
 
+/// The protection policy selected on the command line (`--plan`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanChoice {
+    /// Every codeword at the geometry's parity width (the default).
+    Uniform,
+    /// Plan from the channel's analytic skew profile at the simulated
+    /// coverage, with the channel's dropout as the erasure assumption.
+    Auto,
+    /// An explicit plan loaded from a file (see [`parse_plan_file`]).
+    Plan(ProtectionPlan),
+}
+
+/// Parses `--plan auto|uniform|file:<path>`; the `file:` variant reads
+/// and parses the plan file immediately.
+pub fn parse_plan_arg(s: &str) -> Result<PlanChoice, CliError> {
+    match s {
+        "uniform" => Ok(PlanChoice::Uniform),
+        "auto" => Ok(PlanChoice::Auto),
+        other => match other.strip_prefix("file:") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                Ok(PlanChoice::Plan(parse_plan_file(&text)?))
+            }
+            None => Err(CliError::Usage(format!(
+                "unknown plan {other:?} (expected auto|uniform|file:<path>)"
+            ))),
+        },
+    }
+}
+
+/// Parses a plan file: whitespace-separated per-codeword parity counts,
+/// `#` comments ignored.
+pub fn parse_plan_file(text: &str) -> Result<ProtectionPlan, CliError> {
+    let mut parities = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for token in line.split_whitespace() {
+            let parity: usize = token
+                .parse()
+                .map_err(|_| CliError::Parse(format!("bad parity count {token:?}")))?;
+            parities.push(parity);
+        }
+    }
+    ProtectionPlan::from_parities(parities)
+        .map_err(|e| CliError::Parse(format!("invalid plan file: {e}")))
+}
+
 /// The laptop-scale pipeline every CLI subcommand uses, built through the
 /// validated builder path.
 fn laptop_pipeline(layout: LayoutChoice) -> Result<Pipeline, CliError> {
@@ -180,6 +230,46 @@ fn laptop_pipeline(layout: LayoutChoice) -> Result<Pipeline, CliError> {
         .params(CodecParams::laptop()?)
         .layout(layout.to_layout())
         .build()?)
+}
+
+/// A laptop-scale pipeline with an optional parity-width override and a
+/// protection policy. `--parity` below the default 47 leaves field-length
+/// headroom, which is what lets `--plan auto` move parity between rows.
+fn planned_pipeline(
+    layout: LayoutChoice,
+    parity_cols: Option<usize>,
+    plan: &PlanChoice,
+    channel: &ChannelModel,
+    coverage: f64,
+) -> Result<Pipeline, CliError> {
+    let params = match parity_cols {
+        Some(e) => {
+            let base = CodecParams::laptop()?;
+            CodecParams::new(
+                base.field().clone(),
+                base.rows(),
+                base.data_cols(),
+                e,
+                base.index_bits(),
+            )?
+        }
+        None => CodecParams::laptop()?,
+    };
+    let builder = Pipeline::builder()
+        .params(params.clone())
+        .layout(layout.to_layout());
+    let builder = match plan {
+        PlanChoice::Uniform => builder,
+        PlanChoice::Plan(plan) => builder.protection(plan.clone()),
+        PlanChoice::Auto => {
+            let profile = SkewProfile::analytic(channel, &params).attenuated(coverage);
+            let planner = ProtectionPlanner::new(profile)
+                .erasure_rate(channel.dropout())
+                .map_err(CliError::Storage)?;
+            builder.protection(planner)
+        }
+    };
+    Ok(builder.build()?)
 }
 
 /// Splits a payload across as many units as needed and encodes them as
@@ -352,7 +442,44 @@ pub fn simulate_channel(
     coverage: f64,
     seed: u64,
 ) -> Result<SimulationOutcome, CliError> {
-    let pipeline = laptop_pipeline(layout)?;
+    simulate_planned(
+        payload,
+        layout,
+        channel,
+        coverage,
+        seed,
+        &PlanChoice::Uniform,
+        None,
+    )
+    .map(|run| run.outcome)
+}
+
+/// Everything a planned simulation produced: the outcome, the plan the
+/// pipeline actually ran, and the merged decode report (per-row
+/// histograms included — the CLI's `--tsv` output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationRun {
+    /// The round-trip outcome.
+    pub outcome: SimulationOutcome,
+    /// The protection plan in effect (uniform unless `--plan` said
+    /// otherwise).
+    pub plan: ProtectionPlan,
+    /// All unit reports folded into one ([`DecodeReport::merge_from`]).
+    pub report: DecodeReport,
+}
+
+/// [`simulate_channel`] with a protection policy and optional parity
+/// width (`--plan` / `--parity`).
+pub fn simulate_planned(
+    payload: &[u8],
+    layout: LayoutChoice,
+    channel: ChannelModel,
+    coverage: f64,
+    seed: u64,
+    plan: &PlanChoice,
+    parity_cols: Option<usize>,
+) -> Result<SimulationRun, CliError> {
+    let pipeline = planned_pipeline(layout, parity_cols, plan, &channel, coverage)?;
     let scenario = Scenario::with_channel(channel)
         .single_coverage(coverage)
         .seed(seed);
@@ -362,9 +489,7 @@ pub fn simulate_channel(
     let per_unit_clusters: Vec<Vec<dna_channel::Cluster>> =
         pools.iter().map(|p| p.at_coverage(coverage)).collect();
     let mut decoded = Vec::with_capacity(payload.len());
-    let mut corrected = 0usize;
-    let mut failed = 0usize;
-    let mut lost = 0usize;
+    let mut merged = DecodeReport::default();
     let cap = pipeline.payload_capacity();
     for (u, (bytes, report)) in pipeline
         .decode_batch(&per_unit_clusters)?
@@ -374,25 +499,27 @@ pub fn simulate_channel(
         let lo = (u * cap).min(payload.len());
         let hi = ((u + 1) * cap).min(payload.len());
         decoded.extend_from_slice(&bytes[..hi - lo]);
-        corrected += report.total_corrected();
-        failed += report.failed_codewords();
-        lost += report.lost_columns;
+        merged.merge_from(&report);
     }
     let matches = payload
         .iter()
         .zip(decoded.iter())
         .filter(|(a, b)| a == b)
         .count();
-    Ok(SimulationOutcome {
-        exact: decoded == payload,
-        byte_accuracy: if payload.is_empty() {
-            1.0
-        } else {
-            matches as f64 / payload.len() as f64
+    Ok(SimulationRun {
+        outcome: SimulationOutcome {
+            exact: decoded == payload,
+            byte_accuracy: if payload.is_empty() {
+                1.0
+            } else {
+                matches as f64 / payload.len() as f64
+            },
+            corrected: merged.total_corrected(),
+            failed_codewords: merged.failed_codewords(),
+            lost_molecules: merged.lost_columns,
         },
-        corrected,
-        failed_codewords: failed,
-        lost_molecules: lost,
+        plan: pipeline.protection_plan().clone(),
+        report: merged,
     })
 }
 
@@ -483,6 +610,78 @@ mod tests {
                 "{preset}: accuracy {outcome:?}"
             );
         }
+    }
+
+    #[test]
+    fn plan_files_parse_with_comments_and_reject_garbage() {
+        let plan = parse_plan_file("# hot tail\n10 10 12\n14 # inline\n").unwrap();
+        assert_eq!(plan.parities(), &[10, 10, 12, 14]);
+        assert!(parse_plan_file("").is_err());
+        assert!(parse_plan_file("# only comments\n").is_err());
+        assert!(parse_plan_file("3 x 5").is_err());
+        assert!(parse_plan_file("3 -2").is_err());
+    }
+
+    #[test]
+    fn plan_args_parse() {
+        assert_eq!(parse_plan_arg("uniform").unwrap(), PlanChoice::Uniform);
+        assert_eq!(parse_plan_arg("auto").unwrap(), PlanChoice::Auto);
+        assert!(parse_plan_arg("martian").is_err());
+        assert!(parse_plan_arg("file:/nonexistent/plan.txt").is_err());
+    }
+
+    #[test]
+    fn auto_plan_simulates_and_reports_classes() {
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i * 17 % 256) as u8).collect();
+        let channel = parse_channel_model("nanopore-decay:0.06").unwrap();
+        // Parity 32 leaves 255 − 208 − 32 = 15 symbols of headroom per
+        // codeword for the planner to reallocate.
+        let run = simulate_planned(
+            &payload,
+            LayoutChoice::Baseline,
+            channel,
+            16.0,
+            13,
+            &PlanChoice::Auto,
+            Some(32),
+        )
+        .unwrap();
+        assert!(!run.plan.is_uniform(), "skewed channel must skew the plan");
+        assert!(run.plan.total_parity() <= 30 * 32, "density budget");
+        assert!(run.plan.max_parity() <= 47, "field cap");
+        // Per-row histograms exist and the TSV helper lists every row.
+        assert_eq!(run.report.row_errors.len(), 30);
+        assert_eq!(run.report.to_tsv().lines().count(), 31);
+        assert!(!run.report.per_class(&run.plan).is_empty());
+
+        // The uniform run at the same density decodes through the legacy
+        // path and reports a single class.
+        let uniform = simulate_planned(
+            &payload,
+            LayoutChoice::Baseline,
+            parse_channel_model("nanopore-decay:0.06").unwrap(),
+            16.0,
+            13,
+            &PlanChoice::Uniform,
+            Some(32),
+        )
+        .unwrap();
+        assert!(uniform.plan.is_uniform_at(32));
+    }
+
+    #[test]
+    fn auto_plan_on_gini_is_a_clean_error() {
+        let err = simulate_planned(
+            &[1, 2, 3],
+            LayoutChoice::Gini,
+            parse_channel_model("nanopore-decay:0.06").unwrap(),
+            12.0,
+            1,
+            &PlanChoice::Auto,
+            Some(32),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unequal protection"), "{err}");
     }
 
     #[test]

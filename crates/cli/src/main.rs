@@ -10,8 +10,8 @@
 
 use dna_channel::ChannelModel;
 use dna_skew_cli::{
-    decode, encode, parse_channel_model, parse_error_model, simulate_channel, CliError,
-    LayoutChoice,
+    decode, encode, parse_channel_model, parse_error_model, parse_plan_arg, simulate_planned,
+    CliError, LayoutChoice, PlanChoice,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -23,11 +23,17 @@ USAGE:
   dnastore encode   --input <file> [--layout baseline|gini|dnamapper] --output <strands>
   dnastore decode   --input <strands> --output <file>
   dnastore simulate --input <file> [--layout …] [--errors kind:rate | --channel preset[:rate]]
-                    [--coverage N] [--seed N]
+                    [--coverage N] [--seed N] [--plan auto|uniform|file:<path>]
+                    [--parity E] [--tsv <path>]
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
 channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty
                    (position- and strand-aware models; rate optional)
+protection plans:  uniform (default), auto (skew-profiled unequal protection),
+                   file:<path> (one parity count per row codeword).
+                   --parity overrides the per-row parity width (default 47);
+                   values below 47 leave the headroom auto plans reallocate.
+--tsv writes the per-row corrected-error/erasure histograms of the run.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -110,11 +116,23 @@ fn run() -> Result<(), CliError> {
                 v.parse()
                     .map_err(|_| CliError::Usage(format!("bad seed {v:?}")))
             })?;
+            let plan = flags
+                .get("plan")
+                .map_or(Ok(PlanChoice::Uniform), |v| parse_plan_arg(v))?;
+            let parity: Option<usize> = flags
+                .get("parity")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad parity width {v:?}")))
+                })
+                .transpose()?;
             let base_rate = channel.base().total_rate();
-            let outcome = simulate_channel(&input, layout, channel, coverage, seed)?;
+            let run = simulate_planned(&input, layout, channel, coverage, seed, &plan, parity)?;
+            let outcome = &run.outcome;
             println!(
-                "layout {layout:?} | base errors {:.2}% | coverage {coverage}",
-                base_rate * 100.0
+                "layout {layout:?} | base errors {:.2}% | coverage {coverage} | plan {}",
+                base_rate * 100.0,
+                run.plan.summary()
             );
             println!(
                 "exact={} byte-accuracy={:.4} corrected={} failed-codewords={} lost-molecules={}",
@@ -124,6 +142,22 @@ fn run() -> Result<(), CliError> {
                 outcome.failed_codewords,
                 outcome.lost_molecules
             );
+            if !run.plan.is_uniform() {
+                for class in run.report.per_class(&run.plan) {
+                    println!(
+                        "  class parity={} codewords={} corrected={} erasures={} failed={}",
+                        class.parity,
+                        class.codewords,
+                        class.corrected,
+                        class.declared_erasures,
+                        class.failed
+                    );
+                }
+            }
+            if let Some(path) = flags.get("tsv") {
+                std::fs::write(path, run.report.to_tsv())?;
+                println!("wrote per-row histograms -> {path}");
+            }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {

@@ -6,7 +6,7 @@ use dna_align::{align, AlignOp};
 use dna_strand::{Base, DnaString};
 
 /// A stronger reconstruction in the spirit of the DNA Reconstruction
-/// Algorithms of Sabary et al. (the paper's reference [23]): start from the
+/// Algorithms of Sabary et al. (the paper’s reference \[23\]): start from the
 /// two-sided BMA estimate, then repeatedly (a) globally align every read
 /// against the current estimate and (b) rebuild the estimate from the
 /// aligned vote profile — per-position character votes, **gap votes**

@@ -32,14 +32,14 @@
 //! # }
 //! ```
 
-use crate::geometry::{CodewordGeometry, DiagonalGeometry, RowGeometry};
-use crate::mapper::{BaselineMapper, DataMapper, PriorityMapper};
+use crate::layout::{BaselineLayout, IntoUnitLayout, UnitLayout};
 use crate::params::CodecParams;
-use crate::pipeline::{Layout, Pipeline, RetrieveOptions};
+use crate::pipeline::{Pipeline, RetrieveOptions, RsBank};
+use crate::plan::{planned_positions, Protection, ProtectionPlan};
 use crate::StorageError;
 use dna_consensus::{BmaTwoWay, TraceReconstructor};
 use dna_gf::Field;
-use dna_reed_solomon::ReedSolomon;
+use dna_reed_solomon::{CodeFamily, ReedSolomon};
 use dna_strand::{Primer, PrimerLibrary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,7 +65,8 @@ pub struct PipelineBuilder {
     parity_cols: Option<usize>,
     index_bits: Option<u8>,
     primer_len: Option<usize>,
-    layout: Layout,
+    layout: Arc<dyn UnitLayout>,
+    protection: Protection,
     consensus: Option<Arc<dyn TraceReconstructor + Send + Sync>>,
     primers: Option<(Primer, Primer)>,
     primer_seed: u64,
@@ -76,7 +77,8 @@ impl std::fmt::Debug for PipelineBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineBuilder")
             .field("params", &self.params)
-            .field("layout", &self.layout)
+            .field("layout", &self.layout.name())
+            .field("protection", &self.protection)
             .field(
                 "consensus",
                 &self
@@ -99,7 +101,8 @@ impl Default for PipelineBuilder {
             parity_cols: None,
             index_bits: None,
             primer_len: None,
-            layout: Layout::Baseline,
+            layout: Arc::new(BaselineLayout),
+            protection: Protection::Uniform,
             consensus: None,
             primers: None,
             primer_seed: DEFAULT_PRIMER_SEED,
@@ -159,9 +162,22 @@ impl PipelineBuilder {
         self
     }
 
-    /// Selects the data organization.
-    pub fn layout(mut self, layout: Layout) -> Self {
-        self.layout = layout;
+    /// Selects the data organization: a [`UnitLayout`] engine (built-in
+    /// or custom implementation), or the legacy
+    /// [`Layout`](crate::Layout) enum shim.
+    pub fn layout(mut self, layout: impl IntoUnitLayout) -> Self {
+        self.layout = layout.into_unit_layout();
+        self
+    }
+
+    /// Selects the protection policy: an explicit
+    /// [`ProtectionPlan`], a [`ProtectionPlanner`](crate::ProtectionPlanner)
+    /// (run against the resolved geometry and layout at build), or a
+    /// [`SkewProfile`](crate::SkewProfile) (planned with default knobs).
+    /// The default is [`Protection::Uniform`] — today's equal-rate
+    /// behavior, byte for byte.
+    pub fn protection(mut self, protection: impl Into<Protection>) -> Self {
+        self.protection = protection.into();
         self
     }
 
@@ -268,54 +284,57 @@ impl PipelineBuilder {
     pub fn build(self) -> Result<Pipeline, StorageError> {
         let params = self.resolve_params()?;
 
-        // Layout validation (the geometry constructors would panic).
-        if let Layout::Gini { excluded_rows } = &self.layout {
-            let mut seen = vec![false; params.rows()];
-            for &r in excluded_rows {
-                if r >= params.rows() {
-                    return Err(StorageError::InvalidParams(format!(
-                        "excluded row {r} out of range for {} rows",
-                        params.rows()
-                    )));
-                }
-                if std::mem::replace(&mut seen[r], true) {
-                    return Err(StorageError::InvalidParams(format!(
-                        "excluded row {r} listed twice"
-                    )));
-                }
-            }
-            if excluded_rows.len() >= params.rows() {
-                return Err(StorageError::InvalidParams(
-                    "at least one row must remain interleaved".into(),
-                ));
-            }
+        // Layout validation (misconfigured engines must be typed errors
+        // here, not panics downstream).
+        self.layout.validate(&params)?;
+
+        let (rows, m, e) = (params.rows(), params.data_cols(), params.parity_cols());
+        // The whole architecture (plans, reports, histograms) indexes
+        // codewords 0..rows; an engine that disagrees would panic deep
+        // inside encode/decode instead of erroring here.
+        if self.layout.codeword_count(rows) != rows {
+            return Err(StorageError::InvalidParams(format!(
+                "layout {:?} declares {} codewords; this architecture requires one per row ({rows})",
+                self.layout.name(),
+                self.layout.codeword_count(rows)
+            )));
         }
 
-        let geometry: Arc<dyn CodewordGeometry + Send + Sync> = match &self.layout {
-            Layout::Gini { excluded_rows } => Arc::new(DiagonalGeometry::new(
-                params.rows(),
-                params.data_cols(),
-                params.parity_cols(),
-                excluded_rows,
-            )),
-            _ => Arc::new(RowGeometry::new(
-                params.rows(),
-                params.data_cols(),
-                params.parity_cols(),
-            )),
+        // Resolve the protection policy into a concrete, validated plan.
+        let plan = match self.protection {
+            Protection::Uniform => ProtectionPlan::uniform(rows, e),
+            Protection::Plan(plan) => {
+                plan.validate_for(&params)?;
+                plan
+            }
+            Protection::Auto(planner) => {
+                let plan = planner.plan(&params, self.layout.as_ref())?;
+                plan.validate_for(&params)?;
+                plan
+            }
         };
-        let mapper: Arc<dyn DataMapper + Send + Sync> = match &self.layout {
-            Layout::DnaMapper => Arc::new(PriorityMapper),
-            _ => Arc::new(BaselineMapper),
-        };
-        let rs = if params.parity_cols() > 0 {
-            Some(ReedSolomon::new(
-                params.field().clone(),
-                params.data_cols(),
-                params.parity_cols(),
-            )?)
+        let uniform = plan.is_uniform_at(e);
+        if !uniform && !self.layout.supports_unequal_protection() {
+            return Err(StorageError::InvalidParams(format!(
+                "layout {:?} does not support unequal protection plans",
+                self.layout.name()
+            )));
+        }
+
+        // The uniform-at-parity_cols plan takes the legacy single-code
+        // path with the layout's own parity placement — byte-identical
+        // to every pre-plan release. Anything else runs the multi-rate
+        // bank over plan-placed parity.
+        let (rs, cw_positions) = if e == 0 {
+            (RsBank::None, Vec::new())
+        } else if uniform {
+            let code = ReedSolomon::new(params.field().clone(), m, e)?;
+            let positions = self.layout.codeword_positions_all(rows, m, e);
+            (RsBank::Uniform(code), positions)
         } else {
-            None
+            let family = CodeFamily::with_rates(params.field().clone(), m, plan.distinct_rates())?;
+            let positions = planned_positions(self.layout.as_ref(), rows, m, e, &plan);
+            (RsBank::Multi(Arc::new(family)), positions)
         };
 
         let primers = match self.primers {
@@ -351,9 +370,9 @@ impl PipelineBuilder {
         Ok(Pipeline::from_parts(
             params,
             self.layout,
-            geometry,
-            mapper,
+            plan,
             rs,
+            cw_positions,
             self.consensus
                 .unwrap_or_else(|| Arc::new(BmaTwoWay::default())),
             primers,
@@ -365,6 +384,7 @@ impl PipelineBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::Layout;
     use dna_consensus::IterativeReconstructor;
     use dna_strand::DnaString;
 

@@ -47,24 +47,30 @@ mod archive;
 mod builder;
 mod experiment;
 mod geometry;
+mod layout;
 mod mapper;
 mod matrix;
 mod params;
 mod pipeline;
+mod plan;
 mod report;
 mod scenario;
+mod skew;
 mod workspace;
 
 pub use archive::{Archive, ArchiveCodec, FileEntry, RankingPolicy};
 pub use builder::PipelineBuilder;
 pub use experiment::{min_coverage, min_coverage_with, quality_sweep, QualityPoint};
 pub use geometry::{CodewordGeometry, DiagonalGeometry, RowGeometry};
+pub use layout::{BaselineLayout, GiniLayout, IntoUnitLayout, PriorityLayout, UnitLayout};
 pub use mapper::{BaselineMapper, DataMapper, PriorityMapper};
 pub use matrix::SymbolMatrix;
 pub use params::CodecParams;
 pub use pipeline::{EncodedUnit, Layout, Pipeline, RetrieveOptions};
-pub use report::{CodewordReport, DecodeReport};
+pub use plan::{Protection, ProtectionClass, ProtectionPlan, ProtectionPlanner};
+pub use report::{ClassReport, CodewordReport, DecodeReport};
 pub use scenario::{Scenario, GAMMA_SHAPE};
+pub use skew::SkewProfile;
 pub use workspace::DecodeWorkspace;
 
 use std::error::Error;

@@ -3,10 +3,10 @@
 //! units and deterministic parallel batches.
 
 use crate::builder::PipelineBuilder;
-use crate::geometry::CodewordGeometry;
-use crate::mapper::DataMapper;
+use crate::layout::{BaselineLayout, GiniLayout, IntoUnitLayout, PriorityLayout, UnitLayout};
 use crate::matrix::SymbolMatrix;
 use crate::params::CodecParams;
+use crate::plan::ProtectionPlan;
 use crate::report::{CodewordReport, DecodeReport};
 use crate::workspace::DecodeWorkspace;
 use crate::StorageError;
@@ -16,13 +16,23 @@ use dna_channel::{
     SimulatedSequencer,
 };
 use dna_consensus::TraceReconstructor;
-use dna_reed_solomon::{ReedSolomon, RsError};
+use dna_reed_solomon::{CodeFamily, ReedSolomon, RsError};
 use dna_strand::codec::DirectCodec;
 use dna_strand::{bits, decode_index, encode_index_into, DnaString, Primer};
 use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Which of the paper's data organizations a unit uses.
+///
+/// **Deprecated shim** (docs-level — no `#[deprecated]` attribute yet,
+/// so existing code keeps building warning-free): the closed enum
+/// predates the pluggable [`UnitLayout`] engine and maps one-to-one onto
+/// the built-in engines ([`BaselineLayout`], [`GiniLayout`],
+/// [`PriorityLayout`]) via [`Layout::engine`]. It keeps compiling
+/// everywhere a layout is accepted —
+/// [`PipelineBuilder::layout`](crate::PipelineBuilder::layout) takes
+/// both — but new code (and any custom layout) should pass an engine
+/// directly; see the README's migration note.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Layout {
     /// Paper Fig. 1: row codewords, column-major data (skew-oblivious).
@@ -46,6 +56,60 @@ impl Layout {
             Layout::Gini { .. } => "gini",
             Layout::DnaMapper => "dnamapper",
         }
+    }
+
+    /// The [`UnitLayout`] engine this variant shims onto.
+    pub fn engine(&self) -> Arc<dyn UnitLayout> {
+        match self {
+            Layout::Baseline => Arc::new(BaselineLayout),
+            Layout::Gini { excluded_rows } => {
+                Arc::new(GiniLayout::with_excluded_rows(excluded_rows.clone()))
+            }
+            Layout::DnaMapper => Arc::new(PriorityLayout),
+        }
+    }
+}
+
+impl IntoUnitLayout for Layout {
+    fn into_unit_layout(self) -> Arc<dyn UnitLayout> {
+        self.engine()
+    }
+}
+
+impl IntoUnitLayout for &Layout {
+    fn into_unit_layout(self) -> Arc<dyn UnitLayout> {
+        self.engine()
+    }
+}
+
+/// The Reed–Solomon stage of a pipeline: absent (`parity_cols = 0`), one
+/// shared code (uniform protection — the legacy path, byte-identical to
+/// every pre-plan release), or a multi-rate [`CodeFamily`] driven by a
+/// non-uniform [`ProtectionPlan`].
+#[derive(Clone)]
+pub(crate) enum RsBank {
+    /// No error correction at all.
+    None,
+    /// One code for every codeword.
+    Uniform(ReedSolomon),
+    /// One code per distinct plan rate, shared across clones.
+    Multi(Arc<CodeFamily>),
+}
+
+impl RsBank {
+    /// The code for a codeword with `parity` parity symbols, or `None`
+    /// when that codeword runs unprotected.
+    fn code_for(&self, parity: usize) -> Option<&ReedSolomon> {
+        match self {
+            RsBank::None => None,
+            RsBank::Uniform(rs) => (parity > 0).then_some(rs),
+            RsBank::Multi(family) => family.get(parity),
+        }
+    }
+
+    /// Whether any error correction runs.
+    fn is_active(&self) -> bool {
+        !matches!(self, RsBank::None)
     }
 }
 
@@ -96,15 +160,15 @@ pub struct RetrieveOptions {
 #[derive(Clone)]
 pub struct Pipeline {
     params: CodecParams,
-    layout: Layout,
-    geometry: Arc<dyn CodewordGeometry + Send + Sync>,
-    mapper: Arc<dyn DataMapper + Send + Sync>,
-    rs: Option<ReedSolomon>,
+    layout: Arc<dyn UnitLayout>,
+    plan: ProtectionPlan,
+    rs: RsBank,
     consensus: Arc<dyn TraceReconstructor + Send + Sync>,
     primers: Option<(Primer, Primer)>,
     default_retrieve: RetrieveOptions,
-    /// Every codeword's cell list, precomputed once from the geometry so
-    /// the per-unit hot paths never re-derive (or re-allocate) them.
+    /// Every codeword's cell list, precomputed once from the layout (and
+    /// plan) so the per-unit hot paths never re-derive (or re-allocate)
+    /// them.
     cw_positions: Arc<Vec<Vec<(usize, usize)>>>,
 }
 
@@ -112,7 +176,8 @@ impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
             .field("params", &self.params)
-            .field("layout", &self.layout)
+            .field("layout", &self.layout.name())
+            .field("plan", &self.plan.summary())
             .field("consensus", &self.consensus.name())
             .finish()
     }
@@ -141,26 +206,18 @@ impl Pipeline {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         params: CodecParams,
-        layout: Layout,
-        geometry: Arc<dyn CodewordGeometry + Send + Sync>,
-        mapper: Arc<dyn DataMapper + Send + Sync>,
-        rs: Option<ReedSolomon>,
+        layout: Arc<dyn UnitLayout>,
+        plan: ProtectionPlan,
+        rs: RsBank,
+        cw_positions: Vec<Vec<(usize, usize)>>,
         consensus: Arc<dyn TraceReconstructor + Send + Sync>,
         primers: Option<(Primer, Primer)>,
         default_retrieve: RetrieveOptions,
     ) -> Pipeline {
-        let cw_positions = if rs.is_some() {
-            (0..geometry.codeword_count())
-                .map(|k| geometry.codeword_positions(k))
-                .collect()
-        } else {
-            Vec::new()
-        };
         Pipeline {
             params,
             layout,
-            geometry,
-            mapper,
+            plan,
             rs,
             consensus,
             primers,
@@ -183,15 +240,24 @@ impl Pipeline {
         &self.params
     }
 
-    /// The data organization in use.
-    pub fn layout(&self) -> &Layout {
-        &self.layout
+    /// The layout engine in use (a built-in for pipelines constructed
+    /// through the legacy [`Layout`] enum).
+    pub fn layout(&self) -> &dyn UnitLayout {
+        self.layout.as_ref()
     }
 
-    /// The codeword geometry placing each Reed–Solomon codeword in the
-    /// unit matrix.
-    pub fn geometry(&self) -> &(dyn CodewordGeometry + Send + Sync) {
-        self.geometry.as_ref()
+    /// The protection plan in effect: uniform at
+    /// [`CodecParams::parity_cols`] unless the builder was given a plan
+    /// or planner.
+    pub fn protection_plan(&self) -> &ProtectionPlan {
+        &self.plan
+    }
+
+    /// The precomputed cell list of every codeword, in codeword order —
+    /// data cells first, then that codeword's parity cells (whose count
+    /// follows the protection plan).
+    pub fn codeword_positions(&self) -> &[Vec<(usize, usize)>] {
+        &self.cw_positions
     }
 
     /// Bytes of payload one unit holds.
@@ -229,20 +295,27 @@ impl Pipeline {
         let mut matrix = SymbolMatrix::zeros(self.params.rows(), self.params.cols());
         for (p, &sym) in symbols.iter().enumerate() {
             let (r, c) = self
-                .mapper
+                .layout
                 .place(p, self.params.rows(), self.params.data_cols());
             matrix.set(r, c, sym);
         }
-        if let Some(rs) = &self.rs {
+        if self.rs.is_active() {
             let m_cols = self.params.data_cols();
-            // One codeword buffer reused across all codewords; parity is
-            // computed in place by the encoder's LFSR kernel.
-            let mut cw = vec![0u16; rs.codeword_len()];
-            for pos in self.cw_positions.iter() {
+            // One codeword buffer reused across all codewords (sized for
+            // the longest rate in the plan); parity is computed in place
+            // by each code's LFSR kernel. Zero-parity codewords are
+            // unprotected and skipped.
+            let mut buf = vec![0u16; m_cols + self.plan.max_parity()];
+            for (k, pos) in self.cw_positions.iter().enumerate() {
+                let Some(rs) = self.rs.code_for(self.plan.parity_of(k)) else {
+                    continue;
+                };
+                let cw = &mut buf[..rs.codeword_len()];
+                debug_assert_eq!(cw.len(), pos.len());
                 for (slot, &(r, c)) in cw[..m_cols].iter_mut().zip(&pos[..m_cols]) {
                     *slot = matrix.get(r, c);
                 }
-                rs.fill_parity(&mut cw)?;
+                rs.fill_parity(cw)?;
                 for (i, &(r, c)) in pos[m_cols..].iter().enumerate() {
                     matrix.set(r, c, cw[m_cols + i]);
                 }
@@ -497,11 +570,11 @@ impl Pipeline {
         erased.extend(present.iter().map(|&p| !p));
         report.lost_columns = erased.iter().filter(|&&e| e).count();
 
-        if let Some(rs) = &self.rs {
+        if self.rs.is_active() {
             report.codewords.reserve(self.cw_positions.len());
-            for pos in self.cw_positions.iter() {
-                received.clear();
-                received.extend(pos.iter().map(|&(r, c)| matrix.get(r, c)));
+            report.row_errors = vec![0; rows];
+            report.row_erasures = vec![0; rows];
+            for (k, pos) in self.cw_positions.iter().enumerate() {
                 erasures.clear();
                 erasures.extend(
                     pos.iter()
@@ -510,10 +583,33 @@ impl Pipeline {
                         .map(|(i, _)| i),
                 );
                 let declared = erasures.len();
+                for &i in erasures.iter() {
+                    report.row_erasures[pos[i].0] += 1;
+                }
+                let Some(rs) = self.rs.code_for(self.plan.parity_of(k)) else {
+                    // Zero-parity codeword: passes through unprotected,
+                    // but its lost cells still count as declared
+                    // erasures (they are data the unit cannot recover).
+                    report.codewords.push(CodewordReport {
+                        declared_erasures: declared,
+                        ..CodewordReport::default()
+                    });
+                    continue;
+                };
+                received.clear();
+                received.extend(pos.iter().map(|&(r, c)| matrix.get(r, c)));
                 match rs.decode_with_scratch(received, erasures, rs_scratch) {
                     Ok(correction) => {
                         for (&(r, c), &sym) in pos.iter().zip(received.iter()) {
                             matrix.set(r, c, sym);
+                        }
+                        // The empirical skew feed: corrected symbol
+                        // *errors* per row (fixed erasures are column
+                        // losses, not row skew).
+                        for &i in &correction.positions {
+                            if erasures.binary_search(&i).is_err() {
+                                report.row_errors[pos[i].0] += 1;
+                            }
                         }
                         report.codewords.push(CodewordReport {
                             corrected_errors: correction.errors,
@@ -542,7 +638,7 @@ impl Pipeline {
         let n_symbols = rows * self.params.data_cols();
         symbols.clear();
         for p in 0..n_symbols {
-            let (r, c) = self.mapper.place(p, rows, self.params.data_cols());
+            let (r, c) = self.layout.place(p, rows, self.params.data_cols());
             symbols.push(matrix.get(r, c));
         }
         let payload = bits::symbols_to_bytes(symbols, m, self.payload_capacity())?;
@@ -810,6 +906,196 @@ mod tests {
         assert_eq!(decoded[..30], payload[..]);
         assert!(report.is_error_free());
         assert!(report.total_corrected() > 0);
+    }
+
+    fn headroom_params() -> CodecParams {
+        // GF(16), 6 rows, 8 + 4 columns: codewords may grow to 7 parity.
+        CodecParams::new(dna_gf::Field::gf16(), 6, 8, 4, 4).unwrap()
+    }
+
+    #[test]
+    fn uniform_plan_is_byte_identical_to_default_pipeline() {
+        use crate::plan::ProtectionPlan;
+        let params = headroom_params();
+        let implicit = Pipeline::new(params.clone(), Layout::Baseline).unwrap();
+        let explicit = Pipeline::builder()
+            .params(params.clone())
+            .layout(Layout::Baseline)
+            .protection(ProtectionPlan::uniform(params.rows(), params.parity_cols()))
+            .build()
+            .unwrap();
+        let payload: Vec<u8> = (0..24).map(|i| i * 11).collect();
+        let unit_a = implicit.encode_unit(&payload).unwrap();
+        let unit_b = explicit.encode_unit(&payload).unwrap();
+        assert_eq!(unit_a, unit_b);
+        let pool = implicit.sequence(
+            &unit_a,
+            ErrorModel::uniform(0.04),
+            CoverageModel::Fixed(8),
+            3,
+        );
+        let a = implicit.decode_unit(pool.clusters()).unwrap();
+        let b = explicit.decode_unit(pool.clusters()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planned_protection_round_trips_and_reports_classes() {
+        use crate::plan::ProtectionPlan;
+        let params = headroom_params();
+        // Hot tail: rows 4–5 get 7 parity each, quiet rows keep 1.
+        let plan = ProtectionPlan::from_parities(vec![1, 2, 2, 4, 7, 7]).unwrap();
+        for layout in [Layout::Baseline, Layout::DnaMapper] {
+            let pipeline = Pipeline::builder()
+                .params(params.clone())
+                .layout(layout.clone())
+                .protection(plan.clone())
+                .build()
+                .unwrap();
+            assert_eq!(pipeline.protection_plan(), &plan);
+            let payload: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(29)).collect();
+            let unit = pipeline.encode_unit(&payload).unwrap();
+            assert_eq!(unit.len(), params.cols());
+
+            // Noiseless round trip.
+            let pool =
+                pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(1), 5);
+            let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
+            assert_eq!(decoded[..24], payload[..], "layout {layout:?}");
+            assert!(report.is_error_free());
+            assert_eq!(report.codewords.len(), 6);
+
+            // Noisy round trip within the strong rows' capacity.
+            let pool = pipeline.sequence(
+                &unit,
+                ErrorModel::uniform(0.015),
+                CoverageModel::Fixed(10),
+                6,
+            );
+            let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
+            assert_eq!(decoded[..24], payload[..], "noisy, layout {layout:?}");
+            let classes = report.per_class(&plan);
+            assert_eq!(classes.len(), 4);
+            assert_eq!(classes[0].parity, 7);
+        }
+    }
+
+    #[test]
+    fn planned_parity_region_erasures_are_absorbed() {
+        use crate::plan::ProtectionPlan;
+        let params = headroom_params();
+        let plan = ProtectionPlan::from_parities(vec![2, 2, 4, 4, 6, 6]).unwrap();
+        let pipeline = Pipeline::builder()
+            .params(params.clone())
+            .layout(Layout::Baseline)
+            .protection(plan)
+            .build()
+            .unwrap();
+        let payload: Vec<u8> = (0..24).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 7);
+        let mut clusters = pool.clusters().to_vec();
+        // Lose one data molecule: every codeword sees exactly one data
+        // erasure, within even the weakest class's capacity.
+        clusters[3].reads.clear();
+        let (decoded, report) = pipeline.decode_unit(&clusters).unwrap();
+        assert_eq!(decoded[..24], payload[..]);
+        assert!(report.is_error_free());
+        assert_eq!(report.lost_columns, 1);
+        assert_eq!(report.row_erasures.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn zero_parity_codewords_still_report_their_erasures() {
+        use crate::plan::ProtectionPlan;
+        let params = headroom_params();
+        // Row 0 is deliberately unprotected; the remaining budget covers
+        // the other rows.
+        let plan = ProtectionPlan::from_parities(vec![0, 4, 4, 4, 6, 6]).unwrap();
+        let pipeline = Pipeline::builder()
+            .params(params)
+            .layout(Layout::Baseline)
+            .protection(plan)
+            .build()
+            .unwrap();
+        let payload: Vec<u8> = (0..24).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(2), 11);
+        let mut clusters = pool.clusters().to_vec();
+        clusters[2].reads.clear(); // lose one data molecule
+        let (_, report) = pipeline.decode_unit(&clusters).unwrap();
+        // Every codeword — the unprotected one included — declares the
+        // lost cell, so the per-row erasure histogram covers all 6 rows.
+        assert_eq!(report.codewords[0].declared_erasures, 1);
+        assert_eq!(report.row_erasures.iter().sum::<usize>(), 6);
+        assert!(report.row_erasures.iter().all(|&e| e == 1));
+    }
+
+    #[test]
+    fn engines_with_non_row_codeword_counts_are_rejected_at_build() {
+        #[derive(Debug)]
+        struct TooManyCodewords;
+        impl crate::layout::UnitLayout for TooManyCodewords {
+            fn name(&self) -> &str {
+                "toomany"
+            }
+            fn place(&self, p: usize, rows: usize, _m: usize) -> (usize, usize) {
+                (p % rows, p / rows)
+            }
+            fn codeword_count(&self, rows: usize) -> usize {
+                rows + 1
+            }
+            fn codeword_positions(
+                &self,
+                k: usize,
+                _rows: usize,
+                data_cols: usize,
+                parity_cols: usize,
+            ) -> Vec<(usize, usize)> {
+                (0..data_cols + parity_cols).map(|c| (k, c)).collect()
+            }
+        }
+        let err = Pipeline::builder()
+            .params(headroom_params())
+            .layout(TooManyCodewords)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidParams(_)), "{err}");
+        assert!(err.to_string().contains("one per row"), "{err}");
+    }
+
+    #[test]
+    fn non_uniform_plans_require_row_codeword_layouts() {
+        use crate::plan::ProtectionPlan;
+        let err = Pipeline::builder()
+            .params(headroom_params())
+            .layout(Layout::Gini {
+                excluded_rows: vec![],
+            })
+            .protection(ProtectionPlan::from_parities(vec![1, 2, 2, 4, 7, 8]).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidParams(_)), "{err}");
+    }
+
+    #[test]
+    fn row_histograms_track_corrections_and_erasures() {
+        let params = headroom_params();
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..24).map(|i| i * 3).collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::uniform(0.03), CoverageModel::Fixed(6), 9);
+        let (_, report) = pipeline.decode_unit(pool.clusters()).unwrap();
+        assert_eq!(report.row_errors.len(), 6);
+        assert_eq!(report.row_erasures.len(), 6);
+        // Row-codeword layout: row r's histogram matches codeword r's
+        // error count exactly.
+        for (k, cw) in report.codewords.iter().enumerate() {
+            if !cw.failed {
+                assert_eq!(report.row_errors[k], cw.corrected_errors, "row {k}");
+                assert_eq!(report.row_erasures[k], cw.declared_erasures, "row {k}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! [`SkewProfile`]: the measured (or predicted) per-row reliability skew
+//! that drives layout and protection decisions.
+//!
+//! The paper's thesis is that reliability varies *by position within the
+//! molecule* — row 0 sits right after the index at the 5' end, the last
+//! row at the 3' end, and trace reconstruction is weakest in the middle
+//! (§3). A `SkewProfile` reduces that structure to one number per row:
+//! the probability that the row's symbol in a random column is wrong
+//! after consensus. Profiles come from two places:
+//!
+//! - **analytically**, from a [`ChannelModel`]'s position-dependent
+//!   rates ([`SkewProfile::analytic`], optionally attenuated by a
+//!   majority-vote consensus model at a given coverage);
+//! - **empirically**, from the per-row correction histograms of decoded
+//!   read pools ([`SkewProfile::from_reports`]).
+//!
+//! The [`ProtectionPlanner`](crate::ProtectionPlanner) consumes a
+//! profile to assign each reliability class its own Reed–Solomon rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use dna_channel::ChannelModel;
+//! use dna_storage::{CodecParams, SkewProfile};
+//!
+//! # fn main() -> Result<(), dna_storage::StorageError> {
+//! let params = CodecParams::laptop()?;
+//! // Nanopore-style decay: later rows (3' end) are noisier per read…
+//! let per_read = SkewProfile::analytic(&ChannelModel::nanopore_decay(0.08), &params);
+//! assert!(per_read.rate(29) > 2.0 * per_read.rate(0));
+//!
+//! // …and consensus at coverage 10 attenuates, but keeps, the skew.
+//! let post = per_read.attenuated(10.0);
+//! assert!(post.rate(29) < per_read.rate(29));
+//! assert!(post.rate(29) > post.rate(0));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::params::CodecParams;
+use crate::report::DecodeReport;
+use crate::StorageError;
+use dna_channel::ChannelModel;
+
+/// Per-row symbol-error probabilities (post-consensus, one per matrix
+/// row), the common currency between channel measurement and protection
+/// planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewProfile {
+    rates: Vec<f64>,
+}
+
+impl SkewProfile {
+    /// A flat profile: every row errs with probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] when `rows` is zero or
+    /// `rate` is outside `[0, 1]`.
+    pub fn uniform(rows: usize, rate: f64) -> Result<SkewProfile, StorageError> {
+        SkewProfile::from_rates(vec![rate; rows])
+    }
+
+    /// A profile from explicit per-row rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] when the vector is empty
+    /// or any rate is non-finite or outside `[0, 1]`.
+    pub fn from_rates(rates: Vec<f64>) -> Result<SkewProfile, StorageError> {
+        if rates.is_empty() {
+            return Err(StorageError::InvalidParams(
+                "skew profile needs at least one row".into(),
+            ));
+        }
+        if let Some((r, &bad)) = rates
+            .iter()
+            .enumerate()
+            .find(|(_, &x)| !x.is_finite() || !(0.0..=1.0).contains(&x))
+        {
+            return Err(StorageError::InvalidParams(format!(
+                "row {r} rate {bad} must be a probability in [0, 1]"
+            )));
+        }
+        Ok(SkewProfile { rates })
+    }
+
+    /// Predicts the per-read symbol error probability of each row from a
+    /// channel's position-dependent rates: row `r` occupies the
+    /// `symbol_bits/2` bases starting at
+    /// `primer_len + index_bits/2 + r·symbol_bits/2` of every strand, and
+    /// a symbol is wrong when any of its bases suffers an event.
+    ///
+    /// This is the *pre-consensus* skew; chain with
+    /// [`SkewProfile::attenuated`] to model reconstruction at a target
+    /// coverage, or measure post-consensus reality with
+    /// [`SkewProfile::from_reports`].
+    pub fn analytic(channel: &ChannelModel, params: &CodecParams) -> SkewProfile {
+        let len = params.strand_bases();
+        let sym_bases = usize::from(params.symbol_bits()) / 2;
+        let offset = params.primer_len() + usize::from(params.index_bits()) / 2;
+        let rates = (0..params.rows())
+            .map(|r| {
+                let mut survive = 1.0f64;
+                for b in 0..sym_bases {
+                    let (ps, pi, pd) = channel.rates_at(offset + r * sym_bases + b, len);
+                    survive *= (1.0 - (ps + pi + pd)).max(0.0);
+                }
+                1.0 - survive
+            })
+            .collect();
+        SkewProfile { rates }
+    }
+
+    /// Attenuates every rate through a majority-vote consensus model at
+    /// mean coverage `coverage`: a row symbol survives when fewer than
+    /// half of `round(coverage)` independent reads corrupt it. A crude
+    /// but monotone stand-in for trace reconstruction — the skew's shape
+    /// is preserved while its magnitude shrinks with coverage.
+    pub fn attenuated(&self, coverage: f64) -> SkewProfile {
+        let n = (coverage.round().max(1.0)) as usize;
+        SkewProfile {
+            rates: self
+                .rates
+                .iter()
+                .map(|&p| binom_tail_gt(n, p, n / 2))
+                .collect(),
+        }
+    }
+
+    /// Estimates the profile empirically from decode reports: row `r`'s
+    /// rate is its corrected-error count across all reports (the
+    /// [`DecodeReport::row_errors`] histogram) over the number of
+    /// symbols observed per row (`cols` per unit), with a half-count of
+    /// smoothing so unobserved rows keep a nonzero floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] when no report carries a
+    /// histogram, histograms disagree in length, or `cols` is zero.
+    pub fn from_reports<'a>(
+        reports: impl IntoIterator<Item = &'a DecodeReport>,
+        cols: usize,
+    ) -> Result<SkewProfile, StorageError> {
+        if cols == 0 {
+            return Err(StorageError::InvalidParams(
+                "cols must be positive to normalize row histograms".into(),
+            ));
+        }
+        let mut counts: Vec<usize> = Vec::new();
+        let mut units = 0usize;
+        for report in reports {
+            if report.row_errors.is_empty() {
+                continue;
+            }
+            if counts.is_empty() {
+                counts = vec![0; report.row_errors.len()];
+            } else if counts.len() != report.row_errors.len() {
+                return Err(StorageError::InvalidParams(format!(
+                    "row histograms disagree: {} vs {} rows",
+                    counts.len(),
+                    report.row_errors.len()
+                )));
+            }
+            for (slot, &c) in counts.iter_mut().zip(&report.row_errors) {
+                *slot += c;
+            }
+            units += 1;
+        }
+        if units == 0 {
+            return Err(StorageError::InvalidParams(
+                "no decode report carries a per-row error histogram".into(),
+            ));
+        }
+        let observed = (units * cols) as f64;
+        SkewProfile::from_rates(
+            counts
+                .iter()
+                .map(|&c| ((c as f64 + 0.5) / (observed + 1.0)).min(1.0))
+                .collect(),
+        )
+    }
+
+    /// Number of rows profiled.
+    pub fn rows(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The per-row rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Row `r`'s symbol error probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn rate(&self, r: usize) -> f64 {
+        self.rates[r]
+    }
+
+    /// The mean rate across rows.
+    pub fn mean_rate(&self) -> f64 {
+        self.rates.iter().sum::<f64>() / self.rates.len() as f64
+    }
+
+    /// Rows ordered most reliable first (ties broken by row index) — the
+    /// ranking DnaMapper-style placement policies consume.
+    pub fn reliability_ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.rates.len()).collect();
+        order.sort_by(|&a, &b| self.rates[a].total_cmp(&self.rates[b]).then(a.cmp(&b)));
+        order
+    }
+}
+
+/// `P(Binomial(n, p) ≤ k)`, computed by iterating the pmf — no special
+/// functions, deterministic across platforms.
+pub(crate) fn binom_cdf(n: usize, p: f64, k: usize) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    let q = 1.0 - p;
+    let mut pmf = q.powi(n as i32);
+    let mut acc = 0.0;
+    for j in 0..=k.min(n) {
+        acc += pmf;
+        pmf *= (n - j) as f64 / (j + 1) as f64 * (p / q);
+    }
+    acc.min(1.0)
+}
+
+/// `P(Binomial(n, p) > k)`.
+pub(crate) fn binom_tail_gt(n: usize, p: f64, k: usize) -> f64 {
+    (1.0 - binom_cdf(n, p, k)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_channel::ErrorModel;
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        assert!(SkewProfile::from_rates(vec![]).is_err());
+        assert!(SkewProfile::from_rates(vec![0.1, -0.2]).is_err());
+        assert!(SkewProfile::from_rates(vec![1.5]).is_err());
+        assert!(SkewProfile::from_rates(vec![f64::NAN]).is_err());
+        assert!(SkewProfile::uniform(0, 0.1).is_err());
+        assert!(SkewProfile::uniform(4, 0.1).is_ok());
+    }
+
+    #[test]
+    fn analytic_profile_tracks_position_dependence() {
+        let params = CodecParams::tiny().unwrap();
+        let flat =
+            SkewProfile::analytic(&ChannelModel::uniform(ErrorModel::uniform(0.03)), &params);
+        let spread = flat
+            .rates()
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+        assert!((spread.1 - spread.0).abs() < 1e-12, "flat channel is flat");
+
+        let skewed = SkewProfile::analytic(&ChannelModel::nanopore_decay(0.06), &params);
+        for r in 1..skewed.rows() {
+            assert!(
+                skewed.rate(r) > skewed.rate(r - 1),
+                "decay profile must rise along the strand"
+            );
+        }
+    }
+
+    #[test]
+    fn attenuation_shrinks_but_preserves_ordering() {
+        let per_read = SkewProfile::from_rates(vec![0.02, 0.05, 0.10]).unwrap();
+        let post = per_read.attenuated(9.0);
+        for r in 0..3 {
+            assert!(post.rate(r) < per_read.rate(r), "row {r}");
+        }
+        assert!(post.rate(0) < post.rate(1) && post.rate(1) < post.rate(2));
+        assert_eq!(post.reliability_ranking(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empirical_profile_normalizes_histograms() {
+        let a = DecodeReport {
+            row_errors: vec![0, 4, 8],
+            ..DecodeReport::default()
+        };
+        let b = DecodeReport {
+            row_errors: vec![1, 3, 9],
+            ..DecodeReport::default()
+        };
+        let profile = SkewProfile::from_reports([&a, &b], 15).unwrap();
+        assert_eq!(profile.rows(), 3);
+        assert!(profile.rate(2) > profile.rate(1));
+        assert!(profile.rate(1) > profile.rate(0));
+        assert!(profile.rate(0) > 0.0, "smoothing keeps a floor");
+
+        // Histogram-free reports alone cannot profile.
+        assert!(SkewProfile::from_reports([&DecodeReport::default()], 15).is_err());
+        // Disagreeing row counts are an error, not a silent truncation.
+        let c = DecodeReport {
+            row_errors: vec![1, 2],
+            ..DecodeReport::default()
+        };
+        assert!(SkewProfile::from_reports([&a, &c], 15).is_err());
+        assert!(SkewProfile::from_reports([&a], 0).is_err());
+    }
+
+    #[test]
+    fn binomial_helpers_agree_with_hand_values() {
+        assert!((binom_cdf(4, 0.5, 4) - 1.0).abs() < 1e-12);
+        // P(Bin(2, 0.5) ≤ 0) = 0.25; P(Bin(2, 0.5) ≤ 1) = 0.75.
+        assert!((binom_cdf(2, 0.5, 0) - 0.25).abs() < 1e-12);
+        assert!((binom_cdf(2, 0.5, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(binom_cdf(10, 0.0, 0), 1.0);
+        assert_eq!(binom_cdf(10, 1.0, 9), 0.0);
+        assert!((binom_tail_gt(2, 0.5, 1) - 0.25).abs() < 1e-12);
+    }
+}

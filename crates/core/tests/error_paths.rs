@@ -4,10 +4,87 @@
 //! never a panic.
 
 use dna_channel::{ChannelError, ChannelModel, ErrorModel, PositionProfile};
-use dna_storage::{min_coverage, CodecParams, Layout, Pipeline, Scenario, StorageError};
+use dna_storage::{
+    min_coverage, CodecParams, GiniLayout, Layout, Pipeline, ProtectionPlan, ProtectionPlanner,
+    Scenario, SkewProfile, StorageError, UnitLayout,
+};
 
 fn tiny() -> CodecParams {
     CodecParams::tiny().expect("tiny params")
+}
+
+#[test]
+fn gini_engine_validation_matches_the_builder_shim() {
+    // The typed errors live on the engine itself; the legacy enum path
+    // through the builder must surface the identical diagnostics.
+    for (engine, needle) in [
+        (GiniLayout::with_excluded_rows([17]), "out of range"),
+        (GiniLayout::with_excluded_rows([1, 1]), "listed twice"),
+        (
+            GiniLayout::with_excluded_rows((0..6).collect::<Vec<_>>()),
+            "remain interleaved",
+        ),
+    ] {
+        let direct = engine.validate(&tiny()).unwrap_err();
+        assert!(matches!(direct, StorageError::InvalidParams(_)), "{direct}");
+        assert!(direct.to_string().contains(needle), "{direct}");
+
+        let via_builder = Pipeline::builder()
+            .params(tiny())
+            .layout(engine)
+            .build()
+            .unwrap_err();
+        assert_eq!(direct.to_string(), via_builder.to_string());
+    }
+    assert!(GiniLayout::with_excluded_rows([0, 5])
+        .validate(&tiny())
+        .is_ok());
+}
+
+#[test]
+fn invalid_protection_plans_are_descriptive_builder_errors() {
+    // tiny() is saturated (10 + 5 = 15 = GF(16) codeword cap), so any
+    // codeword asking for more than 5 parity breaks the field limit.
+    let err = Pipeline::builder()
+        .params(tiny())
+        .layout(Layout::Baseline)
+        .protection(ProtectionPlan::from_parities(vec![6, 5, 5, 5, 5, 4]).unwrap())
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, StorageError::InvalidParams(_)), "{err}");
+    assert!(err.to_string().contains("caps RS"), "{err}");
+
+    // Budget overruns and wrong codeword counts are typed too.
+    let err = Pipeline::builder()
+        .params(tiny())
+        .layout(Layout::Baseline)
+        .protection(ProtectionPlan::uniform(5, 5))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("rows"), "{err}");
+
+    // Non-uniform plans cannot ride on diagonal codewords.
+    let params = CodecParams::new(dna_gf::Field::gf16(), 6, 8, 4, 4).unwrap();
+    let err = Pipeline::builder()
+        .params(params.clone())
+        .layout(Layout::Gini {
+            excluded_rows: vec![],
+        })
+        .protection(ProtectionPlan::from_parities(vec![2, 2, 3, 4, 6, 7]).unwrap())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("unequal protection"), "{err}");
+
+    // The auto planner refuses a profile that disagrees with the rows.
+    let err = Pipeline::builder()
+        .params(params)
+        .layout(Layout::Baseline)
+        .protection(ProtectionPlanner::new(
+            SkewProfile::uniform(5, 0.02).unwrap(),
+        ))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("profile covers 5 rows"), "{err}");
 }
 
 #[test]

@@ -1,14 +1,17 @@
-//! Property tests for the storage core: geometry partitions, mapper
-//! bijectivity, and zero-noise pipeline round-trips for arbitrary
-//! payloads and layouts.
+//! Property tests for the storage core: geometry partitions, mapper and
+//! layout-engine bijectivity, zero-noise pipeline round-trips for
+//! arbitrary payloads and layouts (planned protection included), and
+//! planner determinism under the density budget.
 
 use dna_channel::{CoverageModel, ErrorModel};
 use dna_storage::{
-    BaselineMapper, CodecParams, CodewordGeometry, DataMapper, DiagonalGeometry, Layout, Pipeline,
-    PriorityMapper, RowGeometry,
+    BaselineLayout, BaselineMapper, CodecParams, CodewordGeometry, DataMapper, DiagonalGeometry,
+    GiniLayout, Layout, Pipeline, PriorityLayout, PriorityMapper, ProtectionPlan,
+    ProtectionPlanner, RowGeometry, SkewProfile, UnitLayout,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 fn geometry_shape() -> impl Strategy<Value = (usize, usize, usize)> {
     // rows 1..12, data cols 1..20, parity 0..8 with rows ≤ something sane.
@@ -66,6 +69,85 @@ proptest! {
             ErrorModel::noiseless(),
             CoverageModel::Fixed(coverage),
             42,
+        );
+        let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
+        prop_assert!(report.is_error_free());
+        prop_assert_eq!(&decoded[..payload.len()], &payload[..]);
+        prop_assert!(decoded[payload.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unit_layouts_place_bijectively((rows, m, _) in geometry_shape()) {
+        let engines: Vec<Arc<dyn UnitLayout>> = vec![
+            Arc::new(BaselineLayout),
+            Arc::new(GiniLayout::new()),
+            Arc::new(PriorityLayout),
+        ];
+        for engine in engines {
+            let cells: HashSet<(usize, usize)> = (0..rows * m)
+                .map(|p| engine.place(p, rows, m))
+                .collect();
+            prop_assert_eq!(cells.len(), rows * m, "{} not a bijection", engine.name());
+            for &(r, c) in &cells {
+                prop_assert!(r < rows && c < m);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_is_deterministic_and_respects_the_budget(
+        raw_rates in proptest::collection::vec(0.0f64..0.25, 6),
+        erasure_rate in 0.0f64..0.2,
+        min_parity in 0usize..3,
+    ) {
+        // GF(16), 6 rows, 8 + 4 columns: budget 24, per-codeword cap 7.
+        let params = CodecParams::new(dna_gf::Field::gf16(), 6, 8, 4, 4).unwrap();
+        let profile = SkewProfile::from_rates(raw_rates).unwrap();
+        let planner = ProtectionPlanner::new(profile)
+            .erasure_rate(erasure_rate)
+            .unwrap()
+            .min_parity(min_parity);
+        let plan = planner.plan(&params, &BaselineLayout).unwrap();
+        prop_assert!(plan.total_parity() <= 24, "budget: {:?}", plan.parities());
+        prop_assert!(plan.max_parity() <= 7, "field cap: {:?}", plan.parities());
+        prop_assert_eq!(plan.codewords(), 6);
+        // Same inputs, same plan — nothing in the planner is randomized.
+        let again = planner.plan(&params, &BaselineLayout).unwrap();
+        prop_assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn planned_pipelines_round_trip_at_zero_noise(
+        payload in proptest::collection::vec(any::<u8>(), 0..24),
+        spends in proptest::collection::vec(0usize..8, 6),
+        dnamapper in any::<bool>(),
+        coverage in 1usize..4,
+    ) {
+        // Clamp the random spends to the density budget (24) and field
+        // cap (7) so the plan is always valid.
+        let mut budget = 24usize;
+        let parities: Vec<usize> = spends
+            .into_iter()
+            .map(|e| {
+                let e = e.min(7).min(budget);
+                budget -= e;
+                e
+            })
+            .collect();
+        let plan = ProtectionPlan::from_parities(parities).unwrap();
+        let params = CodecParams::new(dna_gf::Field::gf16(), 6, 8, 4, 4).unwrap();
+        let pipeline = Pipeline::builder()
+            .params(params)
+            .layout(if dnamapper { Layout::DnaMapper } else { Layout::Baseline })
+            .protection(plan)
+            .build()
+            .unwrap();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(
+            &unit,
+            ErrorModel::noiseless(),
+            CoverageModel::Fixed(coverage),
+            7,
         );
         let (decoded, report) = pipeline.decode_unit(pool.clusters()).unwrap();
         prop_assert!(report.is_error_free());

@@ -51,9 +51,11 @@
 
 mod code;
 mod decoder;
+mod family;
 mod scratch;
 
 pub use code::{Correction, ReedSolomon};
+pub use family::CodeFamily;
 pub use scratch::RsScratch;
 
 use std::error::Error;

@@ -111,9 +111,10 @@ pub mod prelude {
     };
     pub use dna_media::{GrayImage, JpegLikeCodec};
     pub use dna_storage::{
-        min_coverage, min_coverage_with, quality_sweep, Archive, ArchiveCodec, CodecParams,
-        DecodeReport, FileEntry, Layout, Pipeline, PipelineBuilder, RankingPolicy, RetrieveOptions,
-        Scenario,
+        min_coverage, min_coverage_with, quality_sweep, Archive, ArchiveCodec, BaselineLayout,
+        CodecParams, DecodeReport, FileEntry, GiniLayout, Layout, Pipeline, PipelineBuilder,
+        PriorityLayout, ProtectionPlan, ProtectionPlanner, RankingPolicy, RetrieveOptions,
+        Scenario, SkewProfile, UnitLayout,
     };
     pub use dna_strand::{Base, DnaString};
 }

@@ -133,6 +133,45 @@ fn cell_summary(
     )
 }
 
+/// The planned-protection cell: a non-uniform [`ProtectionPlan`] on a
+/// headroom geometry (GF(16), 6 rows, 8 + 4 columns — `tiny()` is
+/// field-saturated and cannot host one), exercising the multi-rate
+/// encode/decode path under the same pinned-seed contract as the rest of
+/// the matrix.
+fn planned_cell_summary() -> String {
+    use dna_skew::storage::ProtectionPlan;
+    let params = CodecParams::new(dna_skew::gf::Field::gf16(), 6, 8, 4, 4).expect("headroom");
+    // Hot-tail plan at exactly the 6 × 4 density budget.
+    let plan = ProtectionPlan::from_parities(vec![2, 2, 3, 4, 6, 7]).expect("plan");
+    let pipeline = Pipeline::builder()
+        .params(params)
+        .layout(Layout::Baseline)
+        .protection(plan)
+        .build()
+        .expect("planned pipeline");
+    let channel = ChannelModel::nanopore_decay(0.06);
+    let cov = 8.0;
+    let scenario = Scenario::with_channel(channel)
+        .single_coverage(cov)
+        .seed(MATRIX_SEED);
+    scenario.validate().expect("planned scenario is valid");
+    let units = pipeline.encode_chunked(&matrix_payload()).expect("encode");
+    let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
+    let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.at_coverage(cov)).collect();
+    let mut decoded = Vec::new();
+    let (mut lost, mut corrected, mut failed) = (0usize, 0usize, 0usize);
+    for (bytes, report) in pipeline.decode_batch(&clusters).expect("decode") {
+        decoded.extend_from_slice(&bytes);
+        lost += report.lost_columns;
+        corrected += report.total_corrected();
+        failed += report.failed_codewords();
+    }
+    format!(
+        "preset=nanopore-decay:0.06 layout=baseline+plan[2,2,3,4,6,7] cov={cov} hash={:#018x} lost={lost} corrected={corrected} failed={failed}",
+        fnv64(&decoded)
+    )
+}
+
 fn compute_matrix() -> Vec<String> {
     let mut out = Vec::new();
     for (preset, channel) in presets() {
@@ -142,13 +181,16 @@ fn compute_matrix() -> Vec<String> {
             }
         }
     }
+    out.push(planned_cell_summary());
     out
 }
 
 /// Golden summaries. The four `preset=uniform` lines were captured from
 /// the pre-channel-model release and freeze the uniform path's exact
-/// behavior; the remaining lines pin the new presets going forward.
-const GOLDEN_MATRIX: [&str; 20] = [
+/// behavior; the remaining lines pin the new presets going forward. The
+/// final `+plan[…]` line pins the unequal-protection (multi-rate
+/// Reed–Solomon) decode path.
+const GOLDEN_MATRIX: [&str; 21] = [
     "preset=uniform:0.04 layout=baseline cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=3 failed=0",
     "preset=uniform:0.04 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=1 corrected=6 failed=0",
     "preset=uniform:0.04 layout=gini cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=3 failed=0",
@@ -169,6 +211,7 @@ const GOLDEN_MATRIX: [&str; 20] = [
     "preset=bursty:0.04 layout=baseline cov=12 hash=0x7441d7e2f2760db4 lost=0 corrected=2 failed=0",
     "preset=bursty:0.04 layout=gini cov=6 hash=0x7441d7e2f2760db4 lost=0 corrected=7 failed=0",
     "preset=bursty:0.04 layout=gini cov=12 hash=0x7441d7e2f2760db4 lost=0 corrected=2 failed=0",
+    "preset=nanopore-decay:0.06 layout=baseline+plan[2,2,3,4,6,7] cov=8 hash=0x56a12209d5564514 lost=0 corrected=8 failed=0",
 ];
 
 fn assert_matches_golden(matrix: &[String], context: &str) {
