@@ -1,13 +1,25 @@
-//! Greedy edit-distance clustering of sequencing reads.
+//! Clustering of sequencing reads by edit-distance similarity.
 //!
 //! The paper's methodology assumes perfect clustering (reads are tagged by
 //! their source strand, §6.1.2); this module provides the *real* mechanism
-//! for completeness and for failure-injection tests: a single-pass greedy
-//! clusterer in the spirit of Rashtchian et al. (NeurIPS'17), using a
-//! bounded edit-distance comparison against cluster representatives.
+//! for the unlabeled-pool retrieval path and for failure-injection tests.
+//! Algorithms are pluggable behind [`ReadClusterer`]:
+//!
+//! - [`GreedyClusterer`]: a single-pass greedy clusterer in the spirit of
+//!   Rashtchian et al. (NeurIPS'17), comparing each read against every
+//!   cluster representative with a bounded edit distance — simple and
+//!   accurate, O(reads × clusters);
+//! - [`AnchoredClusterer`]: the index-anchor fast path — reads are binned
+//!   by a short anchor substring (in a storage pipeline, the region
+//!   holding the ordering index) and only candidates sharing an anchor
+//!   (exactly, or up to one substitution) pay the bounded edit-distance
+//!   comparison. Reads whose anchor was disturbed beyond that fall out
+//!   into fresh clusters; a downstream index-vote demultiplexer merges
+//!   such fragments back together.
 
 use crate::edit_distance_bounded_with;
 use dna_strand::DnaString;
+use std::collections::HashMap;
 
 /// The output of clustering: for each cluster, the indices of its member
 /// reads (in input order).
@@ -28,8 +40,23 @@ impl ClusterResult {
         self.clusters.is_empty()
     }
 
-    /// The cluster index of each read (inverse mapping).
-    pub fn assignments(&self, n_reads: usize) -> Vec<usize> {
+    /// Total reads across all clusters.
+    pub fn member_count(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    /// The cluster index of each read (inverse mapping). The length is
+    /// derived from the members themselves (one slot past the highest
+    /// read index seen), so a stale caller-side read count can no longer
+    /// silently truncate or zero-fill the table; positions not claimed by
+    /// any cluster hold `usize::MAX`.
+    pub fn assignments(&self) -> Vec<usize> {
+        let n_reads = self
+            .clusters
+            .iter()
+            .flat_map(|members| members.iter().copied())
+            .max()
+            .map_or(0, |max| max + 1);
         let mut out = vec![usize::MAX; n_reads];
         for (c, members) in self.clusters.iter().enumerate() {
             for &r in members {
@@ -38,6 +65,20 @@ impl ClusterResult {
         }
         out
     }
+}
+
+/// A read-clustering algorithm: groups an unlabeled pool of reads into
+/// clusters of (putative) copies of one molecule.
+///
+/// Implementations must be deterministic in the input: the same reads in
+/// the same order must produce the same clusters. They should tolerate
+/// empty input (returning an empty result).
+pub trait ReadClusterer {
+    /// A short name for reports and figures.
+    fn name(&self) -> &'static str;
+
+    /// Clusters `reads`; every read index appears in exactly one cluster.
+    fn cluster(&self, reads: &[DnaString]) -> ClusterResult;
 }
 
 /// Greedy single-linkage-to-representative clustering.
@@ -103,6 +144,162 @@ impl GreedyClusterer {
     }
 }
 
+impl ReadClusterer for GreedyClusterer {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn cluster(&self, reads: &[DnaString]) -> ClusterResult {
+        GreedyClusterer::cluster(self, reads)
+    }
+}
+
+/// Maximum anchor length [`AnchoredClusterer`] accepts: the anchor is
+/// packed 2 bits per base into one `u64` key alongside its length.
+pub const MAX_ANCHOR_LEN: usize = 24;
+
+/// Anchor-binned greedy clustering: the fast path for large pools.
+///
+/// Each read is keyed by a short **anchor** — the `anchor_len` bases
+/// starting at `anchor_offset` (for storage strands: just past the
+/// primer, the region holding the ordering index, which differs between
+/// molecules and sits at the reliable front of the strand). A read is
+/// compared (bounded edit distance, as in [`GreedyClusterer`]) only
+/// against representatives whose anchor matches its own exactly or up to
+/// one substitution, so the quadratic representative scan collapses to a
+/// handful of hash probes per read.
+///
+/// Reads whose anchor was corrupted beyond one substitution (or shifted
+/// by an indel) open fresh clusters instead of joining their true one —
+/// fragmentation the demultiplexing stage downstream repairs by merging
+/// clusters that vote for the same index.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::{AnchoredClusterer, ReadClusterer};
+/// use dna_strand::DnaString;
+///
+/// let reads: Vec<DnaString> = ["ACGTACGTTT", "ACGTACGTTA", "TTTTGGGGCC"]
+///     .iter().map(|s| s.parse().unwrap()).collect();
+/// let result = AnchoredClusterer::new(3).cluster(&reads);
+/// assert_eq!(result.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnchoredClusterer {
+    threshold: usize,
+    anchor_offset: usize,
+    anchor_len: usize,
+}
+
+impl AnchoredClusterer {
+    /// A clusterer with the default anchor: the first 8 bases of each
+    /// read.
+    pub fn new(threshold: usize) -> AnchoredClusterer {
+        AnchoredClusterer {
+            threshold,
+            anchor_offset: 0,
+            anchor_len: 8,
+        }
+    }
+
+    /// Places the anchor at `offset` with `len` bases (clamped to
+    /// [`MAX_ANCHOR_LEN`]) — e.g. past a primer, over the index region.
+    pub fn with_anchor(mut self, offset: usize, len: usize) -> AnchoredClusterer {
+        self.anchor_offset = offset;
+        self.anchor_len = len.clamp(1, MAX_ANCHOR_LEN);
+        self
+    }
+
+    /// The distance threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The `(offset, len)` of the anchor window.
+    pub fn anchor(&self) -> (usize, usize) {
+        (self.anchor_offset, self.anchor_len)
+    }
+
+    /// Packs the anchor window of `read` into a hash key: 2 bits per
+    /// base, with the (possibly clamped) window length mixed into the
+    /// high bits so truncated reads never collide with full anchors.
+    fn anchor_key(&self, read: &DnaString) -> u64 {
+        let bases = read.as_slice();
+        let start = self.anchor_offset.min(bases.len());
+        let end = (self.anchor_offset + self.anchor_len).min(bases.len());
+        let window = &bases[start..end];
+        let mut key = 0u64;
+        for &b in window {
+            key = (key << 2) | u64::from(b.to_bits());
+        }
+        key | ((window.len() as u64) << 48)
+    }
+
+    /// All keys one substitution away from `key` (same window length).
+    fn key_variants(key: u64) -> impl Iterator<Item = u64> {
+        let len = (key >> 48) as usize;
+        (0..len).flat_map(move |pos| {
+            (1..4u64).map(move |delta| {
+                let shift = 2 * pos;
+                let base = (key >> shift) & 0b11;
+                (key & !(0b11 << shift)) | (((base + delta) & 0b11) << shift)
+            })
+        })
+    }
+}
+
+impl ReadClusterer for AnchoredClusterer {
+    fn name(&self) -> &'static str {
+        "anchored"
+    }
+
+    fn cluster(&self, reads: &[DnaString]) -> ClusterResult {
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut representatives: Vec<&DnaString> = Vec::new();
+        // Anchor key → clusters whose representative carries that anchor,
+        // in discovery order (kept deterministic: candidate lists are
+        // plain Vecs; the map is only ever probed by key).
+        let mut bins: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut row = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        for (i, read) in reads.iter().enumerate() {
+            let key = self.anchor_key(read);
+            candidates.clear();
+            if let Some(bin) = bins.get(&key) {
+                candidates.extend_from_slice(bin);
+            }
+            for variant in Self::key_variants(key) {
+                if let Some(bin) = bins.get(&variant) {
+                    candidates.extend_from_slice(bin);
+                }
+            }
+            // Probe order follows cluster discovery order, matching the
+            // greedy clusterer's first-match rule.
+            candidates.sort_unstable();
+            let found = candidates.iter().copied().find(|&c| {
+                edit_distance_bounded_with(
+                    representatives[c].as_slice(),
+                    read.as_slice(),
+                    self.threshold,
+                    &mut row,
+                )
+                .is_some()
+            });
+            match found {
+                Some(c) => clusters[c].push(i),
+                None => {
+                    let c = clusters.len();
+                    clusters.push(vec![i]);
+                    representatives.push(read);
+                    bins.entry(key).or_default().push(c);
+                }
+            }
+        }
+        ClusterResult { clusters }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,23 +317,30 @@ mod tests {
         DnaString::from_bases(bases)
     }
 
-    #[test]
-    fn recovers_planted_clusters() {
-        let mut rng = StdRng::seed_from_u64(99);
-        let centers: Vec<DnaString> = (0..8).map(|_| DnaString::random(60, &mut rng)).collect();
+    fn planted_reads(
+        n_centers: usize,
+        per_center: usize,
+        noise: usize,
+        seed: u64,
+    ) -> (Vec<DnaString>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<DnaString> = (0..n_centers)
+            .map(|_| DnaString::random(60, &mut rng))
+            .collect();
         let mut reads = Vec::new();
         let mut truth = Vec::new();
         for (c, center) in centers.iter().enumerate() {
-            for _ in 0..5 {
-                reads.push(perturb(center, 2, &mut rng));
+            for _ in 0..per_center {
+                reads.push(perturb(center, noise, &mut rng));
                 truth.push(c);
             }
         }
-        // Random 60-mers are ~far apart; threshold 8 separates cleanly.
-        let result = GreedyClusterer::new(8).cluster(&reads);
-        assert_eq!(result.len(), 8);
-        let assign = result.assignments(reads.len());
-        // All reads from the same planted cluster must land together.
+        (reads, truth)
+    }
+
+    fn assert_partition_matches(reads: &[DnaString], truth: &[usize], result: &ClusterResult) {
+        let assign = result.assignments();
+        assert_eq!(assign.len(), reads.len());
         for i in 0..reads.len() {
             for j in 0..reads.len() {
                 assert_eq!(
@@ -149,9 +353,67 @@ mod tests {
     }
 
     #[test]
+    fn recovers_planted_clusters() {
+        let (reads, truth) = planted_reads(8, 5, 2, 99);
+        // Random 60-mers are ~far apart; threshold 8 separates cleanly.
+        let result = GreedyClusterer::new(8).cluster(&reads);
+        assert_eq!(result.len(), 8);
+        assert_partition_matches(&reads, &truth, &result);
+    }
+
+    #[test]
+    fn anchored_recovers_noiseless_planted_clusters() {
+        let (reads, truth) = planted_reads(10, 4, 0, 41);
+        let result = AnchoredClusterer::new(6).cluster(&reads);
+        assert_eq!(result.len(), 10);
+        assert_partition_matches(&reads, &truth, &result);
+    }
+
+    #[test]
+    fn anchored_tolerates_one_anchor_substitution() {
+        // A read whose anchor differs from its cluster's by one base must
+        // still find the cluster through the variant probes.
+        let mut rng = StdRng::seed_from_u64(7);
+        let center = DnaString::random(50, &mut rng);
+        let mut noisy = center.as_slice().to_vec();
+        noisy[3] = noisy[3].complement(); // inside the default 8-base anchor
+        let reads = vec![center.clone(), DnaString::from_bases(noisy)];
+        let result = AnchoredClusterer::new(4).cluster(&reads);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.clusters[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn anchored_fragments_rather_than_merges_on_heavy_anchor_damage() {
+        // Two anchor substitutions defeat the probes: the read opens a
+        // new cluster (fragmentation) instead of being absorbed wrongly.
+        let mut rng = StdRng::seed_from_u64(8);
+        let center = DnaString::random(50, &mut rng);
+        let mut noisy = center.as_slice().to_vec();
+        noisy[1] = noisy[1].complement();
+        noisy[5] = noisy[5].complement();
+        let reads = vec![center.clone(), DnaString::from_bases(noisy)];
+        let result = AnchoredClusterer::new(4).cluster(&reads);
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn anchored_window_clamps_to_short_reads() {
+        let reads: Vec<DnaString> = ["ACG", "ACG", "ACGTACGTACGT"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let clusterer = AnchoredClusterer::new(0).with_anchor(0, 8);
+        let result = clusterer.cluster(&reads);
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.clusters[0], vec![0, 1]);
+    }
+
+    #[test]
     fn singleton_inputs() {
         let result = GreedyClusterer::new(3).cluster(&[]);
         assert!(result.is_empty());
+        assert!(ReadClusterer::cluster(&AnchoredClusterer::new(3), &[]).is_empty());
         let one = vec!["ACGT".parse().unwrap()];
         let result = GreedyClusterer::new(3).cluster(&one);
         assert_eq!(result.len(), 1);
@@ -167,5 +429,45 @@ mod tests {
         let result = GreedyClusterer::new(0).cluster(&reads);
         assert_eq!(result.len(), 2);
         assert_eq!(result.clusters[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn assignments_length_is_derived_from_members() {
+        // Regression: `assignments` used to take the read count from the
+        // caller and silently truncate (or zero-fill) on a mismatch —
+        // and panicked outright when the caller undercounted. The length
+        // now comes from the members themselves.
+        let result = GreedyClusterer::new(0).cluster(&[
+            "ACGT".parse().unwrap(),
+            "ACGT".parse().unwrap(),
+            "TTTT".parse().unwrap(),
+        ]);
+        let assign = result.assignments();
+        assert_eq!(assign, vec![0, 0, 1]);
+
+        // A hand-built sparse result keeps unclaimed slots visible
+        // instead of inventing assignments for them.
+        let sparse = ClusterResult {
+            clusters: vec![vec![0], vec![4]],
+        };
+        assert_eq!(
+            sparse.assignments(),
+            vec![0, usize::MAX, usize::MAX, usize::MAX, 1]
+        );
+        assert_eq!(sparse.member_count(), 2);
+        assert!(ClusterResult::default().assignments().is_empty());
+    }
+
+    #[test]
+    fn clusterers_are_deterministic() {
+        let (reads, _) = planted_reads(6, 5, 2, 123);
+        for clusterer in [
+            &GreedyClusterer::new(8) as &dyn ReadClusterer,
+            &AnchoredClusterer::new(8),
+        ] {
+            let a = clusterer.cluster(&reads);
+            let b = clusterer.cluster(&reads);
+            assert_eq!(a, b, "{}", clusterer.name());
+        }
     }
 }

@@ -1,0 +1,258 @@
+//! Read orientation recovery.
+//!
+//! Sequencers read double-stranded DNA from either end: roughly half the
+//! reads of an unlabeled pool arrive as the reverse complement of the
+//! synthesized strand. Before clustering or consensus can work, every
+//! read must be mapped back to a common orientation. Two mechanisms are
+//! provided:
+//!
+//! - [`AnchorOrienter`]: scores the read's prefix against a known anchor
+//!   sequence (in practice the left PCR primer) in both orientations and
+//!   keeps the better fit — the primer-based orientation detection used
+//!   by real retrieval pipelines (Yazdi et al., *A Rewritable,
+//!   Random-Access DNA-Based Storage System*);
+//! - [`canonical_orientation`]: the anchor-free fallback — each read is
+//!   mapped to the lexicographically smaller of itself and its reverse
+//!   complement, so all copies of one strand land on the same side
+//!   regardless of how they were read (final forward/reverse resolution
+//!   is deferred to whoever can check content, e.g. an index decoder).
+//!
+//! Both are *involutions on pools*: orienting a read and orienting its
+//! reverse complement produce the same canonical strand, which is what
+//! makes recovery insensitive to how the sequencer happened to flip each
+//! molecule.
+
+use crate::edit_distance_bounded_with;
+use dna_strand::{Base, DnaString};
+
+/// Which physical orientation a read was decided to be in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOrientation {
+    /// The read already runs 5'→3' along the synthesized strand.
+    Forward,
+    /// The read is the reverse complement of the synthesized strand.
+    ReverseComplement,
+}
+
+impl ReadOrientation {
+    /// Whether the read must be reverse-complemented to reach the
+    /// canonical orientation.
+    pub fn is_flipped(self) -> bool {
+        matches!(self, ReadOrientation::ReverseComplement)
+    }
+}
+
+/// Primer-anchored orientation detection: a forward read begins with
+/// (something close to) the anchor; a reverse-complemented read ends with
+/// the anchor's reverse complement, so *its* reverse complement begins
+/// with the anchor again.
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::{AnchorOrienter, ReadOrientation};
+/// use dna_strand::DnaString;
+///
+/// let anchor: DnaString = "ACGTTGCA".parse()?;
+/// let orienter = AnchorOrienter::new(anchor.clone());
+/// let payload: DnaString = "GGGGCCCCGGGG".parse()?;
+/// let strand = DnaString::concat([&anchor, &payload]);
+///
+/// let (o, _) = orienter.orient(&strand);
+/// assert_eq!(o, ReadOrientation::Forward);
+/// let (o, canonical) = orienter.orient(&strand.reverse_complement());
+/// assert_eq!(o, ReadOrientation::ReverseComplement);
+/// assert_eq!(canonical, strand); // flipped back to forward
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnchorOrienter {
+    anchor: DnaString,
+    slack: usize,
+}
+
+impl AnchorOrienter {
+    /// An orienter scoring against `anchor` with the default indel slack
+    /// (a fifth of the anchor length, at least 2 extra bases of prefix).
+    pub fn new(anchor: DnaString) -> AnchorOrienter {
+        let slack = (anchor.len() / 5).max(2);
+        AnchorOrienter { anchor, slack }
+    }
+
+    /// Overrides the indel slack: how many extra prefix bases beyond the
+    /// anchor length are compared, absorbing insertions near the start.
+    pub fn with_slack(mut self, slack: usize) -> AnchorOrienter {
+        self.slack = slack;
+        self
+    }
+
+    /// The anchor sequence.
+    pub fn anchor(&self) -> &DnaString {
+        &self.anchor
+    }
+
+    /// Edit distance between the anchor and `read`'s prefix (anchor
+    /// length + slack bases).
+    fn prefix_score(&self, read: &[Base], row: &mut Vec<usize>) -> usize {
+        let window = (self.anchor.len() + self.slack).min(read.len());
+        // The bound is the anchor length: an empty prefix scores exactly
+        // that, so the banded search always returns Some.
+        edit_distance_bounded_with(
+            self.anchor.as_slice(),
+            &read[..window],
+            self.anchor.len().max(1),
+            row,
+        )
+        .unwrap_or(self.anchor.len())
+    }
+
+    /// Decides `read`'s orientation and returns it with the canonical
+    /// (forward-mapped) strand. See [`AnchorOrienter::orient_with`] for
+    /// the allocation-free scoring buffer variant.
+    pub fn orient(&self, read: &DnaString) -> (ReadOrientation, DnaString) {
+        self.orient_with(read, &mut Vec::new())
+    }
+
+    /// [`AnchorOrienter::orient`] against a caller-owned DP row buffer.
+    /// The reverse orientation is scored against a small complemented
+    /// window of the read's tail (never a full flipped copy), so
+    /// pool-scale orientation loops allocate one anchor-sized scratch
+    /// per read plus the canonical strand itself — which for reads
+    /// decided `Forward` is just a clone of the input.
+    ///
+    /// Ties (both orientations equally close to the anchor) are broken by
+    /// comparing the two candidate canonical strands lexicographically —
+    /// a content-only rule, which is what makes orientation an involution:
+    /// `orient(read)` and `orient(read.reverse_complement())` always
+    /// yield the same canonical strand.
+    pub fn orient_with(
+        &self,
+        read: &DnaString,
+        row: &mut Vec<usize>,
+    ) -> (ReadOrientation, DnaString) {
+        let bases = read.as_slice();
+        let forward_score = self.prefix_score(bases, row);
+        // The reverse complement's prefix is the complemented,
+        // back-to-front tail of the read.
+        let window = (self.anchor.len() + self.slack).min(bases.len());
+        let rc_prefix: Vec<Base> = bases
+            .iter()
+            .rev()
+            .take(window)
+            .map(|b| b.complement())
+            .collect();
+        let reverse_score = self.prefix_score(&rc_prefix, row);
+        let orientation = match forward_score.cmp(&reverse_score) {
+            std::cmp::Ordering::Less => ReadOrientation::Forward,
+            std::cmp::Ordering::Greater => ReadOrientation::ReverseComplement,
+            // Lexicographic read-vs-reverse-complement comparison,
+            // element by element (no materialized flip).
+            std::cmp::Ordering::Equal => {
+                let rc_at = |i: usize| bases[bases.len() - 1 - i].complement();
+                match (0..bases.len())
+                    .map(|i| bases[i].cmp(&rc_at(i)))
+                    .find(|o| o.is_ne())
+                {
+                    Some(std::cmp::Ordering::Greater) => ReadOrientation::ReverseComplement,
+                    _ => ReadOrientation::Forward,
+                }
+            }
+        };
+        let canonical = match orientation {
+            ReadOrientation::Forward => read.clone(),
+            ReadOrientation::ReverseComplement => read.reverse_complement(),
+        };
+        (orientation, canonical)
+    }
+}
+
+/// Anchor-free canonical orientation: the lexicographically smaller of
+/// the read and its reverse complement, with the orientation that was
+/// kept. All reads of one molecule (noise aside) canonicalize to the
+/// same side, so an orientation-blind clusterer can group them; whether
+/// that side is the synthesized strand or its complement is resolved
+/// later by content (e.g. decoding the ordering index both ways).
+///
+/// # Examples
+///
+/// ```
+/// use dna_align::canonical_orientation;
+/// use dna_strand::DnaString;
+///
+/// let s: DnaString = "TTGCAACG".parse()?;
+/// let (o1, c1) = canonical_orientation(&s);
+/// let (o2, c2) = canonical_orientation(&s.reverse_complement());
+/// assert_eq!(c1, c2);           // involution on pools
+/// assert_ne!(o1.is_flipped(), o2.is_flipped());
+/// # Ok::<(), dna_strand::StrandError>(())
+/// ```
+pub fn canonical_orientation(read: &DnaString) -> (ReadOrientation, DnaString) {
+    let flipped = read.reverse_complement();
+    if read.as_slice() <= flipped.as_slice() {
+        (ReadOrientation::Forward, read.clone())
+    } else {
+        (ReadOrientation::ReverseComplement, flipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_strand(len: usize, seed: u64) -> DnaString {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DnaString::random(len, &mut rng)
+    }
+
+    #[test]
+    fn anchored_orientation_recovers_flipped_reads() {
+        let anchor = random_strand(15, 1);
+        let orienter = AnchorOrienter::new(anchor.clone());
+        for seed in 2..20u64 {
+            let payload = random_strand(40, seed);
+            let strand = DnaString::concat([&anchor, &payload]);
+            let (o, c) = orienter.orient(&strand);
+            assert_eq!(o, ReadOrientation::Forward, "seed {seed}");
+            assert_eq!(c, strand);
+            let (o, c) = orienter.orient(&strand.reverse_complement());
+            assert_eq!(o, ReadOrientation::ReverseComplement, "seed {seed}");
+            assert_eq!(c, strand);
+        }
+    }
+
+    #[test]
+    fn orientation_is_an_involution_even_on_anchorless_reads() {
+        // Reads with no trace of the anchor still canonicalize to one
+        // side, whichever way they arrive.
+        let orienter = AnchorOrienter::new(random_strand(12, 3));
+        for seed in 0..30u64 {
+            let read = random_strand(35, 100 + seed);
+            let (_, a) = orienter.orient(&read);
+            let (_, b) = orienter.orient(&read.reverse_complement());
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn canonical_orientation_is_stable_under_flips() {
+        for seed in 0..30u64 {
+            let read = random_strand(28, seed);
+            let (_, a) = canonical_orientation(&read);
+            let (_, b) = canonical_orientation(&read.reverse_complement());
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_read_orients_without_panicking() {
+        let orienter = AnchorOrienter::new(random_strand(10, 5));
+        let (o, c) = orienter.orient(&DnaString::new());
+        assert_eq!(o, ReadOrientation::Forward);
+        assert!(c.is_empty());
+        let (o, c) = canonical_orientation(&DnaString::new());
+        assert_eq!(o, ReadOrientation::Forward);
+        assert!(c.is_empty());
+    }
+}

@@ -1,11 +1,21 @@
 //! Property tests: edit distance is a metric; bounded distance agrees with
-//! full; alignment distance equals edit distance.
+//! full; alignment distance equals edit distance; orientation recovery is
+//! an involution; clusterers are deterministic and order-stable.
 
-use dna_align::{align, edit_distance, edit_distance_bounded, edit_distance_myers};
+use dna_align::{
+    align, canonical_orientation, edit_distance, edit_distance_bounded, edit_distance_myers,
+    AnchorOrienter, AnchoredClusterer, GreedyClusterer, ReadClusterer,
+};
+use dna_strand::{Base, DnaString};
 use proptest::prelude::*;
 
 fn dna_seq() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(0u8..4, 0..40)
+}
+
+fn dna_string(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaString> {
+    proptest::collection::vec(0u8..4, len)
+        .prop_map(|v| DnaString::from_bases(v.into_iter().map(Base::from_bits).collect()))
 }
 
 proptest! {
@@ -63,5 +73,97 @@ proptest! {
         let mut b = a.clone();
         b[i] = (b[i] + 1) % 4;
         prop_assert_eq!(edit_distance(&a, &b), 1);
+    }
+
+    /// Orientation recovery is an involution: a read and its reverse
+    /// complement always canonicalize to the same strand, with or
+    /// without an anchor.
+    #[test]
+    fn orientation_is_an_involution(
+        read in dna_string(0..50),
+        anchor in dna_string(6..18),
+    ) {
+        let (_, a) = canonical_orientation(&read);
+        let (_, b) = canonical_orientation(&read.reverse_complement());
+        prop_assert_eq!(&a, &b);
+
+        let orienter = AnchorOrienter::new(anchor);
+        let (_, a) = orienter.orient(&read);
+        let (_, b) = orienter.orient(&read.reverse_complement());
+        prop_assert_eq!(a, b);
+    }
+
+    /// An anchored read is always recognized as forward and mapped back
+    /// when it arrives flipped.
+    #[test]
+    fn anchored_reads_orient_forward(
+        anchor in dna_string(10..18),
+        payload in dna_string(20..50),
+    ) {
+        let strand = DnaString::concat([&anchor, &payload]);
+        let orienter = AnchorOrienter::new(anchor);
+        let (o, c) = orienter.orient(&strand);
+        prop_assert!(!o.is_flipped());
+        prop_assert_eq!(&c, &strand);
+        let (o, c) = orienter.orient(&strand.reverse_complement());
+        prop_assert!(o.is_flipped());
+        prop_assert_eq!(&c, &strand);
+    }
+
+    /// Clusterers are deterministic, produce a partition of the input,
+    /// and — at threshold 0, where cluster membership is pure content
+    /// equality — group reads identically no matter the input order.
+    #[test]
+    fn clusterers_partition_deterministically_and_order_stably(
+        distinct in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 12..20), 1..5),
+        copies in 1usize..4,
+        order in Just((0..16usize).collect::<Vec<_>>()).prop_shuffle(),
+    ) {
+        let uniques: Vec<DnaString> = distinct
+            .iter()
+            .map(|v| DnaString::from_bases(v.iter().map(|&b| Base::from_bits(b)).collect()))
+            .collect();
+        let mut reads: Vec<DnaString> = Vec::new();
+        for u in &uniques {
+            for _ in 0..copies {
+                reads.push(u.clone());
+            }
+        }
+        let shuffled: Vec<DnaString> = order
+            .iter()
+            .filter(|&&i| i < reads.len())
+            .map(|&i| reads[i].clone())
+            .chain(reads.iter().skip(16).cloned())
+            .collect();
+        for clusterer in [
+            &GreedyClusterer::new(0) as &dyn ReadClusterer,
+            &AnchoredClusterer::new(0),
+        ] {
+            let a = clusterer.cluster(&reads);
+            prop_assert_eq!(&a, &clusterer.cluster(&reads), "{} not deterministic", clusterer.name());
+            // Partition: every read index exactly once.
+            let mut seen: Vec<usize> = a.clusters.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..reads.len()).collect::<Vec<_>>());
+            // Order stability at threshold 0: the content→cluster map is
+            // the same under any input order (cluster ids may differ).
+            let b = clusterer.cluster(&shuffled);
+            let key = |result: &dna_align::ClusterResult, input: &[DnaString]| {
+                let mut groups: Vec<Vec<String>> = result
+                    .clusters
+                    .iter()
+                    .map(|members| {
+                        let mut g: Vec<String> =
+                            members.iter().map(|&r| input[r].to_string()).collect();
+                        g.sort();
+                        g
+                    })
+                    .collect();
+                groups.sort();
+                groups
+            };
+            prop_assert_eq!(key(&a, &reads), key(&b, &shuffled), "{} order-sensitive", clusterer.name());
+        }
     }
 }

@@ -20,6 +20,10 @@
 //! - [`ReadPool`]: a pre-generated pool of noisy reads per strand that can
 //!   be *progressively* drawn down to simulate lower coverage, exactly as
 //!   the paper's methodology describes (§6.1.2);
+//! - [`AnonymousPool`]: the same reads with the labels stripped, the
+//!   orientation randomized, and the order shuffled — the realistic
+//!   unlabeled soup a recovery pipeline must cluster, orient, and
+//!   demultiplex before decoding;
 //! - [`SequencingBackend`]: pluggable read generation — the simulator
 //!   above as [`SimulatedSequencer`], and [`TraceReplay`] for replaying
 //!   recorded read pools (wetlab or captured traces) through the same
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anonymous;
 mod backend;
 mod channel;
 mod coverage;
@@ -50,6 +55,7 @@ mod error_model;
 mod model;
 mod pool;
 
+pub use anonymous::{AnonymousPool, ReadOrigin};
 pub use backend::{unit_seed, SequencingBackend, SimulatedSequencer, TraceReplay};
 pub use channel::IdsChannel;
 pub use coverage::CoverageModel;

@@ -11,7 +11,7 @@
 use dna_channel::ChannelModel;
 use dna_skew_cli::{
     decode, encode, parse_channel_model, parse_error_model, parse_plan_arg, simulate_planned,
-    CliError, LayoutChoice, PlanChoice,
+    simulate_unlabeled, CliError, ClustererChoice, LayoutChoice, PlanChoice,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -25,6 +25,7 @@ USAGE:
   dnastore simulate --input <file> [--layout …] [--errors kind:rate | --channel preset[:rate]]
                     [--coverage N] [--seed N] [--plan auto|uniform|file:<path>]
                     [--parity E] [--tsv <path>]
+                    [--unlabeled [--clusterer greedy|anchored]]
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
 channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty
@@ -34,7 +35,14 @@ protection plans:  uniform (default), auto (skew-profiled unequal protection),
                    --parity overrides the per-row parity width (default 47);
                    values below 47 leave the headroom auto plans reallocate.
 --tsv writes the per-row corrected-error/erasure histograms of the run.
+--unlabeled anonymizes the sequencer output (no labels, random orientation,
+            shuffled order); retrieval must cluster, orient, and demultiplex
+            the reads before decoding. Strands are primer-wrapped; --clusterer
+            picks the clustering algorithm (default anchored).
 ";
+
+/// Flags that take no value (presence alone switches them on).
+const BOOL_FLAGS: [&str; 1] = ["unlabeled"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
@@ -43,6 +51,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| CliError::Usage(format!("expected a --flag, got {:?}", args[i])))?;
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
@@ -126,14 +139,42 @@ fn run() -> Result<(), CliError> {
                         .map_err(|_| CliError::Usage(format!("bad parity width {v:?}")))
                 })
                 .transpose()?;
+            let unlabeled = flags.contains_key("unlabeled");
+            let clusterer: ClustererChoice = flags
+                .get("clusterer")
+                .map(|s| s.parse())
+                .transpose()?
+                .unwrap_or_default();
+            if !unlabeled && flags.contains_key("clusterer") {
+                return Err(CliError::Usage(
+                    "--clusterer only applies with --unlabeled".into(),
+                ));
+            }
+            if unlabeled && (parity.is_some() || flags.contains_key("plan")) {
+                return Err(CliError::Usage(
+                    "--unlabeled does not combine with --plan/--parity yet".into(),
+                ));
+            }
             let base_rate = channel.base().total_rate();
-            let run = simulate_planned(&input, layout, channel, coverage, seed, &plan, parity)?;
+            let run = if unlabeled {
+                simulate_unlabeled(&input, layout, channel, coverage, seed, clusterer)?
+            } else {
+                simulate_planned(&input, layout, channel, coverage, seed, &plan, parity)?
+            };
             let outcome = &run.outcome;
             println!(
-                "layout {layout:?} | base errors {:.2}% | coverage {coverage} | plan {}",
+                "layout {layout:?} | base errors {:.2}% | coverage {coverage} | plan {}{}",
                 base_rate * 100.0,
-                run.plan.summary()
+                run.plan.summary(),
+                if unlabeled {
+                    format!(" | unlabeled ({clusterer:?})")
+                } else {
+                    String::new()
+                }
             );
+            if let Some(recovery) = &run.report.recovery {
+                println!("  recovery {}", recovery.summary());
+            }
             println!(
                 "exact={} byte-accuracy={:.4} corrected={} failed-codewords={} lost-molecules={}",
                 outcome.exact,

@@ -63,8 +63,69 @@ pub trait TraceReconstructor {
     /// Estimates the original strand.
     fn reconstruct(&self, reads: &[DnaString], target_len: usize) -> DnaString;
 
+    /// Orientation-aware entry: reads flagged in `flips` are
+    /// reverse-complemented back to the forward orientation before
+    /// reconstruction — the shape handed over by unlabeled-pool recovery,
+    /// where the orienter knows per read which physical strand the
+    /// sequencer returned. `flips` shorter than `reads` treats the
+    /// missing entries as forward.
+    fn reconstruct_oriented(
+        &self,
+        reads: &[DnaString],
+        flips: &[bool],
+        target_len: usize,
+    ) -> DnaString {
+        if !flips.iter().any(|&f| f) {
+            return self.reconstruct(reads, target_len);
+        }
+        let oriented: Vec<DnaString> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if flips.get(i).copied().unwrap_or(false) {
+                    r.reverse_complement()
+                } else {
+                    r.clone()
+                }
+            })
+            .collect();
+        self.reconstruct(&oriented, target_len)
+    }
+
     /// A short human-readable name for reports and figures.
     fn name(&self) -> &'static str {
         "unnamed"
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use dna_channel::{ErrorModel, IdsChannel};
+    use rand::SeedableRng;
+
+    #[test]
+    fn oriented_reconstruction_matches_pre_flipped_reads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let original = DnaString::random(80, &mut rng);
+        let channel = IdsChannel::new(ErrorModel::uniform(0.02));
+        let reads = channel.transmit_many(&original, 6, &mut rng);
+        // Flip half the reads, then ask the oriented entry to undo it.
+        let flips: Vec<bool> = (0..reads.len()).map(|i| i % 2 == 0).collect();
+        let mixed: Vec<DnaString> = reads
+            .iter()
+            .zip(&flips)
+            .map(|(r, &f)| if f { r.reverse_complement() } else { r.clone() })
+            .collect();
+        let algo = BmaTwoWay::default();
+        assert_eq!(
+            algo.reconstruct_oriented(&mixed, &flips, original.len()),
+            algo.reconstruct(&reads, original.len()),
+        );
+        // An all-forward flip mask is exactly the plain entry.
+        assert_eq!(
+            algo.reconstruct_oriented(&reads, &[], original.len()),
+            algo.reconstruct(&reads, original.len()),
+        );
     }
 }

@@ -36,6 +36,7 @@ use crate::layout::{BaselineLayout, IntoUnitLayout, UnitLayout};
 use crate::params::CodecParams;
 use crate::pipeline::{Pipeline, RetrieveOptions, RsBank};
 use crate::plan::{planned_positions, Protection, ProtectionPlan};
+use crate::recovery::RecoveryPipeline;
 use crate::StorageError;
 use dna_consensus::{BmaTwoWay, TraceReconstructor};
 use dna_gf::Field;
@@ -71,6 +72,7 @@ pub struct PipelineBuilder {
     primers: Option<(Primer, Primer)>,
     primer_seed: u64,
     decode_options: RetrieveOptions,
+    recovery: Option<RecoveryPipeline>,
 }
 
 impl std::fmt::Debug for PipelineBuilder {
@@ -107,6 +109,7 @@ impl Default for PipelineBuilder {
             primers: None,
             primer_seed: DEFAULT_PRIMER_SEED,
             decode_options: RetrieveOptions::default(),
+            recovery: None,
         }
     }
 }
@@ -199,6 +202,15 @@ impl PipelineBuilder {
     /// are given and the geometry has a positive primer length).
     pub fn primer_seed(mut self, seed: u64) -> Self {
         self.primer_seed = seed;
+        self
+    }
+
+    /// Configures the unlabeled-pool recovery stage
+    /// ([`Pipeline::decode_pool`](crate::Pipeline::decode_pool) and
+    /// friends). Pipelines without one fall back to
+    /// [`RecoveryPipeline::default`] on demand.
+    pub fn recovery(mut self, recovery: RecoveryPipeline) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 
@@ -377,6 +389,7 @@ impl PipelineBuilder {
                 .unwrap_or_else(|| Arc::new(BmaTwoWay::default())),
             primers,
             self.decode_options,
+            self.recovery,
         ))
     }
 }

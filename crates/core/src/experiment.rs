@@ -12,8 +12,27 @@ use crate::archive::{Archive, ArchiveCodec};
 use crate::pipeline::{Pipeline, RetrieveOptions};
 use crate::scenario::Scenario;
 use crate::StorageError;
-use dna_channel::Cluster;
+use dna_channel::{unit_seed, AnonymousPool, Cluster};
 use dna_parallel::parallel_map;
+
+/// Runs the unlabeled-retrieval front half for one coverage draw:
+/// anonymize the clusters under a stream-derived seed, then recover
+/// labeled clusters through the pipeline's [`RecoveryPipeline`]
+/// (`crate::RecoveryPipeline`). `Ok(None)` means the draw was
+/// unrecoverable (empty pool / every read orphaned) — a failed
+/// measurement point, not a harness error.
+fn recover_draw(
+    pipeline: &Pipeline,
+    clusters: &[Cluster],
+    anonymize_seed: u64,
+) -> Result<Option<Vec<Cluster>>, StorageError> {
+    let anon = AnonymousPool::from_clusters(clusters, anonymize_seed);
+    match pipeline.recover_pool(&anon) {
+        Ok((recovered, _)) => Ok(Some(recovered)),
+        Err(StorageError::EmptyPool) | Err(StorageError::AllReadsOrphaned { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
 
 /// Finds the smallest coverage in `scenario.coverages` at which **every**
 /// trial decodes the payload exactly — the paper's minimum-coverage
@@ -40,6 +59,13 @@ pub fn min_coverage(
 /// [`min_coverage`] with explicit decode options (e.g. the forced
 /// erasures of the Fig. 13 effective-redundancy sweep).
 ///
+/// When the scenario is [unlabeled](Scenario::unlabeled), every coverage
+/// draw runs the full realistic front half first — anonymize (labels
+/// dropped, orientation randomized, order shuffled), then
+/// cluster → orient → demux through the pipeline's recovery stage — so
+/// the measured minimum coverage includes the recovery tax. Draws whose
+/// recovery orphans everything count as failures at that coverage.
+///
 /// # Errors
 ///
 /// See [`min_coverage`].
@@ -59,6 +85,7 @@ pub fn min_coverage_with(
     let mut expected = payload.to_vec();
     expected.resize(pipeline.payload_capacity(), 0);
     let backend = scenario.backend();
+    let recovered_retrieve = RetrieveOptions::recovered(retrieve.forced_erasures.clone());
 
     // Per trial: the index of the first succeeding coverage (or None).
     let candidates = &candidates;
@@ -67,7 +94,17 @@ pub fn min_coverage_with(
         |t| -> Result<Option<usize>, StorageError> {
             let pool = pipeline.sequence_with(&backend, &unit, 0, scenario.trial_seed(t));
             for (i, &cov) in candidates.iter().enumerate() {
-                let clusters = pool.at_coverage(cov);
+                let mut clusters = pool.at_coverage(cov);
+                let retrieve = if scenario.unlabeled {
+                    let seed = unit_seed(scenario.anonymize_seed(t), i);
+                    match recover_draw(pipeline, &clusters, seed)? {
+                        Some(recovered) => clusters = recovered,
+                        None => continue, // unrecoverable at this coverage
+                    }
+                    &recovered_retrieve
+                } else {
+                    retrieve
+                };
                 let (decoded, report) = pipeline.decode_unit_with(&clusters, retrieve)?;
                 if report.is_error_free() && decoded == expected {
                     return Ok(Some(i));
@@ -102,6 +139,12 @@ pub struct QualityPoint {
 /// returns the loss in dB; `decoded` is `None` when the directory was
 /// unrecoverable (catastrophic loss — eval decides the penalty).
 ///
+/// When the scenario is [unlabeled](Scenario::unlabeled), every unit's
+/// coverage draw is anonymized and recovered (cluster → orient → demux)
+/// before the archive decode, so the sweep measures the realistic
+/// retrieval path; a unit whose recovery orphans everything contributes
+/// all-lost clusters (graceful degradation, as with lost molecules).
+///
 /// # Errors
 ///
 /// Propagates substrate failures.
@@ -116,15 +159,27 @@ where
 {
     let units = codec.encode(archive)?;
     let backend = scenario.backend();
+    let labeled_retrieve = RetrieveOptions::default();
+    let recovered_retrieve = RetrieveOptions::recovered(Vec::new());
     let per_trial = parallel_map(
         scenario.trials,
         |t| -> Result<Vec<(f64, bool)>, StorageError> {
             let pools = codec.sequence_with(&backend, &units, scenario.trial_seed(t));
             let mut out = Vec::with_capacity(scenario.coverages.len());
-            for &cov in &scenario.coverages {
-                let clusters: Vec<Vec<Cluster>> =
+            for (i, &cov) in scenario.coverages.iter().enumerate() {
+                let mut clusters: Vec<Vec<Cluster>> =
                     pools.iter().map(|p| p.at_coverage(cov)).collect();
-                match codec.decode(&clusters, &RetrieveOptions::default()) {
+                let retrieve = if scenario.unlabeled {
+                    for (u, unit_clusters) in clusters.iter_mut().enumerate() {
+                        let seed = unit_seed(unit_seed(scenario.anonymize_seed(t), u), i);
+                        *unit_clusters = recover_draw(codec.pipeline(), unit_clusters, seed)?
+                            .unwrap_or_default();
+                    }
+                    &recovered_retrieve
+                } else {
+                    &labeled_retrieve
+                };
+                match codec.decode(&clusters, retrieve) {
                     Ok((decoded, _)) => out.push((eval(archive, Some(&decoded)), false)),
                     Err(StorageError::DirectoryUnreadable) => {
                         out.push((eval(archive, None), true));
@@ -230,6 +285,80 @@ mod tests {
             .unwrap()
             .expect("high noise decodable");
         assert!(high > low, "high-noise coverage {high} vs low-noise {low}");
+    }
+
+    #[test]
+    fn unlabeled_min_coverage_is_consumed_and_exact_at_zero_noise() {
+        let params = CodecParams::tiny().unwrap().with_primer_len(15);
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30).map(|i| i * 5).collect();
+        let scenario = Scenario::new(ErrorModel::noiseless())
+            .coverages([1.0, 2.0, 3.0])
+            .trials(3)
+            .seed(5)
+            .fixed_coverage()
+            .unlabeled();
+        let got = min_coverage(&pipeline, &payload, &scenario).unwrap();
+        assert_eq!(got, Some(1.0));
+    }
+
+    #[test]
+    fn unlabeled_min_coverage_pays_at_least_the_labeled_coverage() {
+        let params = CodecParams::tiny().unwrap().with_primer_len(15);
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30u8).map(|i| i.wrapping_mul(11)).collect();
+        let scenario = Scenario::new(ErrorModel::uniform(0.05))
+            .coverage_range(1, 25)
+            .trials(3)
+            .seed(9)
+            .fixed_coverage();
+        let labeled = min_coverage(&pipeline, &payload, &scenario)
+            .unwrap()
+            .expect("labeled decodable");
+        let unlabeled = min_coverage(&pipeline, &payload, &scenario.clone().unlabeled())
+            .unwrap()
+            .expect("unlabeled decodable");
+        assert!(
+            unlabeled >= labeled,
+            "recovery cannot beat the oracle: unlabeled {unlabeled} vs labeled {labeled}"
+        );
+    }
+
+    #[test]
+    fn unlabeled_quality_sweep_improves_with_coverage() {
+        let params = CodecParams::tiny().unwrap().with_primer_len(15);
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let codec = ArchiveCodec::new(pipeline, RankingPolicy::Sequential);
+        let archive = Archive::new(vec![FileEntry::new("f", (0..60u8).collect())]).unwrap();
+        let scenario = Scenario::new(ErrorModel::uniform(0.04))
+            .coverages([2.0, 14.0])
+            .trials(3)
+            .seed(4)
+            .unlabeled();
+        let points = quality_sweep(
+            &codec,
+            &archive,
+            &scenario,
+            |original, decoded| match decoded {
+                Some(d) => {
+                    let orig = &original.files()[0].bytes;
+                    let got = d.file("f").map(|f| f.bytes.as_slice()).unwrap_or(&[]);
+                    orig.iter()
+                        .zip(got.iter().chain(std::iter::repeat(&0)))
+                        .filter(|(a, b)| a != b)
+                        .count() as f64
+                }
+                None => original.files()[0].bytes.len() as f64,
+            },
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].mean_loss_db <= points[0].mean_loss_db,
+            "unlabeled loss at cov 14 ({}) should not exceed loss at cov 2 ({})",
+            points[1].mean_loss_db,
+            points[0].mean_loss_db
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod matrix;
 mod params;
 mod pipeline;
 mod plan;
+mod recovery;
 mod report;
 mod scenario;
 mod skew;
@@ -68,6 +69,7 @@ pub use matrix::SymbolMatrix;
 pub use params::CodecParams;
 pub use pipeline::{EncodedUnit, Layout, Pipeline, RetrieveOptions};
 pub use plan::{Protection, ProtectionClass, ProtectionPlan, ProtectionPlanner};
+pub use recovery::{RecoveryPipeline, RecoveryReport};
 pub use report::{ClassReport, CodewordReport, DecodeReport};
 pub use scenario::{Scenario, GAMMA_SHAPE};
 pub use skew::SkewProfile;
@@ -94,6 +96,24 @@ pub enum StorageError {
     /// The archive directory could not be reconstructed, so files cannot
     /// be split apart (catastrophic loss).
     DirectoryUnreadable,
+    /// An anonymous pool with no reads at all was handed to recovery —
+    /// there is nothing to cluster, orient, or decode.
+    EmptyPool,
+    /// Unlabeled-pool recovery orphaned every read: no cluster produced
+    /// a valid index vote (or all fell below the minimum cluster size).
+    AllReadsOrphaned {
+        /// Reads in the pool.
+        reads: usize,
+        /// Clusters the clusterer produced.
+        clusters: usize,
+    },
+    /// Two recovered clusters claimed the same unit column while strict
+    /// duplicate handling was enabled
+    /// (see [`RecoveryPipeline::strict_duplicates`]).
+    DuplicateClusterIndex {
+        /// The contested unit column.
+        index: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -105,6 +125,18 @@ impl fmt::Display for StorageError {
             }
             StorageError::Substrate(msg) => write!(f, "substrate error: {msg}"),
             StorageError::DirectoryUnreadable => write!(f, "archive directory unreadable"),
+            StorageError::EmptyPool => {
+                write!(f, "anonymous pool is empty: nothing to recover")
+            }
+            StorageError::AllReadsOrphaned { reads, clusters } => write!(
+                f,
+                "recovery orphaned all {reads} reads across {clusters} clusters: \
+                 no cluster produced a valid index vote"
+            ),
+            StorageError::DuplicateClusterIndex { index } => write!(
+                f,
+                "two recovered clusters claimed unit column {index} (strict duplicate handling)"
+            ),
         }
     }
 }

@@ -7,12 +7,13 @@ use crate::layout::{BaselineLayout, GiniLayout, IntoUnitLayout, PriorityLayout, 
 use crate::matrix::SymbolMatrix;
 use crate::params::CodecParams;
 use crate::plan::ProtectionPlan;
+use crate::recovery::RecoveryPipeline;
 use crate::report::{CodewordReport, DecodeReport};
 use crate::workspace::DecodeWorkspace;
 use crate::StorageError;
 use dna_align::edit_distance_bounded_with;
 use dna_channel::{
-    ChannelModel, Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend,
+    AnonymousPool, ChannelModel, Cluster, CoverageModel, ErrorModel, ReadPool, SequencingBackend,
     SimulatedSequencer,
 };
 use dna_consensus::TraceReconstructor;
@@ -155,6 +156,21 @@ pub struct RetrieveOptions {
     pub trust_cluster_sources: bool,
 }
 
+impl RetrieveOptions {
+    /// The options of the recovered (post-demux) decode path: placement
+    /// trusts the recovered cluster labels — the ordering index was
+    /// already decoded by the demultiplexer's vote — while the caller's
+    /// forced erasures still apply. The single source of truth for every
+    /// unlabeled decode site ([`Pipeline::decode_pool`], the experiment
+    /// harnesses).
+    pub fn recovered(forced_erasures: Vec<usize>) -> RetrieveOptions {
+        RetrieveOptions {
+            forced_erasures,
+            trust_cluster_sources: true,
+        }
+    }
+}
+
 /// The storage pipeline: encodes payload units into molecules and decodes
 /// clustered reads back, one unit at a time or in parallel batches.
 #[derive(Clone)]
@@ -166,6 +182,9 @@ pub struct Pipeline {
     consensus: Arc<dyn TraceReconstructor + Send + Sync>,
     primers: Option<(Primer, Primer)>,
     default_retrieve: RetrieveOptions,
+    /// The cluster → orient → demux stage for unlabeled pools; `None`
+    /// runs [`RecoveryPipeline::default`] on demand.
+    recovery: Option<RecoveryPipeline>,
     /// Every codeword's cell list, precomputed once from the layout (and
     /// plan) so the per-unit hot paths never re-derive (or re-allocate)
     /// them.
@@ -213,6 +232,7 @@ impl Pipeline {
         consensus: Arc<dyn TraceReconstructor + Send + Sync>,
         primers: Option<(Primer, Primer)>,
         default_retrieve: RetrieveOptions,
+        recovery: Option<RecoveryPipeline>,
     ) -> Pipeline {
         Pipeline {
             params,
@@ -222,6 +242,7 @@ impl Pipeline {
             consensus,
             primers,
             default_retrieve,
+            recovery,
             cw_positions: Arc::new(cw_positions),
         }
     }
@@ -679,6 +700,95 @@ impl Pipeline {
         .collect()
     }
 
+    /// The configured unlabeled-pool recovery stage, when one was set on
+    /// the builder ([`PipelineBuilder::recovery`]).
+    pub fn recovery_pipeline(&self) -> Option<&RecoveryPipeline> {
+        self.recovery.as_ref()
+    }
+
+    /// Reconstructs labeled clusters from an unlabeled pool — the
+    /// cluster → orient → demux front half of retrieval — without
+    /// decoding, returning the clusters alongside the
+    /// [`RecoveryReport`](crate::RecoveryReport). Uses the builder-
+    /// configured [`RecoveryPipeline`] (or the default greedy stage).
+    ///
+    /// # Errors
+    ///
+    /// See [`RecoveryPipeline::recover`].
+    pub fn recover_pool(
+        &self,
+        pool: &AnonymousPool,
+    ) -> Result<(Vec<Cluster>, crate::RecoveryReport), StorageError> {
+        self.effective_recovery()
+            .recover(&self.params, self.primers.as_ref().map(|(l, _)| l), pool)
+    }
+
+    /// The recovery stage pool decodes run: the builder-configured one,
+    /// or the default. (Cloning is cheap — a spec enum plus two scalars.)
+    fn effective_recovery(&self) -> RecoveryPipeline {
+        self.recovery.clone().unwrap_or_default()
+    }
+
+    /// Decodes one unit straight from an unlabeled, orientation-
+    /// randomized pool: recovery ([`Pipeline::recover_pool`]) followed by
+    /// the standard decode over the recovered clusters (placement trusts
+    /// the recovered labels — the index was already decoded by the demux
+    /// vote). The returned report carries the recovery outcome in
+    /// [`DecodeReport::recovery`].
+    ///
+    /// On a zero-noise pool this is byte-identical to the labeled decode
+    /// path; under noise, clustering and orientation errors add a new
+    /// skew axis on top of the channel's, which is exactly what the
+    /// recovery conformance suite and the `ablation_recovery` bench
+    /// measure.
+    ///
+    /// # Errors
+    ///
+    /// Recovery errors (see [`RecoveryPipeline::recover`]) plus the
+    /// substrate errors of [`Pipeline::decode_unit`].
+    pub fn decode_pool(
+        &self,
+        pool: &AnonymousPool,
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        self.decode_pool_with(pool, &self.effective_recovery())
+    }
+
+    /// [`Pipeline::decode_pool`] with an explicit [`RecoveryPipeline`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::decode_pool`].
+    pub fn decode_pool_with(
+        &self,
+        pool: &AnonymousPool,
+        recovery: &RecoveryPipeline,
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        let (clusters, recovery_report) =
+            recovery.recover(&self.params, self.primers.as_ref().map(|(l, _)| l), pool)?;
+        let opts = RetrieveOptions::recovered(self.default_retrieve.forced_erasures.clone());
+        let (payload, mut report) = self.decode_unit_with(&clusters, &opts)?;
+        report.recovery = Some(recovery_report);
+        Ok((payload, report))
+    }
+
+    /// Decodes many units from their unlabeled pools in parallel across
+    /// scoped threads. Results are byte-identical to calling
+    /// [`Pipeline::decode_pool`] on each pool in order, at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) per-unit error, as the serial
+    /// loop would.
+    pub fn decode_pool_batch(
+        &self,
+        pools: &[AnonymousPool],
+    ) -> Result<Vec<(Vec<u8>, DecodeReport)>, StorageError> {
+        dna_parallel::parallel_map(pools.len(), |u| self.decode_pool(&pools[u]))
+            .into_iter()
+            .collect()
+    }
+
     /// Collects the reads that pass the primer check into `out`: the read
     /// must begin with something close to the left primer. Only called
     /// when primers are configured; the DP row buffer is reused across
@@ -906,6 +1016,62 @@ mod tests {
         assert_eq!(decoded[..30], payload[..]);
         assert!(report.is_error_free());
         assert!(report.total_corrected() > 0);
+    }
+
+    #[test]
+    fn anonymized_zero_noise_pool_decodes_byte_identically_to_labeled_path() {
+        let params = CodecParams::tiny().unwrap().with_primer_len(15);
+        let pipeline = Pipeline::new(params, Layout::Baseline).unwrap();
+        let payload: Vec<u8> = (0..30u8)
+            .map(|i| i.wrapping_mul(41).wrapping_add(3))
+            .collect();
+        let unit = pipeline.encode_unit(&payload).unwrap();
+        let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(4), 8);
+        let (labeled, _) = pipeline.decode_unit(pool.clusters()).unwrap();
+        let (recovered, report) = pipeline.decode_pool(&pool.anonymize(21)).unwrap();
+        assert_eq!(labeled, recovered);
+        assert_eq!(recovered[..30], payload[..]);
+        let recovery = report.recovery.expect("pool decode carries recovery stats");
+        assert_eq!(recovery.purity(), Some(1.0));
+        assert_eq!(recovery.completeness(), Some(1.0));
+        assert_eq!(recovery.misassigned_reads, 0);
+        assert_eq!(recovery.orphaned_reads, 0);
+        assert_eq!(recovery.assigned_columns, 15);
+    }
+
+    #[test]
+    fn decode_pool_batch_matches_serial_pool_decodes() {
+        use crate::recovery::RecoveryPipeline;
+        let params = CodecParams::tiny().unwrap().with_primer_len(15);
+        let pipeline = Pipeline::builder()
+            .params(params)
+            .recovery(RecoveryPipeline::anchored(None))
+            .build()
+            .unwrap();
+        let payloads: Vec<Vec<u8>> = (0..3u8)
+            .map(|u| (0..30).map(|i| i * 7 + u).collect())
+            .collect();
+        let units = pipeline.encode_batch(&payloads).unwrap();
+        let pools: Vec<AnonymousPool> = units
+            .iter()
+            .enumerate()
+            .map(|(u, unit)| {
+                pipeline
+                    .sequence(
+                        unit,
+                        ErrorModel::uniform(0.01),
+                        CoverageModel::Fixed(6),
+                        40 + u as u64,
+                    )
+                    .anonymize(90 + u as u64)
+            })
+            .collect();
+        let batch = pipeline.decode_pool_batch(&pools).unwrap();
+        for (u, pool) in pools.iter().enumerate() {
+            let serial = pipeline.decode_pool(pool).unwrap();
+            assert_eq!(batch[u], serial, "unit {u}");
+            assert_eq!(batch[u].0[..30], payloads[u][..], "unit {u}");
+        }
     }
 
     fn headroom_params() -> CodecParams {

@@ -1,0 +1,970 @@
+//! Unlabeled-pool recovery: cluster → orient → demultiplex.
+//!
+//! Every decode path in the paper's methodology consumes *perfectly
+//! clustered* reads — each read pre-attributed to its source molecule
+//! (§6.1.2). Real retrieval starts one step earlier, with an anonymous
+//! soup of reads ([`AnonymousPool`]): shuffled, unlabeled, and roughly
+//! half reverse-complemented. [`RecoveryPipeline`] reconstructs the
+//! labeled structure the decoder needs:
+//!
+//! 1. **Orient** — each read is mapped to a canonical orientation:
+//!    primer-anchored scoring ([`dna_align::AnchorOrienter`]) when the
+//!    pipeline wraps strands in primers, lexicographic canonicalization
+//!    otherwise (final forward/reverse resolution then falls to step 3);
+//! 2. **Cluster** — a pluggable [`ReadClusterer`] groups putative copies
+//!    of one molecule: the exhaustive [`GreedyClusterer`] or the
+//!    index-anchor-binned [`AnchoredClusterer`] fast path;
+//! 3. **Demultiplex** — each cluster votes on the ordering index carried
+//!    at the front of every strand (majority over per-read decodes,
+//!    trying the reverse complement when the forward vote fails);
+//!    clusters voting for the same column are merged (they are fragments
+//!    of one molecule), invalid-vote clusters are orphaned.
+//!
+//! The outcome is the `Vec<Cluster>` shape the existing decode path has
+//! always consumed, plus a [`RecoveryReport`] scoring the reconstruction
+//! (cluster purity, completeness, misassigned/orphaned reads, and the
+//! per-column coverage histogram) that travels inside
+//! [`DecodeReport`](crate::DecodeReport).
+
+use crate::params::CodecParams;
+use crate::StorageError;
+use dna_align::{
+    canonical_orientation, edit_distance_bounded_with, AnchorOrienter, AnchoredClusterer,
+    GreedyClusterer, ReadClusterer,
+};
+use dna_channel::{AnonymousPool, Cluster};
+use dna_strand::{decode_index, Base, DnaString, Primer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Modal-group strength at which a lone divergent index decode inside a
+/// cluster is treated as decode noise and folded back into the modal
+/// group rather than assigned to its own column.
+const MODAL_FOLD_MIN: usize = 4;
+
+/// How the recovered clusters are scored and shaped — the measurable
+/// outcome of the cluster → orient → demux stage.
+///
+/// All tallies are integer counts so reports stay `Eq`-comparable and
+/// mergeable; the ratio views ([`RecoveryReport::purity`],
+/// [`RecoveryReport::completeness`]) are derived on demand. Truth-based
+/// scores (purity, completeness, misassignment) are only available when
+/// the pool carried hidden provenance (simulated pools); replayed traces
+/// score structurally (orphans, merges, coverage) only.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Reads in the anonymous pool.
+    pub total_reads: usize,
+    /// Reads whose delivered orientation was flipped back to forward
+    /// (read-level orientation decisions XOR cluster-level resolution).
+    pub flipped_reads: usize,
+    /// Clusters the clusterer produced (before demux merging).
+    pub clusters_found: usize,
+    /// Clusters that could not be assigned to any unit column (no valid
+    /// index vote, or below the minimum cluster size).
+    pub orphaned_clusters: usize,
+    /// Reads inside orphaned clusters (they take no part in decoding).
+    pub orphaned_reads: usize,
+    /// Distinct unit columns that received at least one cluster.
+    pub assigned_columns: usize,
+    /// Clusters merged into a column that another cluster had already
+    /// claimed — fragment repair (or, rarely, a genuine collision).
+    pub duplicate_index_merges: usize,
+    /// Truth-scored: reads placed in a column other than their true
+    /// source strand. Zero when no provenance was available.
+    pub misassigned_reads: usize,
+    /// Truth-scored purity numerator: per recovered cluster, the reads
+    /// of its modal true source, summed over assigned clusters.
+    pub purity_num: usize,
+    /// Purity denominator: reads across all assigned clusters.
+    pub purity_den: usize,
+    /// Truth-scored completeness numerator: per true source, the largest
+    /// number of its reads found together in one cluster.
+    pub completeness_num: usize,
+    /// Completeness denominator: all reads with known provenance.
+    pub completeness_den: usize,
+    /// Reads assigned per unit column (length = unit columns).
+    pub coverage_histogram: Vec<usize>,
+}
+
+impl RecoveryReport {
+    /// Weighted cluster purity ∈ [0, 1]: the fraction of assigned reads
+    /// agreeing with their cluster's modal source. `None` when the pool
+    /// carried no ground truth (or nothing was assigned).
+    pub fn purity(&self) -> Option<f64> {
+        (self.purity_den > 0).then(|| self.purity_num as f64 / self.purity_den as f64)
+    }
+
+    /// Completeness ∈ [0, 1]: averaged over source strands, the fraction
+    /// of each strand's reads that ended up together in its best single
+    /// cluster. `None` without ground truth.
+    pub fn completeness(&self) -> Option<f64> {
+        (self.completeness_den > 0)
+            .then(|| self.completeness_num as f64 / self.completeness_den as f64)
+    }
+
+    /// Reads that made it into assigned clusters.
+    pub fn assigned_reads(&self) -> usize {
+        self.total_reads - self.orphaned_reads
+    }
+
+    /// Folds `other` into `self`: counts are summed, histograms added
+    /// element-wise (they must cover the same columns — units of one
+    /// pipeline always do).
+    ///
+    /// # Panics
+    ///
+    /// Panics when both reports carry coverage histograms of different
+    /// lengths.
+    pub fn merge_from(&mut self, other: &RecoveryReport) {
+        self.total_reads += other.total_reads;
+        self.flipped_reads += other.flipped_reads;
+        self.clusters_found += other.clusters_found;
+        self.orphaned_clusters += other.orphaned_clusters;
+        self.orphaned_reads += other.orphaned_reads;
+        self.assigned_columns += other.assigned_columns;
+        self.duplicate_index_merges += other.duplicate_index_merges;
+        self.misassigned_reads += other.misassigned_reads;
+        self.purity_num += other.purity_num;
+        self.purity_den += other.purity_den;
+        self.completeness_num += other.completeness_num;
+        self.completeness_den += other.completeness_den;
+        if self.coverage_histogram.is_empty() {
+            self.coverage_histogram = other.coverage_histogram.clone();
+        } else if !other.coverage_histogram.is_empty() {
+            assert_eq!(
+                self.coverage_histogram.len(),
+                other.coverage_histogram.len(),
+                "coverage histogram length mismatch"
+            );
+            for (slot, &c) in self
+                .coverage_histogram
+                .iter_mut()
+                .zip(&other.coverage_histogram)
+            {
+                *slot += c;
+            }
+        }
+    }
+
+    /// A one-line human-readable summary for logs and the CLI.
+    pub fn summary(&self) -> String {
+        let score = |v: Option<f64>| v.map_or("n/a".to_string(), |p| format!("{p:.4}"));
+        format!(
+            "reads={} flipped={} clusters={} assigned_columns={} orphaned={} merges={} \
+             misassigned={} purity={} completeness={}",
+            self.total_reads,
+            self.flipped_reads,
+            self.clusters_found,
+            self.assigned_columns,
+            self.orphaned_reads,
+            self.duplicate_index_merges,
+            self.misassigned_reads,
+            score(self.purity()),
+            score(self.completeness()),
+        )
+    }
+}
+
+/// Which clustering algorithm the recovery stage runs.
+#[derive(Clone)]
+enum ClustererSpec {
+    /// Exhaustive greedy comparison against every representative.
+    Greedy { threshold: Option<usize> },
+    /// Index-anchor binning before the bounded comparison.
+    Anchored { threshold: Option<usize> },
+    /// A caller-provided algorithm.
+    Custom(Arc<dyn ReadClusterer + Send + Sync>),
+}
+
+/// The cluster → orient → demux stage preceding decode on unlabeled
+/// pools. Configure it on the builder
+/// ([`PipelineBuilder::recovery`](crate::PipelineBuilder::recovery)) or
+/// pass one explicitly to
+/// [`Pipeline::decode_pool_with`](crate::Pipeline::decode_pool_with).
+///
+/// # Examples
+///
+/// ```
+/// use dna_storage::{CodecParams, Pipeline, RecoveryPipeline};
+/// use dna_channel::{CoverageModel, ErrorModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pipeline = Pipeline::builder()
+///     .params(CodecParams::tiny()?.with_primer_len(12))
+///     .recovery(RecoveryPipeline::anchored(None))
+///     .build()?;
+/// // A varied payload: strands must differ for clustering to separate
+/// // them (constant fills make every molecule near-identical).
+/// let payload: Vec<u8> = (0..pipeline.payload_capacity())
+///     .map(|i| (i * 37 + 11) as u8)
+///     .collect();
+/// let unit = pipeline.encode_unit(&payload)?;
+/// let pool = pipeline
+///     .sequence(&unit, ErrorModel::uniform(0.01), CoverageModel::Fixed(8), 3)
+///     .anonymize(7);
+/// let (decoded, report) = pipeline.decode_pool(&pool)?;
+/// assert_eq!(decoded, payload);
+/// let recovery = report.recovery.expect("pool decodes carry recovery stats");
+/// assert_eq!(recovery.total_reads, pool.len());
+/// assert!(recovery.purity().expect("simulated pools are truth-scored") > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct RecoveryPipeline {
+    spec: ClustererSpec,
+    min_cluster_size: usize,
+    strict_duplicates: bool,
+}
+
+impl std::fmt::Debug for RecoveryPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryPipeline")
+            .field(
+                "clusterer",
+                &match &self.spec {
+                    ClustererSpec::Greedy { .. } => "greedy",
+                    ClustererSpec::Anchored { .. } => "anchored",
+                    ClustererSpec::Custom(c) => c.name(),
+                },
+            )
+            .field("min_cluster_size", &self.min_cluster_size)
+            .field("strict_duplicates", &self.strict_duplicates)
+            .finish()
+    }
+}
+
+impl Default for RecoveryPipeline {
+    /// Greedy clustering at the geometry-derived threshold.
+    fn default() -> RecoveryPipeline {
+        RecoveryPipeline::greedy(None)
+    }
+}
+
+impl RecoveryPipeline {
+    /// Greedy clustering; `threshold: None` derives the edit-distance
+    /// threshold from the geometry (a quarter of the payload region).
+    pub fn greedy(threshold: Option<usize>) -> RecoveryPipeline {
+        RecoveryPipeline {
+            spec: ClustererSpec::Greedy { threshold },
+            min_cluster_size: 1,
+            strict_duplicates: false,
+        }
+    }
+
+    /// Anchor-binned clustering (the fast path); `threshold: None`
+    /// derives the threshold from the geometry. The anchor window is
+    /// always geometry-derived: it starts past the left primer and
+    /// covers the index region plus a few payload bases.
+    pub fn anchored(threshold: Option<usize>) -> RecoveryPipeline {
+        RecoveryPipeline {
+            spec: ClustererSpec::Anchored { threshold },
+            min_cluster_size: 1,
+            strict_duplicates: false,
+        }
+    }
+
+    /// A caller-provided clustering algorithm.
+    pub fn with_clusterer(clusterer: Arc<dyn ReadClusterer + Send + Sync>) -> RecoveryPipeline {
+        RecoveryPipeline {
+            spec: ClustererSpec::Custom(clusterer),
+            min_cluster_size: 1,
+            strict_duplicates: false,
+        }
+    }
+
+    /// Clusters smaller than `size` are orphaned instead of voting (a
+    /// guard against singleton junk reads at high coverage).
+    pub fn min_cluster_size(mut self, size: usize) -> RecoveryPipeline {
+        self.min_cluster_size = size;
+        self
+    }
+
+    /// When on, a second cluster claiming an already-claimed column is a
+    /// typed error ([`StorageError::DuplicateClusterIndex`]) instead of a
+    /// fragment merge — for callers that treat collisions as corruption.
+    pub fn strict_duplicates(mut self, strict: bool) -> RecoveryPipeline {
+        self.strict_duplicates = strict;
+        self
+    }
+
+    /// The short name of the configured clusterer.
+    pub fn clusterer_name(&self) -> &str {
+        match &self.spec {
+            ClustererSpec::Greedy { .. } => "greedy",
+            ClustererSpec::Anchored { .. } => "anchored",
+            ClustererSpec::Custom(c) => c.name(),
+        }
+    }
+
+    /// The geometry-derived clustering threshold: a quarter of the
+    /// payload region (index + data bases, primers excluded — primers
+    /// are shared by every strand so they contribute nothing to
+    /// inter-strand separation), floored at 3.
+    fn derived_threshold(params: &CodecParams) -> usize {
+        let payload_region = params.strand_bases() - 2 * params.primer_len();
+        (payload_region / 4).max(3)
+    }
+
+    /// Runs cluster → orient → demux on `pool` for a unit with geometry
+    /// `params`, whose strands start with `left_primer` (when the
+    /// pipeline wraps strands in primers). Returns the labeled clusters
+    /// (`source` = recovered unit column, reads in canonical
+    /// orientation) ready for the trusted decode path, plus the
+    /// [`RecoveryReport`].
+    ///
+    /// # Errors
+    ///
+    /// - [`StorageError::EmptyPool`] when the pool has no reads;
+    /// - [`StorageError::AllReadsOrphaned`] when no cluster produced a
+    ///   valid index vote;
+    /// - [`StorageError::DuplicateClusterIndex`] when
+    ///   [`strict_duplicates`](RecoveryPipeline::strict_duplicates) is on
+    ///   and two clusters claimed the same column.
+    pub fn recover(
+        &self,
+        params: &CodecParams,
+        left_primer: Option<&Primer>,
+        pool: &AnonymousPool,
+    ) -> Result<(Vec<Cluster>, RecoveryReport), StorageError> {
+        if pool.is_empty() {
+            return Err(StorageError::EmptyPool);
+        }
+        let mut report = RecoveryReport {
+            total_reads: pool.len(),
+            coverage_histogram: vec![0; params.cols()],
+            ..RecoveryReport::default()
+        };
+
+        // 1. Orientation recovery: map every read to a canonical strand.
+        let mut oriented: Vec<DnaString> = Vec::with_capacity(pool.len());
+        let mut read_flips: Vec<bool> = Vec::with_capacity(pool.len());
+        match left_primer {
+            Some(primer) => {
+                let orienter = AnchorOrienter::new(primer.strand().clone());
+                let mut row = Vec::new();
+                for read in pool.reads() {
+                    let (o, canonical) = orienter.orient_with(read, &mut row);
+                    read_flips.push(o.is_flipped());
+                    oriented.push(canonical);
+                }
+            }
+            None => {
+                for read in pool.reads() {
+                    let (o, canonical) = canonical_orientation(read);
+                    read_flips.push(o.is_flipped());
+                    oriented.push(canonical);
+                }
+            }
+        }
+
+        // 2. Clustering over the co-oriented reads.
+        let threshold = match &self.spec {
+            ClustererSpec::Greedy { threshold } | ClustererSpec::Anchored { threshold } => {
+                threshold.unwrap_or_else(|| Self::derived_threshold(params))
+            }
+            ClustererSpec::Custom(_) => 0,
+        };
+        let clusters = match &self.spec {
+            ClustererSpec::Greedy { .. } => GreedyClusterer::new(threshold).cluster(&oriented),
+            ClustererSpec::Anchored { .. } => {
+                let anchor_len = usize::from(params.index_bits()) / 2 + 6;
+                AnchoredClusterer::new(threshold)
+                    .with_anchor(params.primer_len(), anchor_len)
+                    .cluster(&oriented)
+            }
+            ClustererSpec::Custom(c) => c.cluster(&oriented),
+        };
+        report.clusters_found = clusters.len();
+
+        // 3. Demultiplex. The ordering index just past the primer — not
+        // cluster identity — is what names a molecule, so demux is
+        // fundamentally *per read*: each read is routed to the column
+        // its decoded index names, and the cluster only pools evidence
+        // (reads whose index region was destroyed follow their cluster's
+        // modal group, and singleton disagreements inside a
+        // well-supported cluster are folded back as decode noise). This
+        // also keeps molecules apart that clustering cannot separate —
+        // strands with identical payloads differ only in their index.
+        //
+        // With a primer the per-read orientation is already trusted and
+        // the index offset is re-synchronized against the primer (an
+        // indel inside it shifts the whole strand; a fixed offset would
+        // then decode a random column). Without one, the canonical side
+        // of a cluster is lexicographic — possibly the reverse
+        // complement of the synthesized strand — so demux falls back to
+        // cluster-level votes with *two* candidate columns each (forward
+        // and reverse decode), resolved in two deterministic passes:
+        // unambiguous clusters first, then both-valid clusters
+        // preferring an unclaimed column (forward on a tie). Content
+        // that defeats even that merges forward — the fundamental
+        // ambiguity primers exist to remove.
+        let cols = params.cols();
+        let offset = params.primer_len();
+        let index_bits = params.index_bits();
+        // Per column: (members in merge order, flip-at-materialization).
+        let mut columns: Vec<Vec<(usize, bool)>> = vec![Vec::new(); cols];
+        let assign = |columns: &mut Vec<Vec<(usize, bool)>>,
+                      report: &mut RecoveryReport,
+                      members: &[usize],
+                      column: usize,
+                      flip: bool|
+         -> Result<(), StorageError> {
+            if !columns[column].is_empty() {
+                if self.strict_duplicates {
+                    return Err(StorageError::DuplicateClusterIndex { index: column });
+                }
+                report.duplicate_index_merges += 1;
+            }
+            columns[column].extend(members.iter().map(|&r| (r, flip)));
+            Ok(())
+        };
+        match left_primer {
+            Some(primer) => {
+                let mut sync_row: Vec<usize> = Vec::new();
+                for members in &clusters.clusters {
+                    if members.len() < self.min_cluster_size {
+                        report.orphaned_clusters += 1;
+                        report.orphaned_reads += members.len();
+                        continue;
+                    }
+                    // Group the cluster's reads by their decoded index
+                    // (BTreeMap: deterministic ascending-column order).
+                    // Each read belongs to exactly one cluster, so
+                    // decoding here — after the size filter — pays the
+                    // synced decode only for reads of surviving
+                    // clusters.
+                    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                    let mut unreadable: Vec<usize> = Vec::new();
+                    for &r in members {
+                        let idx = synced_forward_index(
+                            &oriented[r],
+                            primer.strand().as_slice(),
+                            offset,
+                            index_bits,
+                            &mut sync_row,
+                        )
+                        .map(|idx| idx as usize)
+                        .filter(|&idx| idx < cols);
+                        match idx {
+                            Some(idx) => groups.entry(idx).or_default().push(r),
+                            None => unreadable.push(r),
+                        }
+                    }
+                    if groups.is_empty() {
+                        report.orphaned_clusters += 1;
+                        report.orphaned_reads += members.len();
+                        continue;
+                    }
+                    // Modal group: the largest, ties toward the smaller
+                    // column. Unreadable reads follow it; so does a
+                    // singleton disagreement when the modal group is
+                    // strong (a lone divergent decode inside a
+                    // well-supported cluster is noise, while same-sized
+                    // groups are genuinely different molecules
+                    // clustering could not separate).
+                    let modal = groups
+                        .iter()
+                        .map(|(&idx, group)| (group.len(), std::cmp::Reverse(idx)))
+                        .max()
+                        .map(|(_, std::cmp::Reverse(idx))| idx)
+                        .expect("groups is non-empty");
+                    let modal_len = groups[&modal].len();
+                    let fold = |idx: usize, len: usize| {
+                        idx != modal && len == 1 && modal_len >= MODAL_FOLD_MIN
+                    };
+                    let mut modal_members: Vec<usize> = Vec::new();
+                    for (&idx, group) in &groups {
+                        if idx == modal || fold(idx, group.len()) {
+                            modal_members.extend_from_slice(group);
+                        }
+                    }
+                    modal_members.extend_from_slice(&unreadable);
+                    assign(&mut columns, &mut report, &modal_members, modal, false)?;
+                    for (&idx, group) in &groups {
+                        if idx != modal && !fold(idx, group.len()) {
+                            assign(&mut columns, &mut report, group, idx, false)?;
+                        }
+                    }
+                }
+            }
+            None => {
+                let mut votes = vec![0usize; cols];
+                let mut touched: Vec<usize> = Vec::new();
+                // Per cluster: its members and the two candidate columns.
+                let mut candidates: Vec<(&Vec<usize>, Option<usize>, Option<usize>)> = Vec::new();
+                for members in &clusters.clusters {
+                    if members.len() < self.min_cluster_size {
+                        report.orphaned_clusters += 1;
+                        report.orphaned_reads += members.len();
+                        continue;
+                    }
+                    let forward = tally_votes(
+                        members.iter().map(|&r| &oriented[r]),
+                        offset,
+                        index_bits,
+                        cols,
+                        &mut votes,
+                        &mut touched,
+                    );
+                    let reverse = tally_votes_rc(
+                        members.iter().map(|&r| &oriented[r]),
+                        offset,
+                        index_bits,
+                        cols,
+                        &mut votes,
+                        &mut touched,
+                    );
+                    candidates.push((members, forward, reverse));
+                }
+                // Pass 1: clusters with exactly one valid candidate.
+                for (members, forward, reverse) in &candidates {
+                    match (forward, reverse) {
+                        (Some(column), None) => {
+                            assign(&mut columns, &mut report, members, *column, false)?
+                        }
+                        (None, Some(column)) => {
+                            assign(&mut columns, &mut report, members, *column, true)?
+                        }
+                        _ => {}
+                    }
+                }
+                // Pass 2: both-valid clusters prefer an unclaimed column.
+                for (members, forward, reverse) in &candidates {
+                    match (forward, reverse) {
+                        (Some(fwd), Some(rc)) => {
+                            let (column, flip) =
+                                if columns[*fwd].is_empty() || !columns[*rc].is_empty() {
+                                    (*fwd, false)
+                                } else {
+                                    (*rc, true)
+                                };
+                            assign(&mut columns, &mut report, members, column, flip)?;
+                        }
+                        (None, None) => {
+                            report.orphaned_clusters += 1;
+                            report.orphaned_reads += members.len();
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if columns.iter().all(Vec::is_empty) {
+            return Err(StorageError::AllReadsOrphaned {
+                reads: pool.len(),
+                clusters: clusters.len(),
+            });
+        }
+
+        // 4. Materialize the labeled clusters and score the outcome.
+        let truth = pool.provenance();
+        report.completeness_den = truth.map_or(0, <[_]>::len);
+        // Per true source: total reads and the best single cluster. The
+        // "best cluster" scan reuses the clusterer output (pre-merge),
+        // which is the granularity completeness is defined on.
+        if let Some(truth) = truth {
+            let n_sources = truth.iter().map(|o| o.source + 1).max().unwrap_or(0);
+            let mut best = vec![0usize; n_sources];
+            let mut per_source = vec![0usize; n_sources];
+            for members in &clusters.clusters {
+                per_source.iter_mut().for_each(|c| *c = 0);
+                for &r in members {
+                    per_source[truth[r].source] += 1;
+                }
+                for (s, &c) in per_source.iter().enumerate() {
+                    best[s] = best[s].max(c);
+                }
+                // Purity counts only clusters that survived to a column;
+                // recompute membership below instead of here.
+            }
+            report.completeness_num = best.iter().sum();
+        }
+        let mut recovered = Vec::new();
+        let mut modal =
+            vec![0usize; truth.map_or(0, |t| t.iter().map(|o| o.source + 1).max().unwrap_or(0))];
+        for (column, members) in columns.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            report.assigned_columns += 1;
+            report.coverage_histogram[column] = members.len();
+            let mut reads = Vec::with_capacity(members.len());
+            for &(r, cluster_flip) in members {
+                // Final delivered orientation differs from arrival when
+                // exactly one of the two flips applies.
+                if read_flips[r] != cluster_flip {
+                    report.flipped_reads += 1;
+                }
+                reads.push(if cluster_flip {
+                    oriented[r].reverse_complement()
+                } else {
+                    oriented[r].clone()
+                });
+            }
+            if let Some(truth) = truth {
+                report.purity_den += members.len();
+                modal.iter_mut().for_each(|c| *c = 0);
+                for &(r, _) in members {
+                    let source = truth[r].source;
+                    modal[source] += 1;
+                    if source != column {
+                        report.misassigned_reads += 1;
+                    }
+                }
+                report.purity_num += modal.iter().max().copied().unwrap_or(0);
+            }
+            recovered.push(Cluster {
+                source: column,
+                reads,
+            });
+        }
+        Ok((recovered, report))
+    }
+}
+
+/// Majority vote over per-read forward index decodes; `None` when no
+/// read yielded a valid in-range index. Ties break toward the smaller
+/// index (deterministic). `votes` is a caller-owned scratch of `cols`
+/// zeros; `touched` tracks the dirtied entries for cheap reset.
+fn tally_votes<'a>(
+    reads: impl Iterator<Item = &'a DnaString>,
+    offset: usize,
+    index_bits: u8,
+    cols: usize,
+    votes: &mut [usize],
+    touched: &mut Vec<usize>,
+) -> Option<usize> {
+    tally(
+        reads.filter_map(|r| forward_index(r, offset, index_bits)),
+        cols,
+        votes,
+        touched,
+    )
+}
+
+/// [`tally_votes`] over the reverse complement of each read, computed in
+/// place (no flipped copies are allocated just to vote).
+fn tally_votes_rc<'a>(
+    reads: impl Iterator<Item = &'a DnaString>,
+    offset: usize,
+    index_bits: u8,
+    cols: usize,
+    votes: &mut [usize],
+    touched: &mut Vec<usize>,
+) -> Option<usize> {
+    tally(
+        reads.filter_map(|r| reverse_index(r, offset, index_bits)),
+        cols,
+        votes,
+        touched,
+    )
+}
+
+fn tally(
+    indexes: impl Iterator<Item = u32>,
+    cols: usize,
+    votes: &mut [usize],
+    touched: &mut Vec<usize>,
+) -> Option<usize> {
+    touched.clear();
+    for idx in indexes {
+        let idx = idx as usize;
+        if idx < cols {
+            if votes[idx] == 0 {
+                touched.push(idx);
+            }
+            votes[idx] += 1;
+        }
+    }
+    let mut winner: Option<(usize, usize)> = None;
+    touched.sort_unstable();
+    for &idx in touched.iter() {
+        let count = votes[idx];
+        votes[idx] = 0;
+        match winner {
+            Some((_, best)) if count <= best => {}
+            _ => winner = Some((idx, count)),
+        }
+    }
+    winner.map(|(idx, _)| idx)
+}
+
+/// [`forward_index`] with the offset re-synchronized against the known
+/// primer: the index starts wherever the primer *actually* ends in this
+/// read, which an indel inside the primer region shifts by a base or
+/// two. The candidate shifts are scored by the edit distance between the
+/// primer and the read prefix of that length; ties keep the earlier
+/// candidate (the unshifted offset first), so a clean read decodes at
+/// exactly the nominal offset.
+fn synced_forward_index(
+    read: &DnaString,
+    primer: &[Base],
+    offset: usize,
+    index_bits: u8,
+    row: &mut Vec<usize>,
+) -> Option<u32> {
+    let mut best = (usize::MAX, offset);
+    for delta in [0isize, -1, 1, -2, 2] {
+        let Some(end) = offset.checked_add_signed(delta) else {
+            continue;
+        };
+        if end > read.len() {
+            continue;
+        }
+        let d =
+            edit_distance_bounded_with(primer, &read.as_slice()[..end], primer.len().max(1), row)
+                .unwrap_or(primer.len());
+        if d < best.0 {
+            best = (d, end);
+        }
+    }
+    forward_index(read, best.1, index_bits)
+}
+
+/// The index decoded from the read as delivered, or `None` for reads too
+/// short to carry one.
+fn forward_index(read: &DnaString, offset: usize, index_bits: u8) -> Option<u32> {
+    let ib = usize::from(index_bits) / 2;
+    let bases = read.as_slice();
+    if bases.len() < offset + ib {
+        return None;
+    }
+    decode_index(&bases[offset..offset + ib], index_bits).ok()
+}
+
+/// The index the read would carry if it were the reverse complement of a
+/// strand — the index window is complemented in place (no full flipped
+/// copy) and decoded by the same [`decode_index`] as the forward path,
+/// so the two decoders cannot diverge.
+fn reverse_index(read: &DnaString, offset: usize, index_bits: u8) -> Option<u32> {
+    let ib = usize::from(index_bits) / 2;
+    let bases = read.as_slice();
+    if bases.len() < offset + ib || ib > 16 {
+        return None;
+    }
+    let mut window = [Base::A; 16];
+    for (j, slot) in window[..ib].iter_mut().enumerate() {
+        *slot = bases[bases.len() - 1 - offset - j].complement();
+    }
+    decode_index(&window[..ib], index_bits).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_strand::encode_index;
+
+    fn params() -> CodecParams {
+        CodecParams::tiny().unwrap()
+    }
+
+    /// A synthetic "strand": index + patterned payload, no primers.
+    fn strand(idx: u32, fill: &str) -> DnaString {
+        let mut s = encode_index(idx, 4).unwrap();
+        s.extend(fill.parse::<DnaString>().unwrap().iter().copied());
+        s
+    }
+
+    #[test]
+    fn forward_and_reverse_index_agree_with_materialized_flips() {
+        for idx in [0u32, 3, 9, 14] {
+            let s = strand(idx, "ACGTACGTACGT");
+            assert_eq!(forward_index(&s, 0, 4), Some(idx));
+            assert_eq!(reverse_index(&s.reverse_complement(), 0, 4), Some(idx));
+            let offset = 3;
+            let mut padded: DnaString = "GGG".parse().unwrap();
+            padded.extend(s.iter().copied());
+            assert_eq!(forward_index(&padded, offset, 4), Some(idx));
+            assert_eq!(
+                reverse_index(&padded.reverse_complement(), offset, 4),
+                Some(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn short_reads_do_not_vote() {
+        let s: DnaString = "A".parse().unwrap();
+        assert_eq!(forward_index(&s, 0, 4), None);
+        assert_eq!(reverse_index(&s, 0, 4), None);
+    }
+
+    #[test]
+    fn tally_breaks_ties_toward_the_smaller_index() {
+        let mut votes = vec![0usize; 8];
+        let mut touched = Vec::new();
+        let winner = tally([5u32, 2, 5, 2].into_iter(), 8, &mut votes, &mut touched);
+        assert_eq!(winner, Some(2));
+        // Scratch is clean again.
+        assert!(votes.iter().all(|&v| v == 0));
+        assert_eq!(tally(std::iter::empty(), 8, &mut votes, &mut touched), None);
+        // Out-of-range indexes are ignored entirely.
+        assert_eq!(
+            tally([20u32].into_iter(), 8, &mut votes, &mut touched),
+            None
+        );
+    }
+
+    #[test]
+    fn recovery_on_a_clean_primered_pool_assigns_every_column() {
+        // Four primer-wrapped strands, three identical reads each, mixed
+        // orientations and shuffled order — the well-supported retrieval
+        // shape (primers give the orienter its anchor).
+        let left: Primer = Primer::from_strand("ACGGTCAACGTT".parse().unwrap());
+        let right: Primer = Primer::from_strand("TGCCAGGTTCAA".parse().unwrap());
+        let fills = [
+            "AAAACCCCGGGG",
+            "TTTTGGGGAAAA",
+            "CCGGTTAAGCTA",
+            "GATCGATCGATC",
+        ];
+        let mut clusters = Vec::new();
+        for (i, fill) in fills.iter().enumerate() {
+            let mut s = left.strand().clone();
+            s.extend(strand(i as u32, fill).iter().copied());
+            s.extend(right.strand().iter().copied());
+            clusters.push(Cluster {
+                source: i,
+                reads: vec![s; 3],
+            });
+        }
+        let pool = AnonymousPool::from_clusters(&clusters, 11);
+        let p = CodecParams::tiny().unwrap().with_primer_len(12);
+        let (recovered, report) = RecoveryPipeline::default()
+            .recover(&p, Some(&left), &pool)
+            .unwrap();
+        assert_eq!(recovered.len(), 4);
+        for c in &recovered {
+            assert_eq!(c.reads.len(), 3, "column {}", c.source);
+        }
+        assert_eq!(report.total_reads, 12);
+        assert_eq!(report.orphaned_reads, 0);
+        assert_eq!(report.misassigned_reads, 0);
+        assert_eq!(report.purity(), Some(1.0));
+        assert_eq!(report.completeness(), Some(1.0));
+        assert_eq!(report.coverage_histogram.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn primerless_recovery_resolves_canonical_sides_by_column_claims() {
+        // Without primers the canonical side of a cluster is
+        // lexicographic; the two-pass demux still lands every cluster on
+        // its true column here because each strand's bogus-side decode
+        // either is invalid or loses to a pass-1 claim.
+        let fills = [
+            "AAAACCCCGGGG",
+            "TTTTGGGGAAAA",
+            "CCGGTTAAGCTA",
+            "GATCGATCGATC",
+        ];
+        let mut clusters = Vec::new();
+        for (i, fill) in fills.iter().enumerate() {
+            clusters.push(Cluster {
+                source: i,
+                reads: vec![strand(i as u32, fill); 3],
+            });
+        }
+        let pool = AnonymousPool::from_clusters(&clusters, 11);
+        let (recovered, report) = RecoveryPipeline::greedy(Some(2))
+            .recover(&params(), None, &pool)
+            .unwrap();
+        assert_eq!(recovered.len(), 4);
+        let columns: Vec<usize> = recovered.iter().map(|c| c.source).collect();
+        assert_eq!(columns, vec![0, 1, 2, 3]);
+        assert_eq!(report.misassigned_reads, 0);
+        assert_eq!(report.purity(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_pools_are_a_typed_error() {
+        let err = RecoveryPipeline::default()
+            .recover(&params(), None, &AnonymousPool::default())
+            .unwrap_err();
+        assert!(matches!(err, StorageError::EmptyPool), "{err}");
+    }
+
+    #[test]
+    fn min_cluster_size_orphans_everything_to_a_typed_error() {
+        let clusters = vec![Cluster {
+            source: 0,
+            reads: vec![strand(0, "ACGTACGTACGT"); 2],
+        }];
+        let pool = AnonymousPool::from_clusters(&clusters, 1);
+        let err = RecoveryPipeline::default()
+            .min_cluster_size(10)
+            .recover(&params(), None, &pool)
+            .unwrap_err();
+        assert!(
+            matches!(err, StorageError::AllReadsOrphaned { reads: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn strict_duplicates_turn_collisions_into_typed_errors() {
+        // Two far-apart primer-wrapped clusters carrying the same index:
+        // lenient mode merges them; strict mode errors.
+        let left: Primer = Primer::from_strand("ACGGTCAACGTT".parse().unwrap());
+        let wrap = |fill: &str| {
+            let mut s = left.strand().clone();
+            s.extend(strand(2, fill).iter().copied());
+            s
+        };
+        let clusters = vec![
+            Cluster {
+                source: 0,
+                reads: vec![wrap("AAAAAAAAAAAA"); 2],
+            },
+            Cluster {
+                source: 1,
+                reads: vec![wrap("GGGGGGGGGGGG"); 2],
+            },
+        ];
+        let pool = AnonymousPool::from_clusters(&clusters, 5);
+        let p = CodecParams::tiny().unwrap().with_primer_len(12);
+        let lenient = RecoveryPipeline::greedy(Some(2));
+        let (recovered, report) = lenient.recover(&p, Some(&left), &pool).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].source, 2);
+        assert_eq!(report.duplicate_index_merges, 1);
+
+        let err = RecoveryPipeline::greedy(Some(2))
+            .strict_duplicates(true)
+            .recover(&p, Some(&left), &pool)
+            .unwrap_err();
+        assert!(
+            matches!(err, StorageError::DuplicateClusterIndex { index: 2 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reports_merge_counts_and_histograms() {
+        let mut a = RecoveryReport {
+            total_reads: 10,
+            purity_num: 9,
+            purity_den: 10,
+            coverage_histogram: vec![2, 3],
+            ..RecoveryReport::default()
+        };
+        let b = RecoveryReport {
+            total_reads: 6,
+            orphaned_reads: 1,
+            purity_num: 5,
+            purity_den: 5,
+            coverage_histogram: vec![1, 0],
+            ..RecoveryReport::default()
+        };
+        a.merge_from(&b);
+        assert_eq!(a.total_reads, 16);
+        assert_eq!(a.assigned_reads(), 15);
+        assert_eq!(a.purity(), Some(14.0 / 15.0));
+        assert_eq!(a.coverage_histogram, vec![3, 3]);
+        assert!(a.summary().contains("reads=16"));
+        // No-truth reports stay unscored.
+        assert_eq!(RecoveryReport::default().purity(), None);
+        assert_eq!(RecoveryReport::default().completeness(), None);
+    }
+}

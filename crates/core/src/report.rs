@@ -1,6 +1,7 @@
 //! Decode reports: what the error-correction layer saw and fixed.
 
 use crate::plan::ProtectionPlan;
+use crate::recovery::RecoveryReport;
 
 /// Per-codeword decode outcome (regenerates the paper's Fig. 11).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -59,6 +60,11 @@ pub struct DecodeReport {
     /// Per-row declared-erasure histogram: `row_erasures[r]` counts the
     /// erased codeword cells that sat in matrix row `r`.
     pub row_erasures: Vec<usize>,
+    /// The cluster → orient → demux outcome, present when the unit was
+    /// decoded from an unlabeled pool
+    /// ([`Pipeline::decode_pool`](crate::Pipeline::decode_pool)) instead
+    /// of pre-attributed clusters.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl DecodeReport {
@@ -114,6 +120,12 @@ impl DecodeReport {
                 for (slot, &c) in ours.iter_mut().zip(theirs) {
                     *slot += c;
                 }
+            }
+        }
+        if let Some(theirs) = &other.recovery {
+            match &mut self.recovery {
+                Some(ours) => ours.merge_from(theirs),
+                None => self.recovery = Some(theirs.clone()),
             }
         }
     }
@@ -225,6 +237,32 @@ mod tests {
         assert_eq!(a.invalid_indexes, 3);
         assert_eq!(a.row_errors, vec![1, 5, 3]);
         assert_eq!(a.row_erasures, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn merge_folds_recovery_reports() {
+        let recovery = |reads: usize| RecoveryReport {
+            total_reads: reads,
+            orphaned_reads: 1,
+            coverage_histogram: vec![reads, 0],
+            ..RecoveryReport::default()
+        };
+        // None + Some adopts; Some + Some folds.
+        let mut a = DecodeReport::default();
+        let b = DecodeReport {
+            recovery: Some(recovery(10)),
+            ..DecodeReport::default()
+        };
+        a.merge_from(&b);
+        assert_eq!(a.recovery.as_ref().unwrap().total_reads, 10);
+        a.merge_from(&DecodeReport {
+            recovery: Some(recovery(5)),
+            ..DecodeReport::default()
+        });
+        let merged = a.recovery.unwrap();
+        assert_eq!(merged.total_reads, 15);
+        assert_eq!(merged.orphaned_reads, 2);
+        assert_eq!(merged.coverage_histogram, vec![15, 0]);
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct Scenario {
     /// Base RNG seed; trial `t` derives its own stream via
     /// [`Scenario::trial_seed`].
     pub seed: u64,
+    /// Run retrieval from *unlabeled* pools: reads are anonymized
+    /// (labels dropped, orientation randomized, order shuffled — see
+    /// [`dna_channel::AnonymousPool`]) and must be recovered by
+    /// clustering + demultiplexing before decode, instead of the paper's
+    /// perfect-clustering methodology.
+    pub unlabeled: bool,
 }
 
 impl Scenario {
@@ -69,6 +75,7 @@ impl Scenario {
             gamma: true,
             trials: 5,
             seed: 1,
+            unlabeled: false,
         }
     }
 
@@ -120,6 +127,25 @@ impl Scenario {
     pub fn gamma_coverage(mut self) -> Scenario {
         self.gamma = true;
         self
+    }
+
+    /// Switches retrieval to unlabeled pools (anonymize → recover →
+    /// decode) instead of the paper's perfect clustering. Consumed by
+    /// the experiment harnesses ([`min_coverage`](crate::min_coverage),
+    /// [`quality_sweep`](crate::quality_sweep)) and the CLI's
+    /// `simulate --unlabeled`; custom loops read the flag and drive
+    /// [`Pipeline::decode_pool`](crate::Pipeline::decode_pool) with
+    /// seeds from [`Scenario::anonymize_seed`].
+    pub fn unlabeled(mut self) -> Scenario {
+        self.unlabeled = true;
+        self
+    }
+
+    /// The anonymization seed of trial `t`: derived from (but distinct
+    /// from) the trial's channel seed, so shuffling/orientation draws
+    /// never overlap the noise draws.
+    pub fn anonymize_seed(&self, t: usize) -> u64 {
+        self.trial_seed(t) ^ 0xA11F_1E1D_5EED_5EED
     }
 
     /// The largest coverage in the sweep — even when below 1.0 — or 1.0
@@ -246,6 +272,18 @@ mod tests {
                 shape: GAMMA_SHAPE
             }
         );
+    }
+
+    #[test]
+    fn unlabeled_mode_is_off_by_default_and_derives_its_own_seeds() {
+        let s = Scenario::new(ErrorModel::uniform(0.05));
+        assert!(!s.unlabeled);
+        let s = s.unlabeled();
+        assert!(s.unlabeled);
+        for t in 0..4 {
+            assert_ne!(s.anonymize_seed(t), s.trial_seed(t), "trial {t}");
+        }
+        assert_ne!(s.anonymize_seed(0), s.anonymize_seed(1));
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! knobs, degenerate scenarios — must surface as a descriptive error,
 //! never a panic.
 
-use dna_channel::{ChannelError, ChannelModel, ErrorModel, PositionProfile};
+use dna_channel::{
+    AnonymousPool, ChannelError, ChannelModel, CoverageModel, ErrorModel, PositionProfile,
+};
 use dna_storage::{
     min_coverage, CodecParams, GiniLayout, Layout, Pipeline, ProtectionPlan, ProtectionPlanner,
-    Scenario, SkewProfile, StorageError, UnitLayout,
+    RecoveryPipeline, Scenario, SkewProfile, StorageError, UnitLayout,
 };
 
 fn tiny() -> CodecParams {
@@ -207,6 +209,73 @@ fn degenerate_scenarios_stay_vacuous_in_the_harnesses() {
         min_coverage(&pipeline, &payload, &no_coverages).unwrap(),
         None
     );
+}
+
+/// A primer-wrapped tiny pipeline and one sequenced unit for the
+/// recovery error paths.
+fn recovery_fixture() -> (Pipeline, dna_channel::ReadPool) {
+    let pipeline = Pipeline::new(tiny().with_primer_len(15), Layout::Baseline).unwrap();
+    let payload: Vec<u8> = (0..30u8).map(|i| i.wrapping_mul(13)).collect();
+    let unit = pipeline.encode_unit(&payload).unwrap();
+    let pool = pipeline.sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), 6);
+    (pipeline, pool)
+}
+
+#[test]
+fn empty_anonymous_pool_is_a_typed_error() {
+    let (pipeline, _) = recovery_fixture();
+    for empty in [
+        AnonymousPool::from_reads(Vec::new()),
+        dna_channel::ReadPool::empty(15).anonymize(1),
+    ] {
+        let err = pipeline.decode_pool(&empty).unwrap_err();
+        assert!(matches!(err, StorageError::EmptyPool), "{err}");
+        assert!(err.to_string().contains("nothing to recover"), "{err}");
+    }
+}
+
+#[test]
+fn every_read_orphaned_by_the_size_threshold_is_a_typed_error() {
+    let (pipeline, pool) = recovery_fixture();
+    // Coverage 3 per cluster; a minimum size of 50 orphans everything.
+    let recovery = RecoveryPipeline::greedy(None).min_cluster_size(50);
+    let err = pipeline
+        .decode_pool_with(&pool.anonymize(9), &recovery)
+        .unwrap_err();
+    assert!(
+        matches!(err, StorageError::AllReadsOrphaned { reads: 45, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("orphaned all 45 reads"), "{err}");
+}
+
+#[test]
+fn duplicate_cluster_index_collisions_are_typed_errors_in_strict_mode() {
+    let (pipeline, pool) = recovery_fixture();
+    // A zero clustering threshold splits each cluster's reads whenever
+    // anything differs; duplicating one molecule's reads under a shifted
+    // seed guarantees two distinct clusters voting for the same column.
+    let mut doubled: Vec<dna_strand::DnaString> = pool.anonymize(3).reads().to_vec();
+    doubled.extend(pool.clusters()[0].reads.iter().cloned());
+    doubled.extend(pool.clusters()[0].reads.iter().map(|r| {
+        let mut bases = r.as_slice().to_vec();
+        bases[20] = bases[20].complement(); // payload-region edit
+        dna_strand::DnaString::from_bases(bases)
+    }));
+    let anon = AnonymousPool::from_reads(doubled);
+    let strict = RecoveryPipeline::greedy(Some(0)).strict_duplicates(true);
+    let err = pipeline.decode_pool_with(&anon, &strict).unwrap_err();
+    assert!(
+        matches!(err, StorageError::DuplicateClusterIndex { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("strict duplicate"), "{err}");
+
+    // The default (lenient) stage merges the fragments and decodes.
+    let lenient = RecoveryPipeline::greedy(Some(0));
+    let (decoded, report) = pipeline.decode_pool_with(&anon, &lenient).unwrap();
+    assert_eq!(decoded.len(), pipeline.payload_capacity());
+    assert!(report.recovery.unwrap().duplicate_index_merges > 0);
 }
 
 #[test]

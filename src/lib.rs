@@ -102,9 +102,10 @@ pub use dna_strand as strand;
 
 /// The most commonly used types, for one-line imports.
 pub mod prelude {
+    pub use dna_align::{AnchoredClusterer, GreedyClusterer, ReadClusterer};
     pub use dna_channel::{
-        BurstModel, ChannelModel, Cluster, CoverageModel, ErrorModel, IdsChannel, PcrBias,
-        PositionProfile, ReadPool, SequencingBackend, SimulatedSequencer, TraceReplay,
+        AnonymousPool, BurstModel, ChannelModel, Cluster, CoverageModel, ErrorModel, IdsChannel,
+        PcrBias, PositionProfile, ReadPool, SequencingBackend, SimulatedSequencer, TraceReplay,
     };
     pub use dna_consensus::{
         BmaOneWay, BmaTwoWay, ConstrainedMedian, IterativeReconstructor, TraceReconstructor,
@@ -113,8 +114,8 @@ pub mod prelude {
     pub use dna_storage::{
         min_coverage, min_coverage_with, quality_sweep, Archive, ArchiveCodec, BaselineLayout,
         CodecParams, DecodeReport, FileEntry, GiniLayout, Layout, Pipeline, PipelineBuilder,
-        PriorityLayout, ProtectionPlan, ProtectionPlanner, RankingPolicy, RetrieveOptions,
-        Scenario, SkewProfile, UnitLayout,
+        PriorityLayout, ProtectionPlan, ProtectionPlanner, RankingPolicy, RecoveryPipeline,
+        RecoveryReport, RetrieveOptions, Scenario, SkewProfile, UnitLayout,
     };
     pub use dna_strand::{Base, DnaString};
 }

@@ -1,0 +1,169 @@
+//! Property tests for the unlabeled-pool recovery stage: the
+//! anonymize → recover → decode path must round-trip byte-identically to
+//! the labeled path at zero noise for *any* seed, stay invariant under
+//! read-order shuffling and whole-pool reverse complementation, and keep
+//! its scores inside [0, 1] under arbitrary noise.
+
+use dna_skew::prelude::*;
+use dna_skew::storage::StorageError;
+use proptest::prelude::*;
+
+/// The primer-wrapped tiny pipeline recovery is specified against:
+/// primers give the orientation stage its anchor, exactly as in real
+/// retrieval systems.
+fn pipeline(recovery: RecoveryPipeline) -> Pipeline {
+    Pipeline::builder()
+        .params(
+            CodecParams::tiny()
+                .expect("tiny params")
+                .with_primer_len(15),
+        )
+        .recovery(recovery)
+        .build()
+        .expect("tiny pipeline")
+}
+
+fn payload_from_seed(seed: u64, len: usize) -> Vec<u8> {
+    // A cheap splitmix-style byte stream: payload content varies freely
+    // with the seed, which is what makes the round-trip property bite
+    // (constant payloads would make every strand near-identical).
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn recoveries() -> impl Strategy<Value = RecoveryPipeline> {
+    (0usize..2).prop_map(|pick| {
+        if pick == 0 {
+            RecoveryPipeline::greedy(None)
+        } else {
+            RecoveryPipeline::anchored(None)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property: at zero noise, decoding an anonymized
+    /// pool (any anonymization seed, either clusterer) is byte-identical
+    /// to decoding the labeled pool.
+    #[test]
+    fn zero_noise_anonymized_decode_is_byte_identical_to_labeled(
+        seed in any::<u64>(),
+        anon_seed in any::<u64>(),
+        coverage in 1usize..6,
+        recovery in recoveries(),
+    ) {
+        let pipeline = pipeline(recovery);
+        let payload = payload_from_seed(seed, pipeline.payload_capacity());
+        let unit = pipeline.encode_unit(&payload).expect("encode");
+        let pool = pipeline.sequence(
+            &unit,
+            ErrorModel::noiseless(),
+            CoverageModel::Fixed(coverage),
+            seed,
+        );
+        let (labeled, _) = pipeline.decode_unit(pool.clusters()).expect("labeled decode");
+        let (recovered, report) = pipeline
+            .decode_pool(&pool.anonymize(anon_seed))
+            .expect("recovered decode");
+        prop_assert_eq!(&labeled, &recovered);
+        prop_assert_eq!(&recovered, &payload);
+        let recovery = report.recovery.expect("pool decode carries recovery stats");
+        prop_assert_eq!(recovery.misassigned_reads, 0);
+        prop_assert_eq!(recovery.purity(), Some(1.0));
+    }
+
+    /// Recovery is insensitive to the order reads arrive in: reshuffling
+    /// an anonymous pool never changes the decoded bytes at zero noise.
+    #[test]
+    fn recovered_decode_is_invariant_under_read_order_shuffles(
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        recovery in recoveries(),
+    ) {
+        let pipeline = pipeline(recovery);
+        let payload = payload_from_seed(seed ^ 0xFACE, pipeline.payload_capacity());
+        let unit = pipeline.encode_unit(&payload).expect("encode");
+        let pool = pipeline
+            .sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), seed)
+            .anonymize(seed);
+        let (a, _) = pipeline.decode_pool(&pool).expect("decode");
+        let (b, _) = pipeline
+            .decode_pool(&pool.reshuffled(shuffle_seed))
+            .expect("decode shuffled");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Orientation recovery is an involution: reverse-complementing
+    /// every read of the pool changes nothing about the decoded bytes.
+    #[test]
+    fn orientation_recovery_is_an_involution_on_reverse_complemented_pools(
+        seed in any::<u64>(),
+        recovery in recoveries(),
+    ) {
+        let pipeline = pipeline(recovery);
+        let payload = payload_from_seed(seed ^ 0xBEEF, pipeline.payload_capacity());
+        let unit = pipeline.encode_unit(&payload).expect("encode");
+        let anon = pipeline
+            .sequence(&unit, ErrorModel::noiseless(), CoverageModel::Fixed(3), seed)
+            .anonymize(seed ^ 1);
+        let flipped = AnonymousPool::from_reads(
+            anon.reads().iter().map(|r| r.reverse_complement()),
+        );
+        let (a, _) = pipeline.decode_pool(&anon).expect("decode");
+        let (b, _) = pipeline.decode_pool(&flipped).expect("decode flipped");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &payload);
+    }
+
+    /// Under arbitrary noise the recovery scores stay inside [0, 1] and
+    /// the structural tallies stay consistent with each other.
+    #[test]
+    fn recovery_scores_are_bounded_and_consistent(
+        seed in any::<u64>(),
+        noise in 0.0..0.12f64,
+        coverage in 1usize..8,
+        recovery in recoveries(),
+    ) {
+        let pipeline = pipeline(recovery);
+        let payload = payload_from_seed(seed ^ 0x5EED, pipeline.payload_capacity());
+        let unit = pipeline.encode_unit(&payload).expect("encode");
+        let anon = pipeline
+            .sequence(
+                &unit,
+                ErrorModel::uniform(noise),
+                CoverageModel::Fixed(coverage),
+                seed,
+            )
+            .anonymize(seed ^ 2);
+        match pipeline.decode_pool(&anon) {
+            Ok((_, report)) => {
+                let r = report.recovery.expect("recovery stats present");
+                prop_assert_eq!(r.total_reads, anon.len());
+                for s in [r.purity(), r.completeness()].into_iter().flatten() {
+                    prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+                }
+                prop_assert!(r.orphaned_reads <= r.total_reads);
+                prop_assert!(r.misassigned_reads <= r.assigned_reads());
+                prop_assert_eq!(
+                    r.coverage_histogram.iter().sum::<usize>(),
+                    r.assigned_reads()
+                );
+                prop_assert!(r.assigned_columns <= pipeline.params().cols());
+            }
+            // Degenerate corners (every molecule lost at coverage ~0, or
+            // noise heavy enough to orphan everything) are typed errors,
+            // not panics.
+            Err(StorageError::EmptyPool) | Err(StorageError::AllReadsOrphaned { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! regenerate the `uniform` cells or the pool hashes — those are the
 //! backward-compatibility contract.
 
+use dna_skew::channel as dna_channel;
 use dna_skew::prelude::*;
 use dna_skew::storage::Scenario;
 use std::sync::Mutex;
@@ -214,17 +215,127 @@ const GOLDEN_MATRIX: [&str; 21] = [
     "preset=nanopore-decay:0.06 layout=baseline+plan[2,2,3,4,6,7] cov=8 hash=0x56a12209d5564514 lost=0 corrected=8 failed=0",
 ];
 
-fn assert_matches_golden(matrix: &[String], context: &str) {
+/// The unlabeled-retrieval conformance matrix: 3 channel presets ×
+/// 2 clusterers × 2 coverages, decoded through the full
+/// anonymize → cluster → orient → demux → decode path on a
+/// primer-wrapped tiny pipeline. Each cell pins the decoded-bytes hash
+/// plus the recovery tallies (purity as an exact ratio, orphaned reads,
+/// fragment merges, failed codewords).
+fn recovery_presets() -> Vec<(&'static str, ChannelModel)> {
+    vec![
+        (
+            "uniform:0.03",
+            ChannelModel::uniform(ErrorModel::uniform(0.03)),
+        ),
+        ("nanopore-decay:0.05", ChannelModel::nanopore_decay(0.05)),
+        ("dropout:0.03", ChannelModel::dropout_prone(0.03, 0.05)),
+    ]
+}
+
+const RECOVERY_SEED: u64 = 0xDECAF;
+
+fn recovery_cell_summary(
+    preset: &str,
+    channel: &ChannelModel,
+    cname: &str,
+    recovery: &RecoveryPipeline,
+    cov: f64,
+) -> String {
+    let pipeline = Pipeline::builder()
+        .params(
+            CodecParams::tiny()
+                .expect("tiny params")
+                .with_primer_len(15),
+        )
+        .recovery(recovery.clone())
+        .build()
+        .expect("primered tiny pipeline");
+    let scenario = Scenario::with_channel(channel.clone())
+        .single_coverage(cov)
+        .seed(RECOVERY_SEED)
+        .unlabeled();
+    scenario.validate().expect("matrix scenarios are valid");
+    let units = pipeline.encode_chunked(&matrix_payload()).expect("encode");
+    let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
+    let anonymous: Vec<AnonymousPool> = pools
+        .iter()
+        .enumerate()
+        .map(|(u, p)| {
+            AnonymousPool::from_clusters(
+                &p.at_coverage(cov),
+                dna_channel::unit_seed(scenario.anonymize_seed(0), u),
+            )
+        })
+        .collect();
+    let mut decoded = Vec::new();
+    let mut merged = RecoveryReport::default();
+    let mut failed = 0usize;
+    for (bytes, report) in pipeline.decode_pool_batch(&anonymous).expect("decode") {
+        decoded.extend_from_slice(&bytes);
+        failed += report.failed_codewords();
+        merged.merge_from(&report.recovery.expect("recovery stats present"));
+    }
+    format!(
+        "preset={preset} clusterer={cname} cov={cov} hash={:#018x} purity={}/{} orphans={} \
+         merges={} failed={failed}",
+        fnv64(&decoded),
+        merged.purity_num,
+        merged.purity_den,
+        merged.orphaned_reads,
+        merged.duplicate_index_merges,
+    )
+}
+
+fn compute_recovery_matrix() -> Vec<String> {
+    let mut out = Vec::new();
+    for (preset, channel) in recovery_presets() {
+        for (cname, recovery) in [
+            ("greedy", RecoveryPipeline::greedy(None)),
+            ("anchored", RecoveryPipeline::anchored(None)),
+        ] {
+            for cov in COVERAGES {
+                out.push(recovery_cell_summary(
+                    preset, &channel, cname, &recovery, cov,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Golden recovery summaries, pinned at `RECOVERY_SEED`. Regenerate
+/// after an intentional recovery/clustering change with
+/// `DNA_SKEW_BLESS=1` exactly like the main matrix.
+const RECOVERY_GOLDEN_MATRIX: [&str; 12] = [
+    "preset=uniform:0.03 clusterer=greedy cov=6 hash=0x7441d7e2f2760db4 purity=260/273 orphans=0 merges=44 failed=0",
+    "preset=uniform:0.03 clusterer=greedy cov=12 hash=0x7441d7e2f2760db4 purity=524/545 orphans=0 merges=84 failed=0",
+    "preset=uniform:0.03 clusterer=anchored cov=6 hash=0x7441d7e2f2760db4 purity=252/273 orphans=0 merges=89 failed=0",
+    "preset=uniform:0.03 clusterer=anchored cov=12 hash=0x7441d7e2f2760db4 purity=504/545 orphans=0 merges=178 failed=0",
+    "preset=nanopore-decay:0.05 clusterer=greedy cov=6 hash=0xa7104be7035c34e9 purity=240/273 orphans=0 merges=147 failed=7",
+    "preset=nanopore-decay:0.05 clusterer=greedy cov=12 hash=0x7441d7e2f2760db4 purity=476/545 orphans=0 merges=280 failed=0",
+    "preset=nanopore-decay:0.05 clusterer=anchored cov=6 hash=0xb37ac8bff6bad04d purity=241/272 orphans=1 merges=159 failed=6",
+    "preset=nanopore-decay:0.05 clusterer=anchored cov=12 hash=0x7441d7e2f2760db4 purity=470/544 orphans=1 merges=323 failed=0",
+    "preset=dropout:0.03 clusterer=greedy cov=6 hash=0x64b3334c47a93d33 purity=240/248 orphans=0 merges=35 failed=6",
+    "preset=dropout:0.03 clusterer=greedy cov=12 hash=0x7441d7e2f2760db4 purity=475/497 orphans=1 merges=95 failed=0",
+    "preset=dropout:0.03 clusterer=anchored cov=6 hash=0xd2c3d20e7bedeb4c purity=235/247 orphans=1 merges=78 failed=6",
+    "preset=dropout:0.03 clusterer=anchored cov=12 hash=0x121efa94b415e4d2 purity=469/497 orphans=1 merges=159 failed=6",
+];
+
+fn assert_matches(matrix: &[String], golden: &[&str], context: &str) {
     if std::env::var("DNA_SKEW_BLESS").is_ok() {
         for line in matrix {
             println!("    \"{line}\",");
         }
         return;
     }
-    assert_eq!(matrix.len(), GOLDEN_MATRIX.len(), "{context}: matrix size");
-    for (got, want) in matrix.iter().zip(GOLDEN_MATRIX.iter()) {
+    assert_eq!(matrix.len(), golden.len(), "{context}: matrix size");
+    for (got, want) in matrix.iter().zip(golden.iter()) {
         assert_eq!(got, want, "{context}");
     }
+}
+
+fn assert_matches_golden(matrix: &[String], context: &str) {
+    assert_matches(matrix, &GOLDEN_MATRIX, context);
 }
 
 #[test]
@@ -240,6 +351,34 @@ fn conformance_matrix_is_thread_count_invariant() {
     for threads in ["1", "2", "8"] {
         std::env::set_var("DNA_SKEW_THREADS", threads);
         assert_matches_golden(&compute_matrix(), &format!("DNA_SKEW_THREADS={threads}"));
+    }
+    match original {
+        Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
+        None => std::env::remove_var("DNA_SKEW_THREADS"),
+    }
+}
+
+#[test]
+fn recovery_matrix_matches_golden_reports() {
+    let _guard = env_guard();
+    assert_matches(
+        &compute_recovery_matrix(),
+        &RECOVERY_GOLDEN_MATRIX,
+        "default thread count",
+    );
+}
+
+#[test]
+fn recovery_matrix_is_thread_count_invariant() {
+    let _guard = env_guard();
+    let original = std::env::var("DNA_SKEW_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("DNA_SKEW_THREADS", threads);
+        assert_matches(
+            &compute_recovery_matrix(),
+            &RECOVERY_GOLDEN_MATRIX,
+            &format!("recovery, DNA_SKEW_THREADS={threads}"),
+        );
     }
     match original {
         Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
