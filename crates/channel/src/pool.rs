@@ -169,6 +169,25 @@ impl ReadPool {
         }
     }
 
+    /// A noiseless coverage-1 pool: strand `i` becomes cluster `i`'s
+    /// single read. This is the shape of perfectly demultiplexed storage
+    /// (a strand list on disk, a capsule record in an object pool) fed
+    /// back through the standard decode path.
+    pub fn from_strands(strands: impl IntoIterator<Item = DnaString>) -> ReadPool {
+        let full: Vec<Cluster> = strands
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Cluster {
+                source: i,
+                reads: vec![s],
+            })
+            .collect();
+        ReadPool {
+            max_mean: if full.is_empty() { 0.0 } else { 1.0 },
+            full,
+        }
+    }
+
     /// The maximum mean coverage this pool was generated with.
     pub fn max_mean(&self) -> f64 {
         self.max_mean

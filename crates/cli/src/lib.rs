@@ -9,7 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dna_channel::{unit_seed, AnonymousPool, ChannelModel, ErrorModel};
+use dna_channel::{unit_seed, AnonymousPool, ChannelModel, ErrorModel, ReadPool};
+use dna_object::{ObjectStore, StoreConfig};
 use dna_storage::{
     CodecParams, DecodeReport, Layout, Pipeline, ProtectionPlan, ProtectionPlanner,
     RecoveryPipeline, Scenario, SkewProfile, StorageError,
@@ -415,15 +416,9 @@ pub fn decode(text: &str) -> Result<(Vec<u8>, Vec<DecodeReport>), CliError> {
     let per_unit_clusters: Vec<Vec<dna_channel::Cluster>> = units
         .iter()
         .map(|strands| {
-            strands
-                .iter()
-                .cloned()
-                .enumerate()
-                .map(|(i, s)| dna_channel::Cluster {
-                    source: i,
-                    reads: vec![s],
-                })
-                .collect()
+            ReadPool::from_strands(strands.iter().cloned())
+                .clusters()
+                .to_vec()
         })
         .collect();
     let mut payload = Vec::with_capacity(payload_len);
@@ -642,6 +637,52 @@ pub fn simulate_unlabeled(
         plan: pipeline.protection_plan().clone(),
         report: merged,
     })
+}
+
+/// Opens the object store at `dir` for `pack`, creating a laptop-scale
+/// pool on first use.
+pub fn open_or_create_store(dir: &str) -> Result<ObjectStore, CliError> {
+    if std::path::Path::new(dir)
+        .join(dna_object::POOL_FILE)
+        .exists()
+    {
+        Ok(ObjectStore::open(dir)?)
+    } else {
+        Ok(ObjectStore::create(dir, StoreConfig::laptop()?)?)
+    }
+}
+
+/// Resolves a `fetch` target: a numeric object id, or a live object name.
+pub fn resolve_object(store: &ObjectStore, target: &str) -> Result<u64, CliError> {
+    if let Ok(id) = target.parse::<u64>() {
+        return Ok(id);
+    }
+    store
+        .object_id(target)
+        .ok_or_else(|| CliError::Usage(format!("no live object named {target:?}")))
+}
+
+/// `pack`: streams each file into the store under its base name,
+/// returning `(id, name, bytes)` per file.
+pub fn pack_files(dir: &str, paths: &[String]) -> Result<Vec<(u64, String, u64)>, CliError> {
+    let mut store = open_or_create_store(dir)?;
+    let mut packed = Vec::with_capacity(paths.len());
+    for path in paths {
+        let name = std::path::Path::new(path)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| CliError::Usage(format!("cannot derive an object name from {path:?}")))?
+            .to_string();
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        let id = store.put(&name, &mut file)?;
+        let bytes = store
+            .manifest()
+            .object(id)
+            .map(|o| o.bytes)
+            .unwrap_or_default();
+        packed.push((id, name, bytes));
+    }
+    Ok(packed)
 }
 
 #[cfg(test)]
@@ -874,6 +915,41 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("unequal protection"), "{err}");
+    }
+
+    #[test]
+    fn pack_and_fetch_round_trip_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("dnastore-cli-pack-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("hello.bin");
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i * 7 % 256) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let store_dir = dir.join("pool");
+        let packed = pack_files(
+            store_dir.to_str().unwrap(),
+            &[input.to_str().unwrap().to_string()],
+        )
+        .unwrap();
+        assert_eq!(packed.len(), 1);
+        let (id, name, bytes) = &packed[0];
+        assert_eq!(name, "hello.bin");
+        assert_eq!(*bytes, payload.len() as u64);
+
+        let store = ObjectStore::open(&store_dir).unwrap();
+        assert_eq!(resolve_object(&store, &id.to_string()).unwrap(), *id);
+        assert_eq!(resolve_object(&store, "hello.bin").unwrap(), *id);
+        assert!(resolve_object(&store, "missing").is_err());
+        assert_eq!(store.get(*id).unwrap(), payload);
+
+        // Packing into the same directory appends to the existing pool.
+        let again = pack_files(
+            store_dir.to_str().unwrap(),
+            &[input.to_str().unwrap().to_string()],
+        );
+        assert!(again.is_err(), "duplicate live name is rejected");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! ```
 
 use dna_channel::ChannelModel;
+use dna_object::ObjectStore;
 use dna_skew_cli::{
-    decode, encode, parse_channel_model, parse_error_model, parse_plan_arg, simulate_planned,
-    simulate_unlabeled, CliError, ClustererChoice, LayoutChoice, PlanChoice,
+    decode, encode, pack_files, parse_channel_model, parse_error_model, parse_plan_arg,
+    resolve_object, simulate_planned, simulate_unlabeled, CliError, ClustererChoice, LayoutChoice,
+    PlanChoice,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -26,6 +28,9 @@ USAGE:
                     [--coverage N] [--seed N] [--plan auto|uniform|file:<path>]
                     [--parity E] [--tsv <path>]
                     [--unlabeled [--clusterer greedy|anchored]]
+  dnastore pack     <file>... --out <pool-dir>
+  dnastore fetch    <object-id|name> --store <pool-dir> [--output <file>]
+  dnastore ls       --store <pool-dir>
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
 channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty
@@ -39,18 +44,28 @@ protection plans:  uniform (default), auto (skew-profiled unequal protection),
             shuffled order); retrieval must cluster, orient, and demultiplex
             the reads before decoding. Strands are primer-wrapped; --clusterer
             picks the clustering algorithm (default anchored).
+
+pack streams files into a capsule-pool object store (created on first use:
+     laptop geometry, 16-base per-capsule primers); fetch streams one object
+     back out by id or name, touching only that object's capsules; ls lists
+     the manifest.
 ";
 
 /// Flags that take no value (presence alone switches them on).
 const BOOL_FLAGS: [&str; 1] = ["unlabeled"];
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+/// Splits arguments into `--flag value` pairs and bare positionals (the
+/// `pack`/`fetch` operands; other commands reject positionals).
+fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), CliError> {
     let mut flags = HashMap::new();
+    let mut positionals = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i]
-            .strip_prefix("--")
-            .ok_or_else(|| CliError::Usage(format!("expected a --flag, got {:?}", args[i])))?;
+        let Some(key) = args[i].strip_prefix("--") else {
+            positionals.push(args[i].clone());
+            i += 1;
+            continue;
+        };
         if BOOL_FLAGS.contains(&key) {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -62,7 +77,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
-    Ok(flags)
+    Ok((flags, positionals))
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, CliError> {
@@ -78,7 +93,13 @@ fn run() -> Result<(), CliError> {
         eprintln!("{USAGE}");
         return Err(CliError::Usage("no command given".into()));
     };
-    let flags = parse_flags(&args[1..])?;
+    let (flags, positionals) = parse_flags(&args[1..])?;
+    if !positionals.is_empty() && !matches!(command.as_str(), "pack" | "fetch") {
+        return Err(CliError::Usage(format!(
+            "unexpected argument {:?} (only pack/fetch take positionals)",
+            positionals[0]
+        )));
+    }
     let layout: LayoutChoice = flags
         .get("layout")
         .map(|s| s.parse())
@@ -198,6 +219,55 @@ fn run() -> Result<(), CliError> {
             if let Some(path) = flags.get("tsv") {
                 std::fs::write(path, run.report.to_tsv())?;
                 println!("wrote per-row histograms -> {path}");
+            }
+        }
+        "pack" => {
+            let out = required(&flags, "out")?;
+            if positionals.is_empty() {
+                return Err(CliError::Usage("pack needs at least one <file>".into()));
+            }
+            for (id, name, bytes) in pack_files(out, &positionals)? {
+                println!("packed {name} -> object {id} ({bytes} bytes) in {out}");
+            }
+        }
+        "fetch" => {
+            let dir = required(&flags, "store")?;
+            let Some(target) = positionals.first() else {
+                return Err(CliError::Usage("fetch needs an <object-id|name>".into()));
+            };
+            let store = ObjectStore::open(dir)?;
+            let id = resolve_object(&store, target)?;
+            let out_path = match flags.get("output") {
+                Some(p) => p.clone(),
+                None => store.manifest().object(id).map(|o| o.name.clone()).ok_or(
+                    dna_storage::StorageError::ObjectNotFound {
+                        id,
+                        tombstoned: false,
+                    },
+                )?,
+            };
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+            let report = store.fetch(id, &mut file)?;
+            println!(
+                "fetched object {id} -> {out_path}: {} bytes from {} capsule(s), \
+                 {} unit(s), {} reads ({} dropped by primer prefilter)",
+                report.bytes, report.capsules, report.units, report.reads, report.prefilter_dropped
+            );
+        }
+        "ls" => {
+            let dir = required(&flags, "store")?;
+            let store = ObjectStore::open(dir)?;
+            println!("# id\tbytes\tcapsules\tstate\tname");
+            for o in store.list() {
+                println!(
+                    "{}\t{}\t{}..{}\t{}\t{}",
+                    o.id,
+                    o.bytes,
+                    o.capsules.start,
+                    o.capsules.end,
+                    if o.tombstone { "tombstone" } else { "live" },
+                    o.name
+                );
             }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),

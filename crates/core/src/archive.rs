@@ -117,7 +117,7 @@ pub enum RankingPolicy {
 pub struct ArchiveCodec {
     pipeline: Pipeline,
     policy: RankingPolicy,
-    cipher_seed: Option<u64>,
+    cipher: Option<([u8; 32], [u8; 12])>,
 }
 
 impl ArchiveCodec {
@@ -127,15 +127,29 @@ impl ArchiveCodec {
         ArchiveCodec {
             pipeline,
             policy,
-            cipher_seed: None,
+            cipher: None,
         }
     }
 
-    /// Enables end-to-end encryption of file contents (the directory stays
-    /// readable: it is the decode bootstrap).
-    pub fn with_encryption(mut self, seed: u64) -> ArchiveCodec {
-        self.cipher_seed = Some(seed);
+    /// Enables end-to-end encryption of file contents under an explicit
+    /// ChaCha20 key and nonce (the directory stays readable: it is the
+    /// decode bootstrap). This is the preferred keying API; the per-capsule
+    /// object store derives one nonce per capsule from the same key.
+    pub fn with_cipher(mut self, key: [u8; 32], nonce: [u8; 12]) -> ArchiveCodec {
+        self.cipher = Some((key, nonce));
         self
+    }
+
+    /// Enables encryption keyed from a single seed.
+    ///
+    /// Legacy shim, kept so archives written by earlier releases stay
+    /// readable: it maps `seed` through [`dna_crypto::seed_material`] and
+    /// calls [`ArchiveCodec::with_cipher`] — the keystream is regression-
+    /// pinned to be bit-identical to the historical seed-only path. New
+    /// code should pass a real key and nonce to `with_cipher`.
+    pub fn with_encryption(self, seed: u64) -> ArchiveCodec {
+        let (key, nonce) = dna_crypto::seed_material(seed);
+        self.with_cipher(key, nonce)
     }
 
     /// The underlying pipeline.
@@ -156,8 +170,8 @@ impl ArchiveCodec {
         for f in &archive.files {
             contents.extend_from_slice(&f.bytes);
         }
-        if let Some(seed) = self.cipher_seed {
-            ChaCha20::from_seed(seed).apply_keystream(&mut contents);
+        if let Some((key, nonce)) = &self.cipher {
+            ChaCha20::new(key, nonce).apply_keystream(&mut contents);
         }
         match self.policy {
             RankingPolicy::Sequential => {
@@ -230,8 +244,8 @@ impl ArchiveCodec {
                 }
             }
         }
-        if let Some(seed) = self.cipher_seed {
-            ChaCha20::from_seed(seed).apply_keystream(&mut contents);
+        if let Some((key, nonce)) = &self.cipher {
+            ChaCha20::new(key, nonce).apply_keystream(&mut contents);
         }
         let offsets = file_offsets(&sizes);
         let files = names
@@ -439,6 +453,24 @@ mod tests {
         let plain: Vec<u8> = (100..180u8).collect();
         let window_found = stream.windows(plain.len()).any(|w| w == plain);
         assert!(!window_found, "plaintext leaked into the stored stream");
+    }
+
+    #[test]
+    fn seed_shim_matches_explicit_cipher_stream() {
+        // The deprecated with_encryption(seed) shim must produce the exact
+        // ciphertext stream of with_cipher(seed_material(seed)) — old
+        // archives stay decodable through the new keying API.
+        let archive = sample_archive();
+        let shim = codec(RankingPolicy::Sequential, Layout::Baseline).with_encryption(42);
+        let (key, nonce) = dna_crypto::seed_material(42);
+        let explicit = codec(RankingPolicy::Sequential, Layout::Baseline).with_cipher(key, nonce);
+        assert_eq!(
+            shim.global_stream(&archive),
+            explicit.global_stream(&archive)
+        );
+        // And a shim-encrypted stream decodes through the explicit codec.
+        let decoded = noiseless_roundtrip(&explicit, &archive);
+        assert_eq!(decoded, archive);
     }
 
     #[test]

@@ -114,6 +114,30 @@ pub enum StorageError {
         /// The contested unit column.
         index: usize,
     },
+    /// An object pool has no manifest — neither the sidecar file nor a
+    /// recoverable super-capsule. Callers can fall back to
+    /// `ObjectStore::rebuild_manifest`, which scans every capsule header
+    /// in the pool and reconstructs the index from scratch.
+    ManifestMissing,
+    /// A manifest was found but failed validation (truncated file, CRC
+    /// mismatch, unparseable line, unsupported version). The pool data may
+    /// still be intact: `ObjectStore::rebuild_manifest` re-derives the
+    /// manifest from the capsules themselves.
+    ManifestCorrupt {
+        /// What failed to validate.
+        reason: String,
+    },
+    /// `fetch`/`delete` named an object the manifest does not list, or one
+    /// that has been tombstoned.
+    ObjectNotFound {
+        /// The requested object id.
+        id: u64,
+        /// Whether the object existed but was deleted (tombstoned).
+        tombstoned: bool,
+    },
+    /// An underlying I/O error (message only: `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`, which this enum guarantees).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -133,6 +157,22 @@ impl fmt::Display for StorageError {
                 "recovery orphaned all {reads} reads across {clusters} clusters: \
                  no cluster produced a valid index vote"
             ),
+            StorageError::ManifestMissing => write!(
+                f,
+                "no manifest: sidecar file absent and no super-capsule recovered \
+                 (run rebuild_manifest to scan the pool)"
+            ),
+            StorageError::ManifestCorrupt { reason } => {
+                write!(f, "manifest corrupt: {reason}")
+            }
+            StorageError::ObjectNotFound { id, tombstoned } => {
+                if *tombstoned {
+                    write!(f, "object {id} was deleted (tombstoned)")
+                } else {
+                    write!(f, "object {id} not found in manifest")
+                }
+            }
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
             StorageError::DuplicateClusterIndex { index } => write!(
                 f,
                 "two recovered clusters claimed unit column {index} (strict duplicate handling)"
@@ -158,6 +198,12 @@ impl From<dna_gf::GfError> for StorageError {
 impl From<dna_strand::StrandError> for StorageError {
     fn from(e: dna_strand::StrandError) -> Self {
         StorageError::Substrate(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e.to_string())
     }
 }
 

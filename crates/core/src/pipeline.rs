@@ -292,6 +292,39 @@ impl Pipeline {
         &self.default_retrieve
     }
 
+    /// The primer pair flanking every strand, when primers are enabled.
+    pub fn primers(&self) -> Option<(&Primer, &Primer)> {
+        self.primers.as_ref().map(|(l, r)| (l, r))
+    }
+
+    /// Returns a pipeline identical to this one but flanking strands with
+    /// the given primer pair — the per-capsule re-keying used by the
+    /// object store, where every capsule owns its own PCR address while
+    /// sharing one codec geometry. Cheap: the RS bank, layout, and
+    /// consensus engines are shared behind `Arc`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] when either primer is empty
+    /// or its length differs from [`CodecParams::primer_len`].
+    pub fn with_primers(mut self, left: Primer, right: Primer) -> Result<Pipeline, StorageError> {
+        let expect = self.params.primer_len();
+        if left.is_empty() || right.is_empty() {
+            return Err(StorageError::InvalidParams(
+                "explicit primers must be non-empty".into(),
+            ));
+        }
+        if left.len() != expect || right.len() != expect {
+            return Err(StorageError::InvalidParams(format!(
+                "primer lengths {}/{} do not match params.primer_len() = {expect}",
+                left.len(),
+                right.len()
+            )));
+        }
+        self.primers = Some((left, right));
+        Ok(self)
+    }
+
     /// Encodes `payload` (at most [`Pipeline::payload_capacity`] bytes;
     /// shorter payloads are zero-padded) into one unit of molecules.
     ///

@@ -1,0 +1,586 @@
+//! The on-disk pool format: a header describing the codec geometry
+//! followed by self-describing, CRC-guarded **capsule** records.
+//!
+//! A capsule is the unit of survival and of random access: a fixed span of
+//! encoding units that shares one PCR primer pair (its address), one
+//! optional compress→encrypt layer, and one CRC'd trailer. Every record is
+//! fully self-describing — object id, flags, name, unit count, payload
+//! lengths, and the primer pair are all in the header — so a pool whose
+//! manifest is lost can be scanned capsule-by-capsule and the manifest
+//! rebuilt (`ObjectStore::rebuild_manifest`).
+//!
+//! Strand bases are packed four to a byte (2 bits per base, A=00 C=01
+//! G=10 T=11), unit-major then column-major, at fixed record sizes derived
+//! from the pool geometry; unit boundaries are therefore structural and
+//! need no in-band markers.
+
+use crate::checksum::{crc32, crc64};
+use dna_storage::{CodecParams, Layout, StorageError};
+use dna_strand::{Base, DnaString, Primer, PrimerLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Pool file magic.
+pub const POOL_MAGIC: &[u8; 8] = b"DNAPOOL1";
+/// Capsule record magic.
+pub const CAPSULE_MAGIC: &[u8; 4] = b"CAP1";
+/// Capsule trailer magic.
+pub const TRAILER_MAGIC: &[u8; 4] = b"1PAC";
+
+/// Capsule payload is ChaCha20-encrypted.
+pub const FLAG_ENCRYPTED: u16 = 1 << 0;
+/// Capsule payload is zero-RLE compressed.
+pub const FLAG_COMPRESSED: u16 = 1 << 1;
+/// Capsule holds a serialized manifest (the reserved super-capsule).
+pub const FLAG_MANIFEST: u16 = 1 << 2;
+/// Capsule is a tombstone marking its object id deleted.
+pub const FLAG_TOMBSTONE: u16 = 1 << 3;
+
+/// The object id reserved for manifest super-capsules.
+pub const MANIFEST_OBJECT_ID: u64 = 0;
+
+/// Longest accepted object name, bounded by the capsule header's length
+/// byte.
+pub const MAX_NAME_LEN: usize = 255;
+
+fn corrupt(reason: impl Into<String>) -> StorageError {
+    StorageError::ManifestCorrupt {
+        reason: reason.into(),
+    }
+}
+
+/// Which built-in layout engine the pool was written with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Row codewords, column-major data.
+    Baseline,
+    /// Diagonal codeword interleaving (no excluded rows).
+    Gini,
+    /// Priority zig-zag data mapping.
+    DnaMapper,
+}
+
+impl LayoutKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            LayoutKind::Baseline => 0,
+            LayoutKind::Gini => 1,
+            LayoutKind::DnaMapper => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<LayoutKind, StorageError> {
+        match v {
+            0 => Ok(LayoutKind::Baseline),
+            1 => Ok(LayoutKind::Gini),
+            2 => Ok(LayoutKind::DnaMapper),
+            other => Err(corrupt(format!("unknown layout kind {other}"))),
+        }
+    }
+
+    /// The [`Layout`] this kind denotes.
+    pub fn to_layout(self) -> Layout {
+        match self {
+            LayoutKind::Baseline => Layout::Baseline,
+            LayoutKind::Gini => Layout::Gini {
+                excluded_rows: vec![],
+            },
+            LayoutKind::DnaMapper => Layout::DnaMapper,
+        }
+    }
+
+    /// The kind of a built-in [`Layout`]; Gini layouts with excluded rows
+    /// are rejected (the pool header cannot carry the row list).
+    pub fn from_layout(layout: &Layout) -> Result<LayoutKind, StorageError> {
+        match layout {
+            Layout::Baseline => Ok(LayoutKind::Baseline),
+            Layout::Gini { excluded_rows } if excluded_rows.is_empty() => Ok(LayoutKind::Gini),
+            Layout::Gini { .. } => Err(StorageError::InvalidParams(
+                "object pools do not support Gini excluded rows".into(),
+            )),
+            Layout::DnaMapper => Ok(LayoutKind::DnaMapper),
+        }
+    }
+}
+
+/// The pool file header: everything needed to rebuild the codec and walk
+/// the capsule records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolHeader {
+    /// Format version (currently 1).
+    pub version: u16,
+    /// Symbol width of the GF field (4, 8, or 16 bits).
+    pub field_width: u8,
+    /// Layout engine.
+    pub layout: LayoutKind,
+    /// Matrix rows.
+    pub rows: u16,
+    /// Data columns per unit.
+    pub data_cols: u16,
+    /// Parity columns per unit.
+    pub parity_cols: u16,
+    /// Index width in bits.
+    pub index_bits: u8,
+    /// Primer length in bases (> 0: primers are the address space).
+    pub primer_len: u16,
+    /// Data units per capsule (super-capsules may exceed this).
+    pub units_per_capsule: u32,
+    /// Seed that derives every capsule's primer pair.
+    pub pool_seed: u64,
+    /// FNV-1a of the encryption key, 0 when the pool is plaintext.
+    pub key_fingerprint: u64,
+}
+
+impl PoolHeader {
+    /// Serializes the header (magic through CRC).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), StorageError> {
+        let mut buf = Vec::with_capacity(46);
+        buf.extend_from_slice(POOL_MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.push(self.field_width);
+        buf.push(self.layout.to_u8());
+        buf.extend_from_slice(&self.rows.to_le_bytes());
+        buf.extend_from_slice(&self.data_cols.to_le_bytes());
+        buf.extend_from_slice(&self.parity_cols.to_le_bytes());
+        buf.push(self.index_bits);
+        buf.push(0); // pad
+        buf.extend_from_slice(&self.primer_len.to_le_bytes());
+        buf.extend_from_slice(&self.units_per_capsule.to_le_bytes());
+        buf.extend_from_slice(&self.pool_seed.to_le_bytes());
+        buf.extend_from_slice(&self.key_fingerprint.to_le_bytes());
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Reads and validates a pool header.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<PoolHeader, StorageError> {
+        let mut buf = [0u8; 46];
+        r.read_exact(&mut buf)
+            .map_err(|e| corrupt(format!("pool header unreadable: {e}")))?;
+        if &buf[..8] != POOL_MAGIC {
+            return Err(corrupt("bad pool magic"));
+        }
+        let stored_crc = u32::from_le_bytes(buf[42..46].try_into().unwrap());
+        if crc32(&buf[..42]) != stored_crc {
+            return Err(corrupt("pool header CRC mismatch"));
+        }
+        let version = u16::from_le_bytes(buf[8..10].try_into().unwrap());
+        if version != 1 {
+            return Err(corrupt(format!("unsupported pool version {version}")));
+        }
+        Ok(PoolHeader {
+            version,
+            field_width: buf[10],
+            layout: LayoutKind::from_u8(buf[11])?,
+            rows: u16::from_le_bytes(buf[12..14].try_into().unwrap()),
+            data_cols: u16::from_le_bytes(buf[14..16].try_into().unwrap()),
+            parity_cols: u16::from_le_bytes(buf[16..18].try_into().unwrap()),
+            index_bits: buf[18],
+            primer_len: u16::from_le_bytes(buf[20..22].try_into().unwrap()),
+            units_per_capsule: u32::from_le_bytes(buf[22..26].try_into().unwrap()),
+            pool_seed: u64::from_le_bytes(buf[26..34].try_into().unwrap()),
+            key_fingerprint: u64::from_le_bytes(buf[34..42].try_into().unwrap()),
+        })
+    }
+
+    /// Serialized header length in bytes.
+    pub const LEN: u64 = 46;
+
+    /// Reconstructs the codec geometry this pool was written with.
+    pub fn params(&self) -> Result<CodecParams, StorageError> {
+        let field = match self.field_width {
+            4 => dna_gf::Field::gf16(),
+            8 => dna_gf::Field::gf256(),
+            16 => dna_gf::Field::gf65536(),
+            w => {
+                return Err(corrupt(format!("unsupported field width {w}")));
+            }
+        };
+        Ok(CodecParams::new(
+            field,
+            usize::from(self.rows),
+            usize::from(self.data_cols),
+            usize::from(self.parity_cols),
+            self.index_bits,
+        )?
+        .with_primer_len(usize::from(self.primer_len)))
+    }
+
+    /// Total columns (molecules) per unit.
+    pub fn cols(&self) -> usize {
+        usize::from(self.data_cols) + usize::from(self.parity_cols)
+    }
+}
+
+/// One capsule record header, fully self-describing for manifest rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapsuleHeader {
+    /// Pool-wide capsule sequence number (primer derivation input).
+    pub seq: u32,
+    /// Owning object (0 = manifest super-capsule).
+    pub object_id: u64,
+    /// `FLAG_*` bits.
+    pub flags: u16,
+    /// Object name (carried on every data capsule so rebuild recovers it).
+    pub name: String,
+    /// Encoding units in this capsule.
+    pub units: u32,
+    /// Payload bytes before compression.
+    pub plain_len: u64,
+    /// Bytes actually encoded (after compression, before unit padding).
+    pub stored_len: u64,
+    /// Left (5') primer — the capsule's forward PCR address.
+    pub left: Primer,
+    /// Right (3') primer.
+    pub right: Primer,
+}
+
+impl CapsuleHeader {
+    fn serialize(&self) -> Result<Vec<u8>, StorageError> {
+        if self.name.len() > MAX_NAME_LEN {
+            return Err(StorageError::InvalidParams(format!(
+                "object name longer than {MAX_NAME_LEN} bytes"
+            )));
+        }
+        let mut buf = Vec::with_capacity(64 + self.name.len());
+        buf.extend_from_slice(CAPSULE_MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes()); // record version
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.object_id.to_le_bytes());
+        buf.extend_from_slice(&self.flags.to_le_bytes());
+        buf.push(self.name.len() as u8);
+        buf.extend_from_slice(self.name.as_bytes());
+        buf.extend_from_slice(&self.units.to_le_bytes());
+        buf.extend_from_slice(&self.plain_len.to_le_bytes());
+        buf.extend_from_slice(&self.stored_len.to_le_bytes());
+        buf.extend_from_slice(&pack_bases(self.left.strand().as_slice()));
+        buf.extend_from_slice(&pack_bases(self.right.strand().as_slice()));
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        Ok(buf)
+    }
+
+    /// Writes the header, returning the bytes written.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<u64, StorageError> {
+        let buf = self.serialize()?;
+        w.write_all(&buf)?;
+        Ok(buf.len() as u64)
+    }
+
+    /// Reads and validates a capsule header. `primer_len` comes from the
+    /// pool header (primers are stored packed at that length).
+    pub fn read_from<R: Read>(r: &mut R, primer_len: usize) -> Result<CapsuleHeader, StorageError> {
+        // Fixed prefix through name_len.
+        let mut head = [0u8; 21];
+        r.read_exact(&mut head)
+            .map_err(|e| corrupt(format!("capsule header unreadable: {e}")))?;
+        if &head[..4] != CAPSULE_MAGIC {
+            return Err(corrupt("bad capsule magic"));
+        }
+        let record_version = u16::from_le_bytes(head[4..6].try_into().unwrap());
+        if record_version != 1 {
+            return Err(corrupt(format!(
+                "unsupported capsule record version {record_version}"
+            )));
+        }
+        let name_len = usize::from(head[20]);
+        let packed_primer = primer_len.div_ceil(4);
+        let mut rest = vec![0u8; name_len + 4 + 8 + 8 + 2 * packed_primer + 4];
+        r.read_exact(&mut rest)
+            .map_err(|e| corrupt(format!("capsule header truncated: {e}")))?;
+        let mut all = head.to_vec();
+        all.extend_from_slice(&rest);
+        let crc_at = all.len() - 4;
+        let stored_crc = u32::from_le_bytes(all[crc_at..].try_into().unwrap());
+        if crc32(&all[..crc_at]) != stored_crc {
+            return Err(corrupt("capsule header CRC mismatch"));
+        }
+        let name = String::from_utf8(rest[..name_len].to_vec())
+            .map_err(|_| corrupt("capsule name is not UTF-8"))?;
+        let mut at = name_len;
+        let units = u32::from_le_bytes(rest[at..at + 4].try_into().unwrap());
+        at += 4;
+        let plain_len = u64::from_le_bytes(rest[at..at + 8].try_into().unwrap());
+        at += 8;
+        let stored_len = u64::from_le_bytes(rest[at..at + 8].try_into().unwrap());
+        at += 8;
+        let left = Primer::from_strand(unpack_bases(&rest[at..at + packed_primer], primer_len));
+        at += packed_primer;
+        let right = Primer::from_strand(unpack_bases(&rest[at..at + packed_primer], primer_len));
+        Ok(CapsuleHeader {
+            seq: u32::from_le_bytes(head[6..10].try_into().unwrap()),
+            object_id: u64::from_le_bytes(head[10..18].try_into().unwrap()),
+            flags: u16::from_le_bytes(head[18..20].try_into().unwrap()),
+            name,
+            units,
+            plain_len,
+            stored_len,
+            left,
+            right,
+        })
+    }
+}
+
+/// Packed length of one strand of `bases` bases.
+pub fn packed_strand_len(bases: usize) -> usize {
+    bases.div_ceil(4)
+}
+
+/// Packs bases four to a byte, low bits first.
+pub fn pack_bases(bases: &[Base]) -> Vec<u8> {
+    let mut out = vec![0u8; packed_strand_len(bases.len())];
+    for (i, b) in bases.iter().enumerate() {
+        out[i / 4] |= b.to_bits() << ((i % 4) * 2);
+    }
+    out
+}
+
+/// Inverse of [`pack_bases`] for a known base count.
+pub fn unpack_bases(packed: &[u8], bases: usize) -> DnaString {
+    let mut out = DnaString::with_capacity(bases);
+    for i in 0..bases {
+        out.push(Base::from_bits(packed[i / 4] >> ((i % 4) * 2)));
+    }
+    out
+}
+
+/// Byte length of a capsule's strand+trailer section.
+pub fn strand_section_len(units: u32, cols: usize, strand_bases: usize) -> u64 {
+    u64::from(units) * cols as u64 * packed_strand_len(strand_bases) as u64 + 8 + 4
+}
+
+/// Writes the strand section (packed strands, CRC-64 trailer, trailer
+/// magic) for a capsule whose strands are given unit-major, column-major.
+/// Every strand must be exactly `strand_bases` long.
+pub fn write_strands<W: Write>(
+    w: &mut W,
+    units: &[Vec<DnaString>],
+    strand_bases: usize,
+) -> Result<u64, StorageError> {
+    let mut crc_state = Vec::new();
+    let mut written = 0u64;
+    for unit in units {
+        for strand in unit {
+            if strand.len() != strand_bases {
+                return Err(StorageError::InvalidParams(format!(
+                    "strand length {} != expected {strand_bases}",
+                    strand.len()
+                )));
+            }
+            let packed = pack_bases(strand.as_slice());
+            crc_state.extend_from_slice(&packed);
+            w.write_all(&packed)?;
+            written += packed.len() as u64;
+        }
+    }
+    let crc = crc64(&crc_state);
+    w.write_all(&crc.to_le_bytes())?;
+    w.write_all(TRAILER_MAGIC)?;
+    Ok(written + 12)
+}
+
+/// Reads a capsule's strand section back as per-unit strand lists,
+/// verifying the CRC-64 trailer.
+pub fn read_strands<R: Read>(
+    r: &mut R,
+    units: u32,
+    cols: usize,
+    strand_bases: usize,
+) -> Result<Vec<Vec<DnaString>>, StorageError> {
+    let packed_len = packed_strand_len(strand_bases);
+    let mut raw = vec![0u8; units as usize * cols * packed_len];
+    r.read_exact(&mut raw)
+        .map_err(|e| corrupt(format!("capsule strands truncated: {e}")))?;
+    let mut trailer = [0u8; 12];
+    r.read_exact(&mut trailer)
+        .map_err(|e| corrupt(format!("capsule trailer truncated: {e}")))?;
+    let stored_crc = u64::from_le_bytes(trailer[..8].try_into().unwrap());
+    if &trailer[8..] != TRAILER_MAGIC {
+        return Err(corrupt("bad capsule trailer magic"));
+    }
+    if crc64(&raw) != stored_crc {
+        return Err(StorageError::Substrate(
+            "capsule strand CRC mismatch (torn or corrupted record)".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(units as usize);
+    let mut at = 0usize;
+    for _ in 0..units {
+        let mut unit = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            unit.push(unpack_bases(&raw[at..at + packed_len], strand_bases));
+            at += packed_len;
+        }
+        out.push(unit);
+    }
+    Ok(out)
+}
+
+/// Walks the whole pool file, returning `(offset, header)` for every
+/// capsule record without reading strand bytes (headers only; strand
+/// sections are seeked over). This is the scan that powers manifest
+/// recovery and rebuild.
+pub fn scan_capsules<R: Read + Seek>(
+    r: &mut R,
+    header: &PoolHeader,
+    strand_bases: usize,
+) -> Result<Vec<(u64, CapsuleHeader)>, StorageError> {
+    let end = r.seek(SeekFrom::End(0))?;
+    let mut at = r.seek(SeekFrom::Start(PoolHeader::LEN))?;
+    let mut out = Vec::new();
+    while at < end {
+        let cap = CapsuleHeader::read_from(r, usize::from(header.primer_len))?;
+        let body = strand_section_len(cap.units, header.cols(), strand_bases);
+        let next = r.seek(SeekFrom::Current(body as i64))?;
+        if next > end {
+            return Err(corrupt("last capsule record is truncated"));
+        }
+        out.push((at, cap));
+        at = next;
+    }
+    Ok(out)
+}
+
+/// Derives capsule `seq`'s primer pair from the pool seed: a fresh seeded
+/// search satisfying [`dna_strand::constraints::ConstraintSet::primer_default`] with
+/// pairwise distance within the pair. Deterministic given
+/// `(pool_seed, seq, len)`; there is **no** pairwise-distance guarantee
+/// *across* capsules (see the README caveats — a global library search is
+/// quadratic in pool size).
+pub fn capsule_primers(
+    pool_seed: u64,
+    seq: u32,
+    len: usize,
+) -> Result<(Primer, Primer), StorageError> {
+    let mut rng = StdRng::seed_from_u64(splitmix64(
+        pool_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(seq) + 1),
+    ));
+    let min_distance = (len / 3).max(1);
+    let lib = PrimerLibrary::generate(2, len, min_distance, &mut rng)?;
+    Ok((lib.primers()[0].clone(), lib.primers()[1].clone()))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> PoolHeader {
+        PoolHeader {
+            version: 1,
+            field_width: 4,
+            layout: LayoutKind::Gini,
+            rows: 6,
+            data_cols: 10,
+            parity_cols: 5,
+            index_bits: 4,
+            primer_len: 12,
+            units_per_capsule: 3,
+            pool_seed: 99,
+            key_fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn pool_header_round_trips() {
+        let h = sample_header();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, PoolHeader::LEN);
+        let back = PoolHeader::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+        let params = back.params().unwrap();
+        assert_eq!(params.rows(), 6);
+        assert_eq!(params.primer_len(), 12);
+    }
+
+    #[test]
+    fn pool_header_rejects_corruption() {
+        let mut buf = Vec::new();
+        sample_header().write_to(&mut buf).unwrap();
+        buf[12] ^= 1;
+        assert!(matches!(
+            PoolHeader::read_from(&mut buf.as_slice()),
+            Err(StorageError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn base_packing_round_trips() {
+        let s: DnaString = "ACGTTGCAACG".parse().unwrap();
+        let packed = pack_bases(s.as_slice());
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack_bases(&packed, s.len()), s);
+    }
+
+    #[test]
+    fn capsule_header_round_trips() {
+        let (left, right) = capsule_primers(7, 3, 12).unwrap();
+        let h = CapsuleHeader {
+            seq: 3,
+            object_id: 42,
+            flags: FLAG_COMPRESSED,
+            name: "photo.jpg".into(),
+            units: 2,
+            plain_len: 12345,
+            stored_len: 999,
+            left,
+            right,
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        let back = CapsuleHeader::read_from(&mut buf.as_slice(), 12).unwrap();
+        assert_eq!(back, h);
+        // Flip a name byte: CRC must catch it.
+        let mut bad = buf.clone();
+        bad[25] ^= 0x40;
+        assert!(matches!(
+            CapsuleHeader::read_from(&mut bad.as_slice(), 12),
+            Err(StorageError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn capsule_primers_are_deterministic_and_distinct() {
+        let (l1, r1) = capsule_primers(5, 0, 16).unwrap();
+        let (l2, r2) = capsule_primers(5, 0, 16).unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(r1, r2);
+        let (l3, _) = capsule_primers(5, 1, 16).unwrap();
+        assert_ne!(l1, l3, "different capsules draw different primers");
+        assert!(l1.strand().hamming_distance(r1.strand()).unwrap() >= 5);
+    }
+
+    #[test]
+    fn strand_sections_round_trip_and_detect_corruption() {
+        let bases = 8;
+        let units: Vec<Vec<DnaString>> = (0..2)
+            .map(|u| {
+                (0..3)
+                    .map(|c| {
+                        (0..bases)
+                            .map(|i| Base::from_bits((u + c + i) as u8))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let written = write_strands(&mut buf, &units, bases).unwrap();
+        assert_eq!(written, strand_section_len(2, 3, bases));
+        let back = read_strands(&mut buf.as_slice(), 2, 3, bases).unwrap();
+        assert_eq!(back, units);
+        let mut bad = buf.clone();
+        bad[1] ^= 1;
+        assert!(read_strands(&mut bad.as_slice(), 2, 3, bases).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Self-contained integrity primitives for the pool format.
+//!
+//! Capsule headers carry a CRC-32 (IEEE, reflected) so a scan can reject a
+//! torn header cheaply; capsule payload sections carry a CRC-64/ECMA over
+//! the packed strand bytes; the manifest text and key fingerprints use
+//! FNV-1a (64-bit), matching the hash used by the repo's golden
+//! conformance tables.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-64/ECMA (reflected polynomial `0xC96C5795D7870F42`), used for the
+/// capsule trailer over the packed strand bytes.
+pub fn crc64(data: &[u8]) -> u64 {
+    const TABLE: [u64; 256] = crc64_table();
+    let mut crc = 0xFFFF_FFFF_FFFF_FFFFu64;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u64::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xC96C_5795_D787_0F42
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// FNV-1a 64-bit, the repo's golden-table hash: manifest fingerprints and
+/// encryption-key fingerprints.
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The CRC catalogue check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc64_check_value() {
+        // The CRC catalogue check value for CRC-64/XZ (reflected ECMA).
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn fnv64_check_value() {
+        // Classic FNV-1a vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn checksums_differ_on_bit_flip() {
+        let a = b"capsule payload".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 1;
+        assert_ne!(crc32(&a), crc32(&b));
+        assert_ne!(crc64(&a), crc64(&b));
+        assert_ne!(fnv64(&a), fnv64(&b));
+    }
+}

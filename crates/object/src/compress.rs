@@ -1,0 +1,121 @@
+//! Zero-run-length compression for capsule payloads.
+//!
+//! DNA capacity is the scarce resource, so capsules optionally squeeze
+//! their payload before the (optional) cipher and the EC encode. The
+//! scheme is deliberately tiny and dependency-free: zero bytes — by far
+//! the most common filler in padded, sector-aligned, or sparse data — are
+//! run-length encoded, everything else is copied verbatim.
+//!
+//! Stream grammar: a non-zero byte represents itself; a `0x00` byte is
+//! always followed by a run length `1..=255` counting the zeros it stands
+//! for. The encoder never emits an expansion larger than the input plus
+//! one byte per zero run, and [`compress`] returns `None` when the result
+//! would not actually be smaller — the capsule then stores the plain bytes
+//! and leaves its `COMPRESSED` flag clear.
+
+/// Compresses `data`, returning `None` unless the output is strictly
+/// smaller than the input (store-uncompressed fallback).
+pub fn compress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        if b != 0 {
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        let mut run = 1usize;
+        while run < 255 && i + run < data.len() && data[i + run] == 0 {
+            run += 1;
+        }
+        out.push(0);
+        out.push(run as u8);
+        i += run;
+        if out.len() >= data.len() {
+            return None;
+        }
+    }
+    if out.len() < data.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Decompresses a [`compress`] stream, validating that it expands to
+/// exactly `plain_len` bytes.
+pub fn decompress(data: &[u8], plain_len: usize) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(plain_len);
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        i += 1;
+        if b != 0 {
+            out.push(b);
+            continue;
+        }
+        let Some(&run) = data.get(i) else {
+            return Err("zero-run marker at end of stream".into());
+        };
+        i += 1;
+        if run == 0 {
+            return Err("zero-length zero run".into());
+        }
+        out.resize(out.len() + usize::from(run), 0);
+        if out.len() > plain_len {
+            return Err(format!("decompressed past expected length {plain_len}"));
+        }
+    }
+    if out.len() != plain_len {
+        return Err(format!(
+            "decompressed to {} bytes, expected {plain_len}",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_zero_heavy_data() {
+        let mut data = vec![0u8; 1000];
+        data[10] = 7;
+        data[500] = 255;
+        let packed = compress(&data).expect("should shrink");
+        assert!(packed.len() < 20, "packed {} bytes", packed.len());
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_returns_none() {
+        let data: Vec<u8> = (0..512).map(|i| (i % 255 + 1) as u8).collect();
+        assert!(compress(&data).is_none());
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let data = vec![0u8; 700];
+        let packed = compress(&data).unwrap();
+        assert_eq!(packed, vec![0, 255, 0, 255, 0, 190]);
+        assert_eq!(decompress(&packed, 700).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(compress(&[]).is_none());
+        assert!(compress(&[0]).is_none()); // 0 -> [0,1] expands
+        assert_eq!(decompress(&[], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        assert!(decompress(&[0], 5).is_err()); // marker without length
+        assert!(decompress(&[0, 0], 5).is_err()); // zero-length run
+        assert!(decompress(&[0, 9], 5).is_err()); // overruns plain_len
+        assert!(decompress(&[1, 2], 5).is_err()); // underruns plain_len
+    }
+}

@@ -3,8 +3,9 @@
 #
 #   scripts/bench_snapshot.sh [tag]
 #
-# Runs the perf_pipeline + perf_components criterion benches at smoke
-# scale and records min/median/mean wall-clock per bench in microseconds.
+# Runs the perf_pipeline + perf_components + ablation_object_fetch
+# criterion benches at smoke scale and records min/median/mean
+# wall-clock per bench in microseconds.
 # scripts/bench_baseline_<tag>.tsv (name<TAB>min_us per line — the
 # numbers captured before an optimization lands) must exist: each entry
 # gets "baseline_min" and "speedup_min" = baseline / current, which is
@@ -30,7 +31,8 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 DNA_REPRO_SCALE=smoke cargo bench -p dna-bench \
-    --bench perf_pipeline --bench perf_components | tee "$RAW"
+    --bench perf_pipeline --bench perf_components \
+    --bench ablation_object_fetch | tee "$RAW"
 
 awk -v tag="$TAG" -v baseline_file="$BASELINE" '
 function to_us(v, u) {

@@ -15,6 +15,7 @@
 //! | [`crypto`] | ChaCha20 for end-to-end encrypted archives |
 //! | [`parallel`] | deterministic scoped-thread fan-out |
 //! | [`storage`] | the pipeline: Baseline / **Gini** / **DnaMapper** |
+//! | [`object`] | streaming object store: survival capsules, manifest, primer-addressed fetch |
 //!
 //! # Quick start
 //!
@@ -95,6 +96,7 @@ pub use dna_consensus as consensus;
 pub use dna_crypto as crypto;
 pub use dna_gf as gf;
 pub use dna_media as media;
+pub use dna_object as object;
 pub use dna_parallel as parallel;
 pub use dna_reed_solomon as reed_solomon;
 pub use dna_storage as storage;
@@ -111,6 +113,7 @@ pub mod prelude {
         BmaOneWay, BmaTwoWay, ConstrainedMedian, IterativeReconstructor, TraceReconstructor,
     };
     pub use dna_media::{GrayImage, JpegLikeCodec};
+    pub use dna_object::{FetchOptions, FetchReport, Manifest, ObjectStore, StoreConfig};
     pub use dna_storage::{
         min_coverage, min_coverage_with, quality_sweep, Archive, ArchiveCodec, BaselineLayout,
         CodecParams, DecodeReport, FileEntry, GiniLayout, Layout, Pipeline, PipelineBuilder,

@@ -321,6 +321,53 @@ const RECOVERY_GOLDEN_MATRIX: [&str; 12] = [
     "preset=dropout:0.03 clusterer=anchored cov=12 hash=0x121efa94b415e4d2 purity=469/497 orphans=1 merges=159 failed=6",
 ];
 
+/// The object-store conformance cell: a deterministic store lifecycle
+/// (create → put ×2 → delete → fetch) whose persisted manifest hash,
+/// capsule tallies, and fetch receipt are pinned. The manifest text is
+/// deterministic — capsule offsets derive from fixed record geometry and
+/// primer pairs from the pool seed — so its FNV-1a hash is a stable
+/// fingerprint of the entire on-disk format. A format change that is NOT
+/// intentional shows up here first.
+fn object_store_cell_summary() -> String {
+    use dna_skew::object::{ObjectStore, StoreConfig};
+    let dir = std::env::temp_dir().join(format!(
+        "dna-skew-conformance-objstore-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store =
+        ObjectStore::create(&dir, StoreConfig::tiny().expect("tiny config")).expect("create");
+    let alpha: Vec<u8> = (0..200u32)
+        .map(|i| (i.wrapping_mul(131) % 256) as u8)
+        .collect();
+    let beta = vec![0u8; 300]; // zero-heavy: exercises the compressed path
+    let a = store.put_bytes("alpha.bin", &alpha).expect("put alpha");
+    let b = store.put_bytes("beta.bin", &beta).expect("put beta");
+    store.delete(b).expect("delete beta");
+    let mut fetched = Vec::new();
+    let report = store.fetch(a, &mut fetched).expect("fetch alpha");
+    assert_eq!(fetched, alpha, "object store round trip");
+    let manifest = store.manifest();
+    let summary = format!(
+        "objects={} capsules={} manifest_hash={:#018x} fetch_capsules={} fetch_units={} fetch_reads={}",
+        manifest.objects().len(),
+        manifest.capsules().len(),
+        manifest.hash(),
+        report.capsules,
+        report.units,
+        report.reads,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    summary
+}
+
+/// Golden object-store summary. Regenerate after an *intentional* pool /
+/// manifest format change with `DNA_SKEW_BLESS=1` like the other tables —
+/// an unintentional diff here means the on-disk format drifted.
+const OBJECT_GOLDEN: [&str; 1] = [
+    "objects=2 capsules=7 manifest_hash=0xdfdb066fbf6496b9 fetch_capsules=3 fetch_units=7 fetch_reads=105",
+];
+
 fn assert_matches(matrix: &[String], golden: &[&str], context: &str) {
     if std::env::var("DNA_SKEW_BLESS").is_ok() {
         for line in matrix {
@@ -351,6 +398,34 @@ fn conformance_matrix_is_thread_count_invariant() {
     for threads in ["1", "2", "8"] {
         std::env::set_var("DNA_SKEW_THREADS", threads);
         assert_matches_golden(&compute_matrix(), &format!("DNA_SKEW_THREADS={threads}"));
+    }
+    match original {
+        Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
+        None => std::env::remove_var("DNA_SKEW_THREADS"),
+    }
+}
+
+#[test]
+fn object_store_matches_golden_report() {
+    let _guard = env_guard();
+    assert_matches(
+        &[object_store_cell_summary()],
+        &OBJECT_GOLDEN,
+        "object store, default thread count",
+    );
+}
+
+#[test]
+fn object_store_is_thread_count_invariant() {
+    let _guard = env_guard();
+    let original = std::env::var("DNA_SKEW_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("DNA_SKEW_THREADS", threads);
+        assert_matches(
+            &[object_store_cell_summary()],
+            &OBJECT_GOLDEN,
+            &format!("object store, DNA_SKEW_THREADS={threads}"),
+        );
     }
     match original {
         Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
