@@ -82,6 +82,7 @@ fn main() {
         Scale::Smoke => &[2, 8],
         Scale::Default => &[2, 8, 32],
         Scale::Paper => &[2, 8, 32, 128],
+        Scale::Wetlab => &[2, 8, 32, 64],
     };
     let samples = scale.pick(5, 20, 50);
     let mut c = Criterion::default().sample_size(samples);

@@ -15,6 +15,7 @@ fn main() {
         Scale::Smoke => (64u32, 48u32),
         Scale::Default => (160, 120),
         Scale::Paper => (320, 240),
+        Scale::Wetlab => (240, 180),
     };
     let probes = scale.pick(300, 1500, 6000);
     let codec = JpegLikeCodec::new(80).expect("valid quality");

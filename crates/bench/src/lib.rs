@@ -27,6 +27,11 @@ pub enum Scale {
     Default,
     /// Paper-level trial counts.
     Paper,
+    /// Wetlab-prep sizing: the operating point a physical run would be
+    /// provisioned at — between [`Scale::Default`] and [`Scale::Paper`]
+    /// trial counts, used by the chaos campaign to size its verdict
+    /// histograms.
+    Wetlab,
 }
 
 impl Scale {
@@ -39,23 +44,27 @@ impl Scale {
         match raw.trim().to_ascii_lowercase().as_str() {
             "smoke" => Scale::Smoke,
             "paper" | "full" => Scale::Paper,
+            "wetlab" => Scale::Wetlab,
             "" | "default" | "laptop" => Scale::Default,
             other => {
                 eprintln!(
                     "warning: unrecognized DNA_REPRO_SCALE value {other:?} \
-                     (expected smoke|default|paper); using the default scale"
+                     (expected smoke|default|paper|wetlab); using the default scale"
                 );
                 Scale::Default
             }
         }
     }
 
-    /// Picks a size by scale.
+    /// Picks a size by scale. [`Scale::Wetlab`] sits halfway between the
+    /// default and paper sizes, so figures written before it existed
+    /// scale sensibly without naming it.
     pub fn pick(&self, smoke: usize, default: usize, paper: usize) -> usize {
         match self {
             Scale::Smoke => smoke,
             Scale::Default => default,
             Scale::Paper => paper,
+            Scale::Wetlab => default + (paper.saturating_sub(default)).div_ceil(2),
         }
     }
 }

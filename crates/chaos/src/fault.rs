@@ -1,0 +1,317 @@
+//! Pool-layer fault injection: adversarial transformations of the
+//! clustered read pool, applied *after* the channel simulation and
+//! *before* decode (or anonymization + recovery).
+//!
+//! Every fault draws from its own splitmix-derived RNG stream, so a
+//! [`FaultPlan`] is deterministic in `(plan, seed)` regardless of how
+//! many faults precede it or how the trials are parallelized.
+
+use dna_channel::Cluster;
+use dna_strand::DnaString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The splitmix64 finalizer used across the workspace for deriving
+/// independent seed streams from one campaign seed.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One adversarial transformation of a clustered read pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolFault {
+    /// Whole-molecule loss: each cluster (source strand and every read
+    /// of it) is removed with probability `rate`. `rate >= 0.4` models
+    /// the sustained-dropout regime where unequal protection is the
+    /// difference between degradation and loss.
+    Dropout {
+        /// Per-cluster removal probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Index-region-targeted burst deletions: with probability `rate`
+    /// per read, `burst` consecutive bases are deleted starting inside
+    /// the first `index_region` bases (see
+    /// [`FaultContext::index_region`]) — exactly where the ordering
+    /// index lives, so demultiplexing votes on damaged evidence.
+    IndexBurst {
+        /// Per-read burst probability in `[0, 1]`.
+        rate: f64,
+        /// Deleted bases per burst.
+        burst: usize,
+    },
+    /// Cross-pool contamination: foreign reads (from
+    /// [`FaultContext::foreign_reads`] — a different unit's pool) are
+    /// mixed into randomly chosen clusters until they make up roughly
+    /// `fraction` of the original read count.
+    Contamination {
+        /// Foreign reads to inject, as a fraction of the pool's reads.
+        fraction: f64,
+    },
+    /// Truncated reads: with probability `fraction` per read, the read
+    /// is cut to a uniformly drawn `keep_min..keep_max` fraction of its
+    /// length (3' loss — the molecule broke or sequencing stopped).
+    TruncateReads {
+        /// Per-read truncation probability in `[0, 1]`.
+        fraction: f64,
+        /// Smallest kept prefix fraction.
+        keep_min: f64,
+        /// Largest kept prefix fraction.
+        keep_max: f64,
+    },
+    /// Chimeric reads: with probability `fraction` per read, the read's
+    /// tail is replaced by the tail of a read from another (randomly
+    /// chosen) cluster — the PCR artifact that splices two molecules
+    /// into one observation.
+    Chimera {
+        /// Per-read chimerization probability in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Context a [`FaultPlan`] needs that the clusters alone do not carry.
+#[derive(Debug, Clone, Default)]
+pub struct FaultContext {
+    /// Bases at the 5' end holding the left primer plus the ordering
+    /// index — the target window for [`PoolFault::IndexBurst`].
+    pub index_region: usize,
+    /// Reads from a *foreign* pool (another unit, another payload) that
+    /// [`PoolFault::Contamination`] draws from. Empty means
+    /// contamination faults are no-ops.
+    pub foreign_reads: Vec<DnaString>,
+}
+
+/// A composable, ordered list of [`PoolFault`]s: the chaos scenario's
+/// description of what goes wrong between the sequencer and the decoder.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<PoolFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the control arm).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Appends a fault; faults apply in insertion order.
+    #[must_use]
+    pub fn with(mut self, fault: PoolFault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[PoolFault] {
+        &self.faults
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies every fault to `clusters` in order. Each fault consumes
+    /// an independent RNG stream derived from `(seed, fault position)`,
+    /// so inserting a fault never perturbs the draws of the ones after
+    /// it in a different plan sharing a prefix.
+    pub fn apply(&self, clusters: &mut Vec<Cluster>, ctx: &FaultContext, seed: u64) {
+        for (stage, fault) in self.faults.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ ((stage as u64 + 1) << 24)));
+            apply_fault(fault, clusters, ctx, &mut rng);
+        }
+    }
+}
+
+fn apply_fault(
+    fault: &PoolFault,
+    clusters: &mut Vec<Cluster>,
+    ctx: &FaultContext,
+    rng: &mut StdRng,
+) {
+    match *fault {
+        PoolFault::Dropout { rate } => {
+            // One draw per cluster, in order, independent of retention.
+            let keep: Vec<bool> = clusters.iter().map(|_| !rng.gen_bool(rate)).collect();
+            let mut it = keep.iter();
+            clusters.retain(|_| *it.next().expect("one draw per cluster"));
+        }
+        PoolFault::IndexBurst { rate, burst } => {
+            let window = ctx.index_region.max(1);
+            for cluster in clusters.iter_mut() {
+                for read in &mut cluster.reads {
+                    if read.is_empty() || !rng.gen_bool(rate) {
+                        continue;
+                    }
+                    let start = rng.gen_range(0..window.min(read.len()));
+                    let end = (start + burst).min(read.len());
+                    let mut bases = std::mem::take(read).into_bases();
+                    bases.drain(start..end);
+                    *read = DnaString::from_bases(bases);
+                }
+            }
+        }
+        PoolFault::Contamination { fraction } => {
+            if ctx.foreign_reads.is_empty() || clusters.is_empty() {
+                return;
+            }
+            let total: usize = clusters.iter().map(|c| c.reads.len()).sum();
+            let inject = ((total as f64) * fraction).round() as usize;
+            let start = rng.gen_range(0..ctx.foreign_reads.len());
+            for k in 0..inject {
+                let read = ctx.foreign_reads[(start + k) % ctx.foreign_reads.len()].clone();
+                let target = rng.gen_range(0..clusters.len());
+                clusters[target].reads.push(read);
+            }
+        }
+        PoolFault::TruncateReads {
+            fraction,
+            keep_min,
+            keep_max,
+        } => {
+            for cluster in clusters.iter_mut() {
+                for read in &mut cluster.reads {
+                    if read.is_empty() || !rng.gen_bool(fraction) {
+                        continue;
+                    }
+                    let keep = rng.gen_range(keep_min..keep_max);
+                    let cut = ((read.len() as f64) * keep).max(1.0) as usize;
+                    if cut < read.len() {
+                        *read = read.slice(0, cut);
+                    }
+                }
+            }
+        }
+        PoolFault::Chimera { fraction } => {
+            // Donors come from the pre-fault snapshot so chimeras do not
+            // compound within one application.
+            let snapshot: Vec<Vec<DnaString>> = clusters.iter().map(|c| c.reads.clone()).collect();
+            if snapshot.is_empty() {
+                return;
+            }
+            for (ci, cluster) in clusters.iter_mut().enumerate() {
+                for read in &mut cluster.reads {
+                    if read.len() < 4 || !rng.gen_bool(fraction) {
+                        continue;
+                    }
+                    let donor_cluster = rng.gen_range(0..snapshot.len());
+                    if donor_cluster == ci || snapshot[donor_cluster].is_empty() {
+                        continue;
+                    }
+                    let donor =
+                        &snapshot[donor_cluster][rng.gen_range(0..snapshot[donor_cluster].len())];
+                    let cut = rng.gen_range(read.len() / 4..(3 * read.len()) / 4 + 1);
+                    let mut bases = read.slice(0, cut).into_bases();
+                    if cut < donor.len() {
+                        bases.extend(donor.slice(cut, donor.len()).into_bases());
+                    }
+                    *read = DnaString::from_bases(bases);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_strand::Base;
+
+    fn pool_of(reads_per: usize, clusters: usize, len: usize) -> Vec<Cluster> {
+        (0..clusters)
+            .map(|s| Cluster {
+                source: s,
+                reads: (0..reads_per)
+                    .map(|r| {
+                        DnaString::from_bases(
+                            (0..len)
+                                .map(|i| Base::from_bits(((s + r + i) % 4) as u8))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_seed() {
+        let plan = FaultPlan::new()
+            .with(PoolFault::Dropout { rate: 0.3 })
+            .with(PoolFault::IndexBurst {
+                rate: 0.5,
+                burst: 3,
+            })
+            .with(PoolFault::TruncateReads {
+                fraction: 0.4,
+                keep_min: 0.5,
+                keep_max: 0.9,
+            })
+            .with(PoolFault::Chimera { fraction: 0.3 });
+        let ctx = FaultContext {
+            index_region: 6,
+            foreign_reads: vec![],
+        };
+        let mut a = pool_of(5, 12, 40);
+        let mut b = pool_of(5, 12, 40);
+        let mut c = pool_of(5, 12, 40);
+        plan.apply(&mut a, &ctx, 77);
+        plan.apply(&mut b, &ctx, 77);
+        plan.apply(&mut c, &ctx, 78);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dropout_removes_whole_clusters() {
+        let mut clusters = pool_of(4, 40, 20);
+        FaultPlan::new()
+            .with(PoolFault::Dropout { rate: 0.5 })
+            .apply(&mut clusters, &FaultContext::default(), 5);
+        assert!(clusters.len() < 40, "some clusters must drop");
+        assert!(clusters.iter().all(|c| c.reads.len() == 4));
+    }
+
+    #[test]
+    fn contamination_adds_foreign_reads() {
+        let mut clusters = pool_of(4, 10, 20);
+        let foreign: Vec<DnaString> = (0..8)
+            .map(|_| DnaString::from_bases(vec![Base::from_bits(0); 20]))
+            .collect();
+        let ctx = FaultContext {
+            index_region: 4,
+            foreign_reads: foreign,
+        };
+        FaultPlan::new()
+            .with(PoolFault::Contamination { fraction: 0.25 })
+            .apply(&mut clusters, &ctx, 9);
+        let total: usize = clusters.iter().map(|c| c.reads.len()).sum();
+        assert_eq!(total, 40 + 10);
+    }
+
+    #[test]
+    fn truncation_and_bursts_shorten_reads() {
+        let mut clusters = pool_of(3, 6, 40);
+        FaultPlan::new()
+            .with(PoolFault::IndexBurst {
+                rate: 1.0,
+                burst: 4,
+            })
+            .with(PoolFault::TruncateReads {
+                fraction: 1.0,
+                keep_min: 0.4,
+                keep_max: 0.6,
+            })
+            .apply(
+                &mut clusters,
+                &FaultContext {
+                    index_region: 8,
+                    foreign_reads: vec![],
+                },
+                3,
+            );
+        assert!(clusters.iter().flat_map(|c| &c.reads).all(|r| r.len() < 40));
+    }
+}

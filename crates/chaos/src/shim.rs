@@ -1,0 +1,323 @@
+//! Byte-level fault injection for the object store, built on generic
+//! fault-wrapping [`io::Read`] / [`io::Write`] / [`io::Seek`] shims.
+//!
+//! The shims are ordinary adapters — wrap any reader/writer and the
+//! fault happens in-stream. [`apply_byte_fault`] drives them against a
+//! store directory: the target file is rewritten *through* a shim (torn
+//! writer, corrupting reader, truncating reader) and atomically renamed
+//! back into place, producing exactly the on-disk states a crashed
+//! append, a bit-rotted sector, or an external chop would leave behind.
+
+use crate::fault::splitmix64;
+use dna_object::capsule::{packed_strand_len, PoolHeader};
+use dna_object::{Manifest, MANIFEST_FILE, POOL_FILE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A writer that persists only its first `budget` bytes: everything
+/// after is accepted and discarded — the lie a page cache tells when
+/// power fails mid-append. The copy "succeeds"; the file is short.
+#[derive(Debug)]
+pub struct TornWriter<W: Write> {
+    inner: W,
+    budget: u64,
+}
+
+impl<W: Write> TornWriter<W> {
+    /// Wraps `inner`, persisting only the first `budget` bytes.
+    pub fn new(inner: W, budget: u64) -> TornWriter<W> {
+        TornWriter { inner, budget }
+    }
+}
+
+impl<W: Write> Write for TornWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let take = (self.budget.min(buf.len() as u64)) as usize;
+        if take > 0 {
+            self.inner.write_all(&buf[..take])?;
+            self.budget -= take as u64;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that XORs `mask` into the byte at absolute `offset` — one
+/// flipped byte, wherever the stream carries it. Seeking keeps the
+/// offset absolute, so random access sees the same corruption.
+#[derive(Debug)]
+pub struct CorruptingReader<R: Read> {
+    inner: R,
+    pos: u64,
+    flips: Vec<(u64, u8)>,
+}
+
+impl<R: Read> CorruptingReader<R> {
+    /// Wraps `inner`, XOR-ing each `(offset, mask)` into the stream.
+    pub fn new(inner: R, flips: Vec<(u64, u8)>) -> CorruptingReader<R> {
+        CorruptingReader {
+            inner,
+            pos: 0,
+            flips,
+        }
+    }
+}
+
+impl<R: Read> Read for CorruptingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        let lo = self.pos;
+        let hi = lo + n as u64;
+        for &(offset, mask) in &self.flips {
+            if offset >= lo && offset < hi {
+                buf[(offset - lo) as usize] ^= mask;
+            }
+        }
+        self.pos = hi;
+        Ok(n)
+    }
+}
+
+impl<R: Read + Seek> Seek for CorruptingReader<R> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.pos = self.inner.seek(pos)?;
+        Ok(self.pos)
+    }
+}
+
+/// A reader that reports end-of-file at absolute offset `end` — the
+/// read-side view of a truncated file.
+#[derive(Debug)]
+pub struct TruncatingReader<R: Read> {
+    inner: R,
+    pos: u64,
+    end: u64,
+}
+
+impl<R: Read> TruncatingReader<R> {
+    /// Wraps `inner`, ending the stream at byte `end`.
+    pub fn new(inner: R, end: u64) -> TruncatingReader<R> {
+        TruncatingReader { inner, pos: 0, end }
+    }
+}
+
+impl<R: Read> Read for TruncatingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let room = self.end.saturating_sub(self.pos);
+        if room == 0 {
+            return Ok(0);
+        }
+        let cap = (room.min(buf.len() as u64)) as usize;
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl<R: Read + Seek> Seek for TruncatingReader<R> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let target = match pos {
+            SeekFrom::End(delta) => SeekFrom::Start((self.end as i64 + delta).max(0) as u64),
+            other => other,
+        };
+        self.pos = self.inner.seek(target)?;
+        Ok(self.pos)
+    }
+}
+
+/// One byte-level fault against a store directory's on-disk state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByteFault {
+    /// A torn append: `pool.dna` keeps only a `keep_min..keep_max`
+    /// fraction of its bytes (always at least the pool header, always
+    /// strictly short of the full file) — the crash landed mid-record.
+    TornAppend {
+        /// Smallest kept fraction of the file.
+        keep_min: f64,
+        /// Largest kept fraction of the file.
+        keep_max: f64,
+    },
+    /// One byte inside the *last data capsule's* header is flipped
+    /// (bit rot over the record's self-describing metadata).
+    FlipCapsuleHeaderByte,
+    /// One byte inside the last data capsule's packed-strand section is
+    /// flipped (bit rot over payload strands).
+    FlipStrandByte,
+    /// One byte in the middle of the `MANIFEST` sidecar is flipped.
+    CorruptSidecar,
+    /// The `MANIFEST` sidecar is chopped to a `keep_min..keep_max`
+    /// fraction of its length (a torn sidecar write without the
+    /// tmp+rename discipline).
+    TruncateSidecar {
+        /// Smallest kept fraction.
+        keep_min: f64,
+        /// Largest kept fraction.
+        keep_max: f64,
+    },
+    /// The `MANIFEST` sidecar is deleted outright (the store must fall
+    /// back to the in-pool super-capsule).
+    DeleteSidecar,
+}
+
+/// Applies `fault` to the store at `dir`, deterministically in `seed`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from reading, rewriting, or renaming
+/// the target file, and sidecar-parse failures while locating the last
+/// capsule (as `io::ErrorKind::InvalidData`).
+pub fn apply_byte_fault(dir: &Path, fault: &ByteFault, seed: u64) -> io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xB17E_FAB7));
+    let pool = dir.join(POOL_FILE);
+    let sidecar = dir.join(MANIFEST_FILE);
+    match fault {
+        ByteFault::TornAppend { keep_min, keep_max } => {
+            let len = std::fs::metadata(&pool)?.len();
+            let frac = rng.gen_range(*keep_min..*keep_max);
+            let cut = ((len as f64) * frac) as u64;
+            let cut = cut.clamp(PoolHeader::LEN, len.saturating_sub(1));
+            rewrite_torn(&pool, cut)
+        }
+        ByteFault::FlipCapsuleHeaderByte => {
+            let (offset, header_len, _) = last_capsule_extent(dir)?;
+            let at = offset + rng.gen_range(0..header_len);
+            rewrite_flipped(&pool, vec![(at, nonzero_mask(&mut rng))])
+        }
+        ByteFault::FlipStrandByte => {
+            let (offset, header_len, strand_bytes) = last_capsule_extent(dir)?;
+            let at = offset + header_len + rng.gen_range(0..strand_bytes.max(1));
+            rewrite_flipped(&pool, vec![(at, nonzero_mask(&mut rng))])
+        }
+        ByteFault::CorruptSidecar => {
+            let len = std::fs::metadata(&sidecar)?.len().max(4);
+            let at = rng.gen_range(len / 4..(3 * len) / 4);
+            rewrite_flipped(&sidecar, vec![(at, nonzero_mask(&mut rng))])
+        }
+        ByteFault::TruncateSidecar { keep_min, keep_max } => {
+            let len = std::fs::metadata(&sidecar)?.len();
+            let frac = rng.gen_range(*keep_min..*keep_max);
+            let keep = (((len as f64) * frac) as u64).clamp(1, len.saturating_sub(1));
+            rewrite_truncated(&sidecar, keep)
+        }
+        ByteFault::DeleteSidecar => std::fs::remove_file(&sidecar),
+    }
+}
+
+fn nonzero_mask(rng: &mut StdRng) -> u8 {
+    rng.gen_range(1u8..=255)
+}
+
+/// Locates the last *data* capsule in the pool via the sidecar:
+/// `(record offset, header byte length, strand-section payload bytes)`.
+fn last_capsule_extent(dir: &Path) -> io::Result<(u64, u64, u64)> {
+    let invalid = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let manifest =
+        Manifest::from_text(&text).map_err(|e| invalid(format!("sidecar unreadable: {e}")))?;
+    let entry = manifest
+        .capsules()
+        .last()
+        .ok_or_else(|| invalid("pool has no data capsules to corrupt".into()))?;
+    let object = manifest
+        .object(entry.object_id)
+        .ok_or_else(|| invalid(format!("capsule {} has no owning object", entry.seq)))?;
+    let mut pool = BufReader::new(File::open(dir.join(POOL_FILE))?);
+    let header = PoolHeader::read_from(&mut pool)
+        .map_err(|e| invalid(format!("pool header unreadable: {e}")))?;
+    let params = header
+        .params()
+        .map_err(|e| invalid(format!("pool params invalid: {e}")))?;
+    let packed_primer = usize::from(header.primer_len).div_ceil(4) as u64;
+    // CAP1 + version + seq + object_id + flags + name_len, then name,
+    // units + plain_len + stored_len, two packed primers, CRC32.
+    let header_len = 21 + object.name.len() as u64 + 4 + 8 + 8 + 2 * packed_primer + 4;
+    let strand_bytes = u64::from(entry.units)
+        * header.cols() as u64
+        * packed_strand_len(params.strand_bases()) as u64;
+    Ok((entry.offset, header_len, strand_bytes))
+}
+
+/// Rewrites `path` through a [`TornWriter`] budgeted at `budget` bytes.
+fn rewrite_torn(path: &Path, budget: u64) -> io::Result<()> {
+    rewrite_with(path, |src, dst| {
+        let mut torn = TornWriter::new(dst, budget);
+        io::copy(src, &mut torn)?;
+        torn.flush()
+    })
+}
+
+/// Rewrites `path` through a [`CorruptingReader`] with the given flips.
+fn rewrite_flipped(path: &Path, flips: Vec<(u64, u8)>) -> io::Result<()> {
+    rewrite_with(path, move |src, dst| {
+        let mut corrupt = CorruptingReader::new(src, flips.clone());
+        io::copy(&mut corrupt, dst).map(|_| ())
+    })
+}
+
+/// Rewrites `path` through a [`TruncatingReader`] ending at `keep`.
+fn rewrite_truncated(path: &Path, keep: u64) -> io::Result<()> {
+    rewrite_with(path, move |src, dst| {
+        let mut short = TruncatingReader::new(src, keep);
+        io::copy(&mut short, dst).map(|_| ())
+    })
+}
+
+fn rewrite_with(
+    path: &Path,
+    f: impl FnOnce(&mut BufReader<File>, &mut File) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut src = BufReader::new(File::open(path)?);
+    let tmp = path.with_extension("chaos.tmp");
+    let mut dst = File::create(&tmp)?;
+    f(&mut src, &mut dst)?;
+    dst.sync_all()?;
+    drop(dst);
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn torn_writer_persists_only_the_budget() {
+        let mut sink = Vec::new();
+        let mut torn = TornWriter::new(&mut sink, 5);
+        torn.write_all(b"abcdefgh").unwrap();
+        torn.write_all(b"ij").unwrap();
+        torn.flush().unwrap();
+        assert_eq!(sink, b"abcde");
+    }
+
+    #[test]
+    fn corrupting_reader_flips_across_reads_and_seeks() {
+        let data: Vec<u8> = (0..32u8).collect();
+        let mut r = CorruptingReader::new(Cursor::new(data.clone()), vec![(10, 0xFF)]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out[10], 10 ^ 0xFF);
+        assert_eq!(out[9], 9);
+        // Seek back and re-read: the same absolute offset stays flipped.
+        r.seek(SeekFrom::Start(8)).unwrap();
+        let mut four = [0u8; 4];
+        r.read_exact(&mut four).unwrap();
+        assert_eq!(four, [8, 9, 10 ^ 0xFF, 11]);
+    }
+
+    #[test]
+    fn truncating_reader_ends_early() {
+        let data: Vec<u8> = (0..32u8).collect();
+        let mut r = TruncatingReader::new(Cursor::new(data), 7);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 7);
+        assert_eq!(r.seek(SeekFrom::End(0)).unwrap(), 7);
+    }
+}

@@ -1,0 +1,212 @@
+//! The four-way trial verdict and its scoring rules.
+//!
+//! Every chaos trial ends in exactly one of four outcomes, scored
+//! against hidden ground truth (the payload the trial stored):
+//!
+//! | Verdict | Bytes | Error surfaced? |
+//! |---|---|---|
+//! | [`Verdict::Exact`] | correct | — |
+//! | [`Verdict::DegradedReported`] | wrong/partial | yes (report or typed error, data still reached the caller) |
+//! | [`Verdict::FailedLoud`] | none | yes (typed [`StorageError`]) |
+//! | [`Verdict::SilentCorruption`] | **wrong** | **no** |
+//!
+//! `SilentCorruption` is the verdict the whole campaign exists to hunt:
+//! wrong bytes handed to the caller with a clean bill of health.
+
+use dna_storage::{DecodeReport, StorageError};
+
+/// One trial's outcome class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The returned bytes match the stored payload.
+    Exact,
+    /// The returned bytes are wrong or partial, but the pipeline said
+    /// so — [`DecodeReport::flags_degradation`] is set, or a typed
+    /// error accompanied a recovered-but-imperfect result.
+    DegradedReported,
+    /// No payload bytes were produced; the failure surfaced as a typed
+    /// [`StorageError`].
+    FailedLoud,
+    /// Wrong bytes with no error signal of any kind. Must never happen
+    /// at default settings — its presence fails the campaign.
+    SilentCorruption,
+}
+
+impl Verdict {
+    /// All four verdicts, in tally order.
+    pub const ALL: [Verdict; 4] = [
+        Verdict::Exact,
+        Verdict::DegradedReported,
+        Verdict::FailedLoud,
+        Verdict::SilentCorruption,
+    ];
+
+    /// Short lower-case label (`exact`, `degraded`, `loud`, `silent`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Exact => "exact",
+            Verdict::DegradedReported => "degraded",
+            Verdict::FailedLoud => "loud",
+            Verdict::SilentCorruption => "silent",
+        }
+    }
+}
+
+/// Per-verdict counts for one scenario (or a whole campaign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerdictTally {
+    /// [`Verdict::Exact`] trials.
+    pub exact: usize,
+    /// [`Verdict::DegradedReported`] trials.
+    pub degraded: usize,
+    /// [`Verdict::FailedLoud`] trials.
+    pub loud: usize,
+    /// [`Verdict::SilentCorruption`] trials.
+    pub silent: usize,
+}
+
+impl VerdictTally {
+    /// Adds one verdict.
+    pub fn record(&mut self, verdict: Verdict) {
+        match verdict {
+            Verdict::Exact => self.exact += 1,
+            Verdict::DegradedReported => self.degraded += 1,
+            Verdict::FailedLoud => self.loud += 1,
+            Verdict::SilentCorruption => self.silent += 1,
+        }
+    }
+
+    /// Total trials tallied.
+    pub fn total(&self) -> usize {
+        self.exact + self.degraded + self.loud + self.silent
+    }
+
+    /// Folds `other`'s counts into `self`.
+    pub fn merge_from(&mut self, other: &VerdictTally) {
+        self.exact += other.exact;
+        self.degraded += other.degraded;
+        self.loud += other.loud;
+        self.silent += other.silent;
+    }
+
+    /// `exact=… degraded=… loud=… silent=…` — the format pinned by the
+    /// conformance goldens.
+    pub fn summary(&self) -> String {
+        format!(
+            "exact={} degraded={} loud={} silent={}",
+            self.exact, self.degraded, self.loud, self.silent
+        )
+    }
+}
+
+/// Scores a decode-path trial: the outcome of
+/// [`Pipeline::decode_unit`](dna_storage::Pipeline::decode_unit) or
+/// [`Pipeline::decode_pool`](dna_storage::Pipeline::decode_pool)
+/// against the payload that was stored.
+pub fn score_decode(
+    expected: &[u8],
+    outcome: &Result<(Vec<u8>, DecodeReport), StorageError>,
+) -> Verdict {
+    match outcome {
+        Err(_) => Verdict::FailedLoud,
+        Ok((bytes, report)) => {
+            let exact = bytes.len() >= expected.len() && bytes[..expected.len()] == expected[..];
+            if exact {
+                Verdict::Exact
+            } else if report.flags_degradation() {
+                Verdict::DegradedReported
+            } else {
+                Verdict::SilentCorruption
+            }
+        }
+    }
+}
+
+/// Scores a bytes-only trial (the object-store path, where no
+/// [`DecodeReport`] reaches the caller). `repaired` records that a typed
+/// error surfaced earlier in the trial and an explicit recovery step
+/// (e.g. `rebuild_manifest`) ran before these bytes were produced: a
+/// correct result after a *reported* incident is degraded-but-honest,
+/// not exact.
+pub fn score_bytes(
+    expected: &[u8],
+    outcome: &Result<Vec<u8>, StorageError>,
+    repaired: bool,
+) -> Verdict {
+    match outcome {
+        Err(_) => Verdict::FailedLoud,
+        Ok(bytes) => {
+            if bytes == expected {
+                if repaired {
+                    Verdict::DegradedReported
+                } else {
+                    Verdict::Exact
+                }
+            } else {
+                Verdict::SilentCorruption
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoring_covers_the_four_quadrants() {
+        let expected = vec![1u8, 2, 3];
+        let clean = Ok((vec![1u8, 2, 3, 0], DecodeReport::default()));
+        assert_eq!(score_decode(&expected, &clean), Verdict::Exact);
+
+        let flagged = DecodeReport {
+            lost_columns: 2,
+            ..Default::default()
+        };
+        let degraded = Ok((vec![9u8, 9, 9], flagged));
+        assert_eq!(
+            score_decode(&expected, &degraded),
+            Verdict::DegradedReported
+        );
+
+        let loud: Result<(Vec<u8>, DecodeReport), StorageError> = Err(StorageError::EmptyPool);
+        assert_eq!(score_decode(&expected, &loud), Verdict::FailedLoud);
+
+        let silent = Ok((vec![9u8, 9, 9], DecodeReport::default()));
+        assert_eq!(score_decode(&expected, &silent), Verdict::SilentCorruption);
+    }
+
+    #[test]
+    fn byte_scoring_distinguishes_repair() {
+        let expected = vec![7u8; 4];
+        assert_eq!(
+            score_bytes(&expected, &Ok(expected.clone()), false),
+            Verdict::Exact
+        );
+        assert_eq!(
+            score_bytes(&expected, &Ok(expected.clone()), true),
+            Verdict::DegradedReported
+        );
+        assert_eq!(
+            score_bytes(&expected, &Ok(vec![0u8; 4]), false),
+            Verdict::SilentCorruption
+        );
+        assert_eq!(
+            score_bytes(&expected, &Err(StorageError::ManifestMissing), true),
+            Verdict::FailedLoud
+        );
+    }
+
+    #[test]
+    fn tally_merges_and_summarizes() {
+        let mut t = VerdictTally::default();
+        for v in Verdict::ALL {
+            t.record(v);
+        }
+        let mut u = t;
+        u.merge_from(&t);
+        assert_eq!(u.total(), 8);
+        assert_eq!(t.summary(), "exact=1 degraded=1 loud=1 silent=1");
+        assert_eq!(Verdict::SilentCorruption.label(), "silent");
+    }
+}

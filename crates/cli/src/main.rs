@@ -31,6 +31,7 @@ USAGE:
   dnastore pack     <file>... --out <pool-dir>
   dnastore fetch    <object-id|name> --store <pool-dir> [--output <file>]
   dnastore ls       --store <pool-dir>
+  dnastore chaos    [--seed N] [--trials N] [--scenario <substring>]
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
 channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty
@@ -49,6 +50,14 @@ pack streams files into a capsule-pool object store (created on first use:
      laptop geometry, 16-base per-capsule primers); fetch streams one object
      back out by id or name, touching only that object's capsules; ls lists
      the manifest.
+
+chaos runs the built-in adversarial fault-injection campaign (sustained
+     dropout, index bursts, contamination, truncation + chimeras,
+     near-duplicates, torn appends, header/strand bit rot, sidecar damage)
+     and prints the scenario x verdict table. Every trial scores
+     exact | degraded | loud | silent against hidden ground truth; any
+     silent verdict (wrong bytes, no error) makes the command fail.
+     --scenario filters presets by name substring.
 ";
 
 /// Flags that take no value (presence alone switches them on).
@@ -269,6 +278,38 @@ fn run() -> Result<(), CliError> {
                     o.name
                 );
             }
+        }
+        "chaos" => {
+            let seed: u64 = flags.get("seed").map_or(Ok(42), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad seed {v:?}")))
+            })?;
+            let trials: usize = flags.get("trials").map_or(Ok(25), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad trials {v:?}")))
+            })?;
+            let mut scenarios = dna_chaos::builtin_presets();
+            if let Some(filter) = flags.get("scenario") {
+                scenarios.retain(|s| s.name.contains(filter.as_str()));
+                if scenarios.is_empty() {
+                    return Err(CliError::Usage(format!(
+                        "no built-in scenario matches {filter:?}"
+                    )));
+                }
+            }
+            let config = dna_chaos::CampaignConfig::quick(seed, trials)?;
+            let report = dna_chaos::run_campaign(&scenarios, &config)?;
+            print!("{}", report.to_table());
+            let silent = report.silent_corruptions();
+            if silent > 0 {
+                return Err(CliError::Usage(format!(
+                    "{silent} silent corruption(s): wrong bytes with no error signal"
+                )));
+            }
+            println!(
+                "no silent corruption across {} trial(s)",
+                report.totals().total()
+            );
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {

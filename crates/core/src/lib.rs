@@ -135,6 +135,15 @@ pub enum StorageError {
         /// Whether the object existed but was deleted (tombstoned).
         tombstoned: bool,
     },
+    /// The capsule pool file ends in the middle of a record — a torn
+    /// append or an external truncation. Every record before `offset`
+    /// is intact; everything from `offset` on is unreadable.
+    PoolTruncated {
+        /// Byte offset of the record that overruns the end of the file.
+        offset: u64,
+        /// What was being read when the file ran out.
+        reason: String,
+    },
     /// An underlying I/O error (message only: `std::io::Error` is neither
     /// `Clone` nor `PartialEq`, which this enum guarantees).
     Io(String),
@@ -172,6 +181,10 @@ impl fmt::Display for StorageError {
                     write!(f, "object {id} not found in manifest")
                 }
             }
+            StorageError::PoolTruncated { offset, reason } => write!(
+                f,
+                "pool truncated: record at byte {offset} overruns the end of the file ({reason})"
+            ),
             StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
             StorageError::DuplicateClusterIndex { index } => write!(
                 f,

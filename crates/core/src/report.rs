@@ -75,6 +75,25 @@ impl DecodeReport {
         !self.codewords.iter().any(|c| c.failed)
     }
 
+    /// True when the report carries a decode-level damage signal: failed
+    /// codewords, lost columns, or index conflicts / out-of-range
+    /// indexes. This is the "did the pipeline tell the caller its data
+    /// was damaged or missing" predicate that chaos-campaign verdicts
+    /// are scored against: wrong payload bytes with
+    /// `flags_degradation() == false` is a silent corruption.
+    ///
+    /// Recovery-stage statistics (orphaned reads, duplicate merges) are
+    /// deliberately *not* counted — they occur routinely on noisy pools
+    /// that still decode exactly, so treating them as a degradation
+    /// report would let genuinely silent wrong-bytes outcomes hide
+    /// behind them.
+    pub fn flags_degradation(&self) -> bool {
+        !self.is_error_free()
+            || self.lost_columns > 0
+            || self.index_conflicts > 0
+            || self.invalid_indexes > 0
+    }
+
     /// Number of failed codewords.
     pub fn failed_codewords(&self) -> usize {
         self.codewords.iter().filter(|c| c.failed).count()

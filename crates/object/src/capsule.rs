@@ -276,7 +276,7 @@ impl CapsuleHeader {
         // Fixed prefix through name_len.
         let mut head = [0u8; 21];
         r.read_exact(&mut head)
-            .map_err(|e| corrupt(format!("capsule header unreadable: {e}")))?;
+            .map_err(|e| eof_is_truncation(e, "capsule header fixed prefix"))?;
         if &head[..4] != CAPSULE_MAGIC {
             return Err(corrupt("bad capsule magic"));
         }
@@ -290,7 +290,7 @@ impl CapsuleHeader {
         let packed_primer = primer_len.div_ceil(4);
         let mut rest = vec![0u8; name_len + 4 + 8 + 8 + 2 * packed_primer + 4];
         r.read_exact(&mut rest)
-            .map_err(|e| corrupt(format!("capsule header truncated: {e}")))?;
+            .map_err(|e| eof_is_truncation(e, "capsule header tail"))?;
         let mut all = head.to_vec();
         all.extend_from_slice(&rest);
         let crc_at = all.len() - 4;
@@ -393,10 +393,10 @@ pub fn read_strands<R: Read>(
     let packed_len = packed_strand_len(strand_bases);
     let mut raw = vec![0u8; units as usize * cols * packed_len];
     r.read_exact(&mut raw)
-        .map_err(|e| corrupt(format!("capsule strands truncated: {e}")))?;
+        .map_err(|e| eof_is_truncation(e, "capsule strand section"))?;
     let mut trailer = [0u8; 12];
     r.read_exact(&mut trailer)
-        .map_err(|e| corrupt(format!("capsule trailer truncated: {e}")))?;
+        .map_err(|e| eof_is_truncation(e, "capsule CRC trailer"))?;
     let stored_crc = u64::from_le_bytes(trailer[..8].try_into().unwrap());
     if &trailer[8..] != TRAILER_MAGIC {
         return Err(corrupt("bad capsule trailer magic"));
@@ -419,10 +419,33 @@ pub fn read_strands<R: Read>(
     Ok(out)
 }
 
+/// Maps an end-of-file mid-read to [`StorageError::PoolTruncated`] (a
+/// torn append or external chop — the record simply is not all there)
+/// and every other I/O failure to [`StorageError::ManifestCorrupt`].
+/// The truncation offset is filled in by callers that know where the
+/// record started ([`scan_capsules`], the store's fetch path).
+fn eof_is_truncation(e: std::io::Error, what: &str) -> StorageError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StorageError::PoolTruncated {
+            offset: 0,
+            reason: format!("{what} ends at end of file"),
+        }
+    } else {
+        corrupt(format!("{what} unreadable: {e}"))
+    }
+}
+
 /// Walks the whole pool file, returning `(offset, header)` for every
 /// capsule record without reading strand bytes (headers only; strand
 /// sections are seeked over). This is the scan that powers manifest
 /// recovery and rebuild.
+///
+/// # Errors
+///
+/// [`StorageError::PoolTruncated`] (carrying the torn record's byte
+/// offset) when the file ends mid-record;
+/// [`StorageError::ManifestCorrupt`] when a header is structurally
+/// invalid (bad magic, CRC mismatch, unsupported version).
 pub fn scan_capsules<R: Read + Seek>(
     r: &mut R,
     header: &PoolHeader,
@@ -432,11 +455,23 @@ pub fn scan_capsules<R: Read + Seek>(
     let mut at = r.seek(SeekFrom::Start(PoolHeader::LEN))?;
     let mut out = Vec::new();
     while at < end {
-        let cap = CapsuleHeader::read_from(r, usize::from(header.primer_len))?;
+        let cap = match CapsuleHeader::read_from(r, usize::from(header.primer_len)) {
+            Ok(cap) => cap,
+            Err(StorageError::PoolTruncated { reason, .. }) => {
+                return Err(StorageError::PoolTruncated { offset: at, reason });
+            }
+            Err(e) => return Err(e),
+        };
         let body = strand_section_len(cap.units, header.cols(), strand_bases);
         let next = r.seek(SeekFrom::Current(body as i64))?;
         if next > end {
-            return Err(corrupt("last capsule record is truncated"));
+            return Err(StorageError::PoolTruncated {
+                offset: at,
+                reason: format!(
+                    "capsule seq {} needs {body} strand-section bytes but the file ends first",
+                    cap.seq
+                ),
+            });
         }
         out.push((at, cap));
         at = next;

@@ -170,6 +170,40 @@ impl Manifest {
         fnv64(self.to_text().as_bytes())
     }
 
+    /// Crash-consistently persists the serialized manifest as the
+    /// `dir/file_name` sidecar: write to `<file_name>.tmp`, fsync the
+    /// data, rename atomically into place, then fsync the directory so
+    /// the rename itself is durable. A torn write can therefore never
+    /// leave a half-written sidecar shadowing a healthy in-pool
+    /// super-capsule — readers observe either the previous complete
+    /// sidecar or the new complete one, never a prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] on any filesystem failure (the `.tmp` file
+    /// may remain; it is overwritten by the next commit).
+    pub fn commit_sidecar(
+        &self,
+        dir: &std::path::Path,
+        file_name: &str,
+    ) -> Result<(), StorageError> {
+        use std::io::Write as _;
+        let text = self.to_text();
+        let tmp = dir.join(format!("{file_name}.tmp"));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, dir.join(file_name))?;
+        // Make the rename durable too. Directories cannot be fsynced on
+        // every platform; where they cannot, the rename is still atomic
+        // and this is a no-op rather than an error.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
     /// Parses and validates the v1 text format.
     ///
     /// # Errors

@@ -247,7 +247,9 @@ impl ObjectStore {
     ///
     /// [`StorageError::ManifestMissing`] when neither the sidecar nor a
     /// super-capsule yields a manifest; [`StorageError::ManifestCorrupt`]
-    /// when one exists but fails validation.
+    /// when one exists but fails validation;
+    /// [`StorageError::PoolTruncated`] when the sidecar is absent and
+    /// `pool.dna` ends mid-record (the super-capsule scan cannot finish).
     pub fn open(dir: impl AsRef<Path>) -> Result<ObjectStore, StorageError> {
         Self::open_inner(dir.as_ref(), None)
     }
@@ -328,9 +330,10 @@ impl ObjectStore {
     ///
     /// # Errors
     ///
-    /// [`StorageError::ManifestCorrupt`] when a capsule header itself is
-    /// torn (the scan cannot continue past it); I/O errors as
-    /// [`StorageError::Io`].
+    /// [`StorageError::PoolTruncated`] when `pool.dna` ends mid-record
+    /// (torn append or external chop — the scan cannot continue past
+    /// it); [`StorageError::ManifestCorrupt`] when a capsule header is
+    /// structurally invalid; I/O errors as [`StorageError::Io`].
     pub fn rebuild_manifest(
         dir: impl AsRef<Path>,
     ) -> Result<(ObjectStore, RebuildReport), StorageError> {
@@ -644,7 +647,17 @@ impl ObjectStore {
                     .ok_or_else(|| StorageError::ManifestCorrupt {
                         reason: format!("object {id} references missing capsule {seq}"),
                     })?;
-            let cap = read_capsule_header_at(&mut file, &self.header, centry.offset)?;
+            // Reads past the end of a torn pool surface as PoolTruncated
+            // with a placeholder offset; stamp in where this record starts.
+            let stamp_offset = |e: StorageError| match e {
+                StorageError::PoolTruncated { offset: 0, reason } => StorageError::PoolTruncated {
+                    offset: centry.offset,
+                    reason,
+                },
+                other => other,
+            };
+            let cap = read_capsule_header_at(&mut file, &self.header, centry.offset)
+                .map_err(stamp_offset)?;
             if cap.seq != seq || cap.object_id != id {
                 return Err(StorageError::ManifestCorrupt {
                     reason: format!(
@@ -659,7 +672,8 @@ impl ObjectStore {
                 &self.base,
                 &cap,
                 options.via_recovery,
-            )?;
+            )
+            .map_err(stamp_offset)?;
             if cap.flags & FLAG_ENCRYPTED != 0 {
                 let Some(key) = &self.key else {
                     return Err(StorageError::InvalidParams(
@@ -748,8 +762,9 @@ impl ObjectStore {
         self.commit()
     }
 
-    /// Persists the manifest: sidecar file (atomically, via tmp+rename)
-    /// plus a super-capsule appended to the pool.
+    /// Persists the manifest: super-capsule appended to the pool, then
+    /// the sidecar file via [`Manifest::commit_sidecar`] (write-to-temp,
+    /// fsync, atomic rename, directory fsync).
     fn commit(&mut self) -> Result<(), StorageError> {
         let seq = self.manifest.next_seq;
         self.manifest.next_seq = seq + 1;
@@ -775,10 +790,7 @@ impl ObjectStore {
         )?;
         file.flush()?;
         drop(file);
-        let tmp = self.dir.join("MANIFEST.tmp");
-        std::fs::write(&tmp, &text)?;
-        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
-        Ok(())
+        self.manifest.commit_sidecar(&self.dir, MANIFEST_FILE)
     }
 }
 

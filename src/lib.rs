@@ -16,6 +16,7 @@
 //! | [`parallel`] | deterministic scoped-thread fan-out |
 //! | [`storage`] | the pipeline: Baseline / **Gini** / **DnaMapper** |
 //! | [`object`] | streaming object store: survival capsules, manifest, primer-addressed fetch |
+//! | [`chaos`] | adversarial fault injection, four-way verdicts, the silent-corruption hunt |
 //!
 //! # Quick start
 //!
@@ -92,6 +93,7 @@
 
 pub use dna_align as align;
 pub use dna_channel as channel;
+pub use dna_chaos as chaos;
 pub use dna_consensus as consensus;
 pub use dna_crypto as crypto;
 pub use dna_gf as gf;
@@ -108,6 +110,10 @@ pub mod prelude {
     pub use dna_channel::{
         AnonymousPool, BurstModel, ChannelModel, Cluster, CoverageModel, ErrorModel, IdsChannel,
         PcrBias, PositionProfile, ReadPool, SequencingBackend, SimulatedSequencer, TraceReplay,
+    };
+    pub use dna_chaos::{
+        builtin_presets, run_campaign, ByteFault, CampaignConfig, ChaosReport, ChaosScenario,
+        FaultPlan, PoolFault, Verdict, VerdictTally,
     };
     pub use dna_consensus::{
         BmaOneWay, BmaTwoWay, ConstrainedMedian, IterativeReconstructor, TraceReconstructor,

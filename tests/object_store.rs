@@ -294,6 +294,105 @@ fn empty_pool_directory_is_typed_missing() {
 }
 
 #[test]
+fn torn_pool_is_typed_pool_truncated() {
+    let dir = tmp_dir("torn-pool");
+    let mut store =
+        dna_skew::object::ObjectStore::create(&dir, StoreConfig::tiny().expect("config"))
+            .expect("create");
+    let id = store
+        .put_bytes("payload", &payload_from_seed(3, 200))
+        .expect("put");
+    drop(store);
+    // Locate the last data capsule via the sidecar, then chop the pool a
+    // few bytes into that record — a torn append / external truncation.
+    let text = std::fs::read_to_string(dir.join(MANIFEST_FILE)).expect("sidecar");
+    let last = Manifest::from_text(&text)
+        .expect("sidecar parses")
+        .capsules()
+        .last()
+        .expect("data capsule")
+        .offset;
+    let raw = std::fs::read(dir.join(POOL_FILE)).expect("pool");
+    std::fs::write(dir.join(POOL_FILE), &raw[..last as usize + 10]).expect("chop");
+
+    // Sidecar intact: the store opens (metadata is fine), but fetching
+    // the damaged object is the typed truncation — never a short or
+    // garbage payload — stamped with the torn record's offset.
+    let store = dna_skew::object::ObjectStore::open(&dir).expect("open via sidecar");
+    match store.get(id) {
+        Err(StorageError::PoolTruncated { offset, .. }) => assert_eq!(offset, last),
+        other => panic!("expected PoolTruncated from fetch, got {other:?}"),
+    }
+    drop(store);
+    // Sidecar gone: super-capsule recovery and the explicit rebuild both
+    // scan the pool and hit the same typed wall at the same offset.
+    std::fs::remove_file(dir.join(MANIFEST_FILE)).expect("drop sidecar");
+    match dna_skew::object::ObjectStore::open(&dir) {
+        Err(StorageError::PoolTruncated { offset, .. }) => assert_eq!(offset, last),
+        other => panic!("expected PoolTruncated from open, got {other:?}"),
+    }
+    match dna_skew::object::ObjectStore::rebuild_manifest(&dir) {
+        Err(StorageError::PoolTruncated { offset, .. }) => assert_eq!(offset, last),
+        other => panic!("expected PoolTruncated from rebuild, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tombstone_survives_manifest_rebuild() {
+    let dir = tmp_dir("tombstone-rebuild");
+    let kept_payload = payload_from_seed(11, 150);
+    let mut store =
+        dna_skew::object::ObjectStore::create(&dir, StoreConfig::tiny().expect("config"))
+            .expect("create");
+    let doomed = store
+        .put_bytes("doomed", &payload_from_seed(7, 120))
+        .expect("put doomed");
+    let kept = store.put_bytes("kept", &kept_payload).expect("put kept");
+    store.delete(doomed).expect("delete");
+    drop(store);
+
+    // Rebuild from capsule headers alone: the tombstone capsule must be
+    // replayed — the deleted object stays deleted, its bytes are not
+    // resurrected, and the survivor is untouched.
+    std::fs::remove_file(dir.join(MANIFEST_FILE)).expect("drop sidecar");
+    let (rebuilt, report) = dna_skew::object::ObjectStore::rebuild_manifest(&dir).expect("rebuild");
+    assert_eq!(report.tombstones, 1);
+    assert_eq!(report.objects, 1, "only the live object is recovered live");
+    match rebuilt.get(doomed) {
+        Err(StorageError::ObjectNotFound { id, tombstoned }) => {
+            assert_eq!(id, doomed);
+            assert!(tombstoned, "rebuild must keep the tombstone, not resurrect");
+        }
+        other => panic!("expected tombstoned ObjectNotFound, got {other:?}"),
+    }
+    assert_eq!(rebuilt.get(kept).expect("kept survives"), kept_payload);
+    drop(rebuilt);
+
+    // The rebuilt sidecar persists the tombstone across a plain reopen.
+    let reopened = dna_skew::object::ObjectStore::open(&dir).expect("reopen");
+    assert!(matches!(
+        reopened.get(doomed),
+        Err(StorageError::ObjectNotFound {
+            tombstoned: true,
+            ..
+        })
+    ));
+    assert_eq!(
+        reopened.get(kept).expect("kept still fetches"),
+        kept_payload
+    );
+    let tombstoned: Vec<&str> = reopened
+        .list()
+        .iter()
+        .filter(|o| o.tombstone)
+        .map(|o| o.name.as_str())
+        .collect();
+    assert_eq!(tombstoned, ["doomed"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tombstoned_fetch_is_typed() {
     let dir = tmp_dir("tombstone");
     let mut store =

@@ -368,6 +368,50 @@ const OBJECT_GOLDEN: [&str; 1] = [
     "objects=2 capsules=7 manifest_hash=0xdfdb066fbf6496b9 fetch_capsules=3 fetch_units=7 fetch_reads=105",
 ];
 
+/// The chaos-campaign conformance cell: every built-in adversarial
+/// preset (pool faults and object-store byte faults) at a pinned seed
+/// and a reduced trial count. Each line pins one scenario's four-way
+/// verdict tally — exact / degraded / loud / silent. Two contracts:
+///
+/// 1. The whole campaign is deterministic in its seed (and, via the
+///    invariance test below, in the thread count).
+/// 2. The `silent=0` suffix on every line IS the silent-corruption
+///    detector: any future change that lets wrong bytes through with a
+///    clean bill of health flips a golden here before it ships.
+fn compute_chaos_summary() -> Vec<String> {
+    use dna_skew::chaos::{builtin_presets, run_campaign, CampaignConfig};
+    let mut config = CampaignConfig::quick(CHAOS_SEED, 4).expect("tiny geometry");
+    config.scratch =
+        std::env::temp_dir().join(format!("dna-skew-conformance-chaos-{}", std::process::id()));
+    let report = run_campaign(&builtin_presets(), &config).expect("campaign runs");
+    let _ = std::fs::remove_dir_all(&config.scratch);
+    assert_eq!(
+        report.silent_corruptions(),
+        0,
+        "silent corruption in the conformance campaign"
+    );
+    report.summary_lines()
+}
+
+const CHAOS_SEED: u64 = 0xC4A05;
+
+/// Golden chaos verdicts at `CHAOS_SEED`, 4 trials/scenario. Regenerate
+/// after an *intentional* fault-model or decoder change with
+/// `DNA_SKEW_BLESS=1`; a `silent` count above zero must never be
+/// blessed — it is the defect the campaign exists to catch.
+const CHAOS_GOLDEN: [&str; 10] = [
+    "dropout-sustained exact=2 degraded=2 loud=0 silent=0",
+    "index-burst exact=0 degraded=4 loud=0 silent=0",
+    "contamination exact=0 degraded=4 loud=0 silent=0",
+    "truncate-chimera exact=0 degraded=4 loud=0 silent=0",
+    "near-duplicate exact=0 degraded=4 loud=0 silent=0",
+    "torn-append exact=4 degraded=0 loud=0 silent=0",
+    "header-flip exact=0 degraded=0 loud=4 silent=0",
+    "strand-flip exact=0 degraded=0 loud=4 silent=0",
+    "sidecar-corrupt exact=0 degraded=4 loud=0 silent=0",
+    "sidecar-torn exact=0 degraded=4 loud=0 silent=0",
+];
+
 fn assert_matches(matrix: &[String], golden: &[&str], context: &str) {
     if std::env::var("DNA_SKEW_BLESS").is_ok() {
         for line in matrix {
@@ -425,6 +469,34 @@ fn object_store_is_thread_count_invariant() {
             &[object_store_cell_summary()],
             &OBJECT_GOLDEN,
             &format!("object store, DNA_SKEW_THREADS={threads}"),
+        );
+    }
+    match original {
+        Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
+        None => std::env::remove_var("DNA_SKEW_THREADS"),
+    }
+}
+
+#[test]
+fn chaos_campaign_matches_golden_verdicts() {
+    let _guard = env_guard();
+    assert_matches(
+        &compute_chaos_summary(),
+        &CHAOS_GOLDEN,
+        "chaos, default thread count",
+    );
+}
+
+#[test]
+fn chaos_campaign_is_thread_count_invariant() {
+    let _guard = env_guard();
+    let original = std::env::var("DNA_SKEW_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("DNA_SKEW_THREADS", threads);
+        assert_matches(
+            &compute_chaos_summary(),
+            &CHAOS_GOLDEN,
+            &format!("chaos, DNA_SKEW_THREADS={threads}"),
         );
     }
     match original {
