@@ -12,7 +12,7 @@
 use dna_channel::{unit_seed, AnonymousPool, ChannelModel, ErrorModel, ReadPool};
 use dna_object::{ObjectStore, StoreConfig};
 use dna_storage::{
-    CodecParams, DecodeReport, Layout, Pipeline, ProtectionPlan, ProtectionPlanner,
+    CodecParams, DecodeReport, Layout, Pipeline, PlannerWarning, ProtectionPlan, ProtectionPlanner,
     RecoveryPipeline, Scenario, SkewProfile, StorageError,
 };
 use dna_strand::DnaString;
@@ -271,14 +271,16 @@ fn laptop_pipeline(layout: LayoutChoice) -> Result<Pipeline, CliError> {
 
 /// A laptop-scale pipeline with an optional parity-width override and a
 /// protection policy. `--parity` below the default 47 leaves field-length
-/// headroom, which is what lets `--plan auto` move parity between rows.
+/// headroom, which is what lets `--plan auto` move parity between rows;
+/// at the default 47 the laptop geometry is field-saturated and `auto`
+/// falls back to the uniform plan with a [`PlannerWarning`].
 fn planned_pipeline(
     layout: LayoutChoice,
     parity_cols: Option<usize>,
     plan: &PlanChoice,
     channel: &ChannelModel,
     coverage: f64,
-) -> Result<Pipeline, CliError> {
+) -> Result<(Pipeline, Vec<PlannerWarning>), CliError> {
     let params = match parity_cols {
         Some(e) => {
             let base = CodecParams::laptop()?;
@@ -295,18 +297,24 @@ fn planned_pipeline(
     let builder = Pipeline::builder()
         .params(params.clone())
         .layout(layout.to_layout());
-    let builder = match plan {
-        PlanChoice::Uniform => builder,
-        PlanChoice::Plan(plan) => builder.protection(plan.clone()),
+    let (builder, warnings) = match plan {
+        PlanChoice::Uniform => (builder, Vec::new()),
+        PlanChoice::Plan(plan) => (builder.protection(plan.clone()), Vec::new()),
         PlanChoice::Auto => {
             let profile = SkewProfile::analytic(channel, &params).attenuated(coverage);
             let planner = ProtectionPlanner::new(profile)
                 .erasure_rate(channel.dropout())
                 .map_err(CliError::Storage)?;
-            builder.protection(planner)
+            // Plan eagerly (rather than letting the builder resolve the
+            // planner) so non-fatal conditions reach the user.
+            let engine = layout.to_layout().engine();
+            let (plan, warnings) = planner
+                .plan_with_warnings(&params, &*engine)
+                .map_err(CliError::Storage)?;
+            (builder.protection(plan), warnings)
         }
     };
-    Ok(builder.build()?)
+    Ok((builder.build()?, warnings))
 }
 
 /// Splits a payload across as many units as needed and encodes them as
@@ -497,6 +505,9 @@ pub struct SimulationRun {
     pub plan: ProtectionPlan,
     /// All unit reports folded into one ([`DecodeReport::merge_from`]).
     pub report: DecodeReport,
+    /// Non-fatal conditions the planner worked around (e.g. a
+    /// field-saturated geometry forcing the uniform fallback).
+    pub warnings: Vec<PlannerWarning>,
 }
 
 /// [`simulate_channel`] with a protection policy and optional parity
@@ -510,7 +521,7 @@ pub fn simulate_planned(
     plan: &PlanChoice,
     parity_cols: Option<usize>,
 ) -> Result<SimulationRun, CliError> {
-    let pipeline = planned_pipeline(layout, parity_cols, plan, &channel, coverage)?;
+    let (pipeline, warnings) = planned_pipeline(layout, parity_cols, plan, &channel, coverage)?;
     let scenario = Scenario::with_channel(channel)
         .single_coverage(coverage)
         .seed(seed);
@@ -551,6 +562,7 @@ pub fn simulate_planned(
         },
         plan: pipeline.protection_plan().clone(),
         report: merged,
+        warnings,
     })
 }
 
@@ -636,6 +648,7 @@ pub fn simulate_unlabeled(
         },
         plan: pipeline.protection_plan().clone(),
         report: merged,
+        warnings: Vec::new(),
     })
 }
 
@@ -880,6 +893,11 @@ mod tests {
         )
         .unwrap();
         assert!(!run.plan.is_uniform(), "skewed channel must skew the plan");
+        assert!(
+            run.warnings.is_empty(),
+            "headroom plan warns: {:?}",
+            run.warnings
+        );
         assert!(run.plan.total_parity() <= 30 * 32, "density budget");
         assert!(run.plan.max_parity() <= 47, "field cap");
         // Per-row histograms exist and the TSV helper lists every row.
@@ -900,6 +918,50 @@ mod tests {
         )
         .unwrap();
         assert!(uniform.plan.is_uniform_at(32));
+    }
+
+    #[test]
+    fn auto_plan_on_saturated_geometry_falls_back_to_uniform_with_warning() {
+        // Default laptop geometry: 208 data + 47 parity = 255 fills
+        // GF(256) exactly — zero headroom. Before the fix, `--plan auto`
+        // here silently produced a plan with nothing to reallocate; now
+        // it must fall back to uniform and say so.
+        let payload: Vec<u8> = (0..600u32).map(|i| (i * 19 % 256) as u8).collect();
+        let run = simulate_planned(
+            &payload,
+            LayoutChoice::Baseline,
+            parse_channel_model("nanopore-decay:0.06").unwrap(),
+            16.0,
+            13,
+            &PlanChoice::Auto,
+            None, // default parity 47: saturated
+        )
+        .unwrap();
+        assert!(run.plan.is_uniform_at(47), "{:?}", run.plan);
+        assert_eq!(
+            run.warnings,
+            vec![PlannerWarning::SaturatedGeometry {
+                group_order: 255,
+                data_cols: 208,
+                parity_cols: 47,
+            }]
+        );
+        assert!(run.warnings[0].to_string().contains("field-saturated"));
+
+        // The fallback is uniform, which every layout supports — so a
+        // saturated `auto` on Gini succeeds instead of erroring out.
+        let gini = simulate_planned(
+            &payload,
+            LayoutChoice::Gini,
+            parse_channel_model("nanopore-decay:0.06").unwrap(),
+            16.0,
+            13,
+            &PlanChoice::Auto,
+            None,
+        )
+        .unwrap();
+        assert!(gini.plan.is_uniform_at(47));
+        assert_eq!(gini.warnings.len(), 1);
     }
 
     #[test]

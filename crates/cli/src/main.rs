@@ -10,10 +10,11 @@
 
 use dna_channel::ChannelModel;
 use dna_object::ObjectStore;
+use dna_server::{run_bench, serve_tcp, BenchConfig, LoadMode, ServeConfig, Server};
 use dna_skew_cli::{
-    decode, encode, pack_files, parse_channel_model, parse_error_model, parse_plan_arg,
-    resolve_object, simulate_planned, simulate_unlabeled, CliError, ClustererChoice, LayoutChoice,
-    PlanChoice,
+    decode, encode, open_or_create_store, pack_files, parse_channel_model, parse_error_model,
+    parse_plan_arg, resolve_object, simulate_planned, simulate_unlabeled, CliError,
+    ClustererChoice, LayoutChoice, PlanChoice,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -31,6 +32,10 @@ USAGE:
   dnastore pack     <file>... --out <pool-dir>
   dnastore fetch    <object-id|name> --store <pool-dir> [--output <file>]
   dnastore ls       --store <pool-dir>
+  dnastore serve    --store <pool-dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
+  dnastore bench-serve [--workers 1,2,4,8] [--clients N] [--requests N]
+                    [--objects N] [--object-bytes N] [--open <interval-ms>]
+                    [--seed N] [--json <path>]
   dnastore chaos    [--seed N] [--trials N] [--scenario <substring>]
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
@@ -50,6 +55,17 @@ pack streams files into a capsule-pool object store (created on first use:
      laptop geometry, 16-base per-capsule primers); fetch streams one object
      back out by id or name, touching only that object's capsules; ls lists
      the manifest.
+
+serve runs a long-lived service over one store: a bounded work queue in
+     front of N decode workers (one warm decode workspace each), speaking
+     the line/length-prefixed protocol (PING, LS, STATS, FETCH, RFETCH,
+     PUT, DEL, QUIT) on loopback TCP. Concurrent fetches of the same
+     object coalesce into one shared decode.
+
+bench-serve sweeps the server across worker counts under a duplicate-heavy
+     mixed workload (closed-loop by default; --open paces arrivals) and
+     prints p50/p99 latency, requests/s, and MB/s per configuration;
+     --json also writes the machine-readable report.
 
 chaos runs the built-in adversarial fault-injection campaign (sustained
      dropout, index bursts, contamination, truncation + chimeras,
@@ -94,6 +110,17 @@ fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str
         .get(key)
         .map(String::as_str)
         .ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, CliError> {
+    flags.get(key).map_or(Ok(default), |v| {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("bad --{key} {v:?}")))
+    })
 }
 
 fn run() -> Result<(), CliError> {
@@ -191,6 +218,9 @@ fn run() -> Result<(), CliError> {
             } else {
                 simulate_planned(&input, layout, channel, coverage, seed, &plan, parity)?
             };
+            for warning in &run.warnings {
+                eprintln!("dnastore: warning: {warning}");
+            }
             let outcome = &run.outcome;
             println!(
                 "layout {layout:?} | base errors {:.2}% | coverage {coverage} | plan {}{}",
@@ -277,6 +307,61 @@ fn run() -> Result<(), CliError> {
                     if o.tombstone { "tombstone" } else { "live" },
                     o.name
                 );
+            }
+        }
+        "serve" => {
+            let dir = required(&flags, "store")?;
+            let addr = flags.get("addr").map_or("127.0.0.1:7070", String::as_str);
+            let workers: usize = numeric(&flags, "workers", 4)?;
+            let queue: usize = numeric(&flags, "queue", 64)?;
+            let store = open_or_create_store(dir)?;
+            let server = Server::start(
+                store,
+                &ServeConfig {
+                    workers,
+                    queue_depth: queue,
+                },
+            );
+            let handle = serve_tcp(&server, addr)?;
+            println!(
+                "serving {dir} on {} with {workers} worker(s), queue depth {queue} (ctrl-c to stop)",
+                handle.addr()
+            );
+            loop {
+                std::thread::park();
+            }
+        }
+        "bench-serve" => {
+            let workers: Vec<usize> = flags.get("workers").map_or(Ok(vec![1, 2, 4, 8]), |v| {
+                v.split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad worker count {t:?}")))
+                    })
+                    .collect()
+            })?;
+            let mut config = BenchConfig {
+                workers,
+                ..BenchConfig::default()
+            };
+            config.clients = numeric(&flags, "clients", config.clients)?;
+            config.requests_per_client = numeric(&flags, "requests", config.requests_per_client)?;
+            config.hot_objects = numeric(&flags, "objects", config.hot_objects)?;
+            config.object_bytes = numeric(&flags, "object-bytes", config.object_bytes)?;
+            config.seed = numeric(&flags, "seed", config.seed)?;
+            if flags.contains_key("open") {
+                config.mode = LoadMode::Open {
+                    interval_ms: numeric(&flags, "open", 10)?,
+                };
+            }
+            let dir =
+                std::env::temp_dir().join(format!("dnastore-bench-serve-{}", std::process::id()));
+            let report = run_bench(&dir, &config)?;
+            print!("{}", report.to_table());
+            if let Some(path) = flags.get("json") {
+                std::fs::write(path, report.to_json())?;
+                println!("wrote bench report -> {path}");
             }
         }
         "chaos" => {

@@ -68,7 +68,7 @@ pub use mapper::{BaselineMapper, DataMapper, PriorityMapper};
 pub use matrix::SymbolMatrix;
 pub use params::CodecParams;
 pub use pipeline::{EncodedUnit, Layout, Pipeline, RetrieveOptions};
-pub use plan::{Protection, ProtectionClass, ProtectionPlan, ProtectionPlanner};
+pub use plan::{PlannerWarning, Protection, ProtectionClass, ProtectionPlan, ProtectionPlanner};
 pub use recovery::{RecoveryPipeline, RecoveryReport};
 pub use report::{ClassReport, CodewordReport, DecodeReport};
 pub use scenario::{Scenario, GAMMA_SHAPE};

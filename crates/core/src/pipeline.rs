@@ -804,6 +804,30 @@ impl Pipeline {
         Ok((payload, report))
     }
 
+    /// [`Pipeline::decode_pool`] against a caller-owned
+    /// [`DecodeWorkspace`]: the decode half reuses the workspace instead
+    /// of the per-thread scratch, so long-lived workers (the serve path)
+    /// keep exactly one warm workspace per worker rather than one per OS
+    /// thread that ever decoded. Byte-identical to
+    /// [`Pipeline::decode_pool`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::decode_pool`].
+    pub fn decode_pool_with_workspace(
+        &self,
+        pool: &AnonymousPool,
+        workspace: &mut DecodeWorkspace,
+    ) -> Result<(Vec<u8>, DecodeReport), StorageError> {
+        let recovery = self.effective_recovery();
+        let (clusters, recovery_report) =
+            recovery.recover(&self.params, self.primers.as_ref().map(|(l, _)| l), pool)?;
+        let opts = RetrieveOptions::recovered(self.default_retrieve.forced_erasures.clone());
+        let (payload, mut report) = self.decode_unit_core(&clusters, &opts, workspace)?;
+        report.recovery = Some(recovery_report);
+        Ok((payload, report))
+    }
+
     /// Decodes many units from their unlabeled pools in parallel across
     /// scoped threads. Results are byte-identical to calling
     /// [`Pipeline::decode_pool`] on each pool in order, at any thread

@@ -64,6 +64,42 @@ pub struct ProtectionClass {
     pub codewords: Vec<usize>,
 }
 
+/// A non-fatal condition the planner detected and worked around.
+/// Surfaced by [`ProtectionPlanner::plan_with_warnings`]; the plain
+/// [`ProtectionPlanner::plan`] applies the same fallback silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannerWarning {
+    /// The geometry is field-saturated: `group_order − data_cols ≤
+    /// parity_cols`, so every codeword already sits at the field-length
+    /// cap and skew-aware planning has zero headroom to move parity
+    /// between rows. The planner fell back to the uniform plan.
+    SaturatedGeometry {
+        /// Nonzero symbols available to a codeword in this field.
+        group_order: usize,
+        /// Data symbols per codeword.
+        data_cols: usize,
+        /// Uniform parity symbols per codeword.
+        parity_cols: usize,
+    },
+}
+
+impl std::fmt::Display for PlannerWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannerWarning::SaturatedGeometry {
+                group_order,
+                data_cols,
+                parity_cols,
+            } => write!(
+                f,
+                "geometry is field-saturated ({data_cols} data + {parity_cols} parity fills \
+                 the {group_order}-symbol field): no headroom to skew parity, falling back \
+                 to the uniform plan; lower --parity to open headroom"
+            ),
+        }
+    }
+}
+
 impl ProtectionPlan {
     /// The uniform plan: every codeword at `parity` symbols.
     pub fn uniform(codewords: usize, parity: usize) -> ProtectionPlan {
@@ -321,6 +357,26 @@ impl ProtectionPlanner {
         params: &CodecParams,
         layout: &dyn UnitLayout,
     ) -> Result<ProtectionPlan, StorageError> {
+        self.plan_with_warnings(params, layout)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`ProtectionPlanner::plan`], also returning the non-fatal
+    /// conditions the planner worked around. Today the only one is
+    /// [`PlannerWarning::SaturatedGeometry`]: when
+    /// `group_order − data_cols ≤ parity_cols` every codeword is pinned
+    /// at the field cap, so the planner skips the (pointless) greedy
+    /// search and returns the uniform plan with a warning instead of
+    /// silently converging to it.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtectionPlanner::plan`].
+    pub fn plan_with_warnings(
+        &self,
+        params: &CodecParams,
+        layout: &dyn UnitLayout,
+    ) -> Result<(ProtectionPlan, Vec<PlannerWarning>), StorageError> {
         let rows = params.rows();
         if self.profile.rows() != rows {
             return Err(StorageError::InvalidParams(format!(
@@ -336,7 +392,23 @@ impl ProtectionPlanner {
             )));
         }
         if params.parity_cols() == 0 {
-            return Ok(ProtectionPlan::uniform(rows, 0));
+            return Ok((ProtectionPlan::uniform(rows, 0), Vec::new()));
+        }
+        let m = params.data_cols();
+        let cap = params.field().group_order() - m;
+        if cap <= params.parity_cols() {
+            // Field-saturated: every codeword is already at (or beyond)
+            // the cap, so there is nothing to plan. Fall back to uniform
+            // — checked *before* the layout-support gate because uniform
+            // is valid on every layout.
+            return Ok((
+                ProtectionPlan::uniform(rows, cap.min(params.parity_cols())),
+                vec![PlannerWarning::SaturatedGeometry {
+                    group_order: params.field().group_order(),
+                    data_cols: m,
+                    parity_cols: params.parity_cols(),
+                }],
+            ));
         }
         if !layout.supports_unequal_protection() {
             return Err(StorageError::InvalidParams(format!(
@@ -344,8 +416,6 @@ impl ProtectionPlanner {
                 layout.name()
             )));
         }
-        let m = params.data_cols();
-        let cap = params.field().group_order() - m;
         let budget = rows * params.parity_cols();
         let floor = self.min_parity.min(cap);
         if rows * floor > budget {
@@ -423,9 +493,9 @@ impl ProtectionPlanner {
         // Gains can vanish numerically long before the budget does
         // (success ≈ 1 everywhere). Unspent budget is free insurance at
         // fixed density, so top codewords up round-robin — hottest rows
-        // first — until the budget or every field cap is reached. On a
-        // saturated geometry (cap == parity_cols) this converges to the
-        // uniform plan exactly.
+        // first — until the budget or every field cap is reached.
+        // (Saturated geometries never reach this point: they short-
+        // circuit to the uniform plan with a warning above.)
         let mut order: Vec<usize> = (0..rows).collect();
         order.sort_by(|&a, &b| p_k[b].total_cmp(&p_k[a]).then(a.cmp(&b)));
         while remaining > 0 {
@@ -444,7 +514,7 @@ impl ProtectionPlanner {
                 break; // every codeword is at the field cap
             }
         }
-        Ok(ProtectionPlan { parity })
+        Ok((ProtectionPlan { parity }, Vec::new()))
     }
 }
 
@@ -613,6 +683,56 @@ mod tests {
         // With no skew the greedy spread stays within one symbol of even.
         let (lo, hi) = (plan.parities().iter().min(), plan.parities().iter().max());
         assert!(hi.unwrap() - lo.unwrap() <= 1, "{:?}", plan.parities());
+    }
+
+    #[test]
+    fn saturated_geometry_falls_back_to_uniform_with_a_warning() {
+        // The laptop geometry: GF(256), 208 + 47 = 255 fills the field.
+        // Every codeword is pinned at the cap, so "auto" planning has
+        // zero headroom — the planner must say so, not silently converge.
+        let params = CodecParams::laptop().unwrap();
+        let profile = SkewProfile::from_rates(
+            (0..params.rows())
+                .map(|r| 0.005 + 0.002 * r as f64)
+                .collect(),
+        )
+        .unwrap();
+        let (plan, warnings) = ProtectionPlanner::new(profile.clone())
+            .plan_with_warnings(&params, &BaselineLayout)
+            .unwrap();
+        assert!(plan.is_uniform_at(params.parity_cols()), "{plan:?}");
+        assert_eq!(
+            warnings,
+            vec![PlannerWarning::SaturatedGeometry {
+                group_order: 255,
+                data_cols: 208,
+                parity_cols: 47
+            }]
+        );
+        assert!(warnings[0].to_string().contains("field-saturated"));
+        // plan() applies the same fallback silently.
+        let silent = ProtectionPlanner::new(profile.clone())
+            .plan(&params, &BaselineLayout)
+            .unwrap();
+        assert_eq!(silent, plan);
+
+        // Opening headroom (--parity 32) re-enables skew planning with
+        // no warning: the skewed profile must yield a non-uniform plan.
+        let base = CodecParams::laptop().unwrap();
+        let roomy = CodecParams::new(
+            base.field().clone(),
+            base.rows(),
+            base.data_cols(),
+            32,
+            base.index_bits(),
+        )
+        .unwrap();
+        let (plan, warnings) = ProtectionPlanner::new(profile)
+            .plan_with_warnings(&roomy, &BaselineLayout)
+            .unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert!(!plan.is_uniform(), "{plan:?}");
+        plan.validate_for(&roomy).unwrap();
     }
 
     #[test]

@@ -102,3 +102,76 @@ fn warm_workspace_decode_allocates_strictly_less_and_is_steady() {
         "reused workspace ({warm_a}) must beat per-call workspaces ({fresh})"
     );
 }
+
+#[test]
+fn concurrent_workers_with_pooled_workspaces_stay_allocation_steady() {
+    // The serve-mode contract: N workers share one pipeline, each owns
+    // one workspace for its whole life, and after each worker's warm-up
+    // decode the workspace-managed stages allocate nothing more — no
+    // hidden thread-local scratch multiplying residency behind the
+    // explicit pool, no cross-thread interference in the counts.
+    let params = CodecParams::new(dna_gf::Field::gf256(), 8, 40, 10, 8).unwrap();
+    let pipeline = Pipeline::new(
+        params,
+        Layout::Gini {
+            excluded_rows: vec![],
+        },
+    )
+    .unwrap();
+    let payload: Vec<u8> = (0..pipeline.payload_capacity())
+        .map(|i| (i % 251) as u8)
+        .collect();
+    let unit = pipeline.encode_unit(&payload).unwrap();
+    let pool = pipeline.sequence(
+        &unit,
+        ErrorModel::uniform(0.02),
+        CoverageModel::Fixed(8),
+        17,
+    );
+    let clusters = pool.clusters().to_vec();
+    let opts = pipeline.decode_options().clone();
+
+    let per_thread: Vec<(u64, u64, u64, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    // The allocation counter is thread-local, so each
+                    // worker observes exactly its own decodes even while
+                    // the other three hammer the shared pipeline.
+                    let mut ws = DecodeWorkspace::new();
+                    let (cold, first) = allocations_in(|| {
+                        pipeline.decode_unit_with_workspace(&clusters, &opts, &mut ws)
+                    });
+                    let (bytes, _) = first.unwrap();
+                    let (warm_a, a) = allocations_in(|| {
+                        pipeline.decode_unit_with_workspace(&clusters, &opts, &mut ws)
+                    });
+                    let (warm_b, b) = allocations_in(|| {
+                        pipeline.decode_unit_with_workspace(&clusters, &opts, &mut ws)
+                    });
+                    assert_eq!(bytes, a.unwrap().0);
+                    assert_eq!(bytes, b.unwrap().0);
+                    (cold, warm_a, warm_b, bytes)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let (_, baseline_warm, _, baseline_bytes) = &per_thread[0];
+    for (worker, (cold, warm_a, warm_b, bytes)) in per_thread.iter().enumerate() {
+        assert!(
+            warm_a < cold,
+            "worker {worker}: warm decode must allocate strictly less (cold={cold} warm={warm_a})"
+        );
+        assert_eq!(
+            warm_a, warm_b,
+            "worker {worker}: steady state must be allocation-stable under concurrency"
+        );
+        assert_eq!(
+            warm_a, baseline_warm,
+            "worker {worker}: every pooled workspace must reach the same steady state"
+        );
+        assert_eq!(bytes, baseline_bytes, "worker {worker}: divergent decode");
+    }
+}

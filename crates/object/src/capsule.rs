@@ -482,16 +482,33 @@ pub fn scan_capsules<R: Read + Seek>(
 /// Derives capsule `seq`'s primer pair from the pool seed: a fresh seeded
 /// search satisfying [`dna_strand::constraints::ConstraintSet::primer_default`] with
 /// pairwise distance within the pair. Deterministic given
-/// `(pool_seed, seq, len)`; there is **no** pairwise-distance guarantee
-/// *across* capsules (see the README caveats — a global library search is
-/// quadratic in pool size).
+/// `(pool_seed, seq, len)`; this raw draw carries **no** pairwise-distance
+/// guarantee *across* capsules (a global library search is quadratic in
+/// pool size). [`ObjectStore::put`](crate::ObjectStore::put) therefore
+/// tracks every issued pair and redraws via
+/// [`capsule_primers_attempt`] on a cross-capsule collision.
 pub fn capsule_primers(
     pool_seed: u64,
     seq: u32,
     len: usize,
 ) -> Result<(Primer, Primer), StorageError> {
+    capsule_primers_attempt(pool_seed, seq, len, 0)
+}
+
+/// [`capsule_primers`] with a redraw counter: attempt 0 reproduces the
+/// original derivation bit-for-bit (so existing pools re-derive the same
+/// pairs), while attempt `k > 0` salts the seed for the store's
+/// collision-avoidance redraw loop. The chosen pair is persisted in the
+/// capsule header and manifest, so readers never re-run this search.
+pub fn capsule_primers_attempt(
+    pool_seed: u64,
+    seq: u32,
+    len: usize,
+    attempt: u32,
+) -> Result<(Primer, Primer), StorageError> {
+    let salt = u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03);
     let mut rng = StdRng::seed_from_u64(splitmix64(
-        pool_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(seq) + 1),
+        pool_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(seq) + 1) ^ salt,
     ));
     let min_distance = (len / 3).max(1);
     let lib = PrimerLibrary::generate(2, len, min_distance, &mut rng)?;

@@ -1,0 +1,338 @@
+//! The `bench-serve` driver: sweeps worker counts over a mixed
+//! fetch-heavy workload and reports p50/p99 latency, requests/s, and
+//! MB/s per configuration.
+//!
+//! The workload is deliberately duplicate-heavy — clients hammer a
+//! small hot set — so the sweep exposes both decode parallelism and
+//! execution-time fetch coalescing (a single worker never overlaps two
+//! fetches, so it never coalesces; eight workers share most hot
+//! decodes).
+
+use crate::protocol::{Request, Response};
+use crate::server::{ServeConfig, Server};
+use dna_object::{ObjectStore, StoreConfig};
+use dna_storage::StorageError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// How the client threads offer load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Each client issues its next request the moment the previous one
+    /// completes (measures capacity).
+    Closed,
+    /// Each client schedules one request every `interval_ms`,
+    /// measuring latency from the *scheduled* arrival — queueing delay
+    /// under a paced offered load shows up in the percentiles.
+    Open {
+        /// Milliseconds between scheduled arrivals per client.
+        interval_ms: u64,
+    },
+}
+
+/// Knobs for one bench sweep.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Worker counts to sweep (one fresh store + server per entry).
+    pub workers: Vec<usize>,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Hot objects pre-loaded into the store.
+    pub hot_objects: usize,
+    /// Size of each hot object in bytes.
+    pub object_bytes: usize,
+    /// Every n-th request is a `PUT` of a fresh object (0 disables).
+    pub put_every: usize,
+    /// Every n-th fetch goes through the recovery path (0 disables).
+    pub recover_every: usize,
+    /// How the clients offer load.
+    pub mode: LoadMode,
+    /// Workload seed (per-client streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            workers: vec![1, 2, 4, 8],
+            clients: 16,
+            requests_per_client: 40,
+            hot_objects: 2,
+            // 24 capsules each: long enough decodes that duplicate
+            // fetches overlap in-flight work and coalesce.
+            object_bytes: 24 * 90,
+            put_every: 16,
+            recover_every: 10,
+            mode: LoadMode::Closed,
+            seed: 0xBE5C,
+        }
+    }
+}
+
+/// Measured results for one worker count.
+#[derive(Debug, Clone)]
+pub struct WorkerRun {
+    /// Worker threads in this configuration.
+    pub workers: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Error responses observed (should be zero).
+    pub errors: u64,
+    /// Fetches that shared another request's decode.
+    pub coalesced_fetches: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Response payload throughput.
+    pub mb_per_s: f64,
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Worst request latency.
+    pub max_ms: f64,
+}
+
+/// A full sweep: one [`WorkerRun`] per requested worker count.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Runs, in the order the worker counts were given.
+    pub runs: Vec<WorkerRun>,
+}
+
+impl BenchReport {
+    /// Machine-readable form for `BENCH_<tag>.json` snapshots.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "  {{\"workers\": {}, \"requests\": {}, \"errors\": {}, \
+                 \"coalesced_fetches\": {}, \"elapsed_secs\": {:.4}, \
+                 \"rps\": {:.2}, \"mb_per_s\": {:.3}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}{comma}",
+                run.workers,
+                run.requests,
+                run.errors,
+                run.coalesced_fetches,
+                run.elapsed_secs,
+                run.rps,
+                run.mb_per_s,
+                run.p50_ms,
+                run.p99_ms,
+                run.max_ms,
+            );
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out =
+            String::from("workers     rps    MB/s  p50 ms  p99 ms  max ms  coalesced  errors\n");
+        for run in &self.runs {
+            let _ = writeln!(
+                out,
+                "{:>7} {:>7.1} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>10} {:>7}",
+                run.workers,
+                run.rps,
+                run.mb_per_s,
+                run.p50_ms,
+                run.p99_ms,
+                run.max_ms,
+                run.coalesced_fetches,
+                run.errors,
+            );
+        }
+        out
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+fn hot_payload(object: usize, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| ((i * 31 + object * 101) % 251) as u8)
+        .collect()
+}
+
+/// Runs the sweep; each worker count gets a fresh store under `dir`.
+///
+/// # Errors
+///
+/// Propagates store creation/population failures.
+pub fn run_bench(dir: &Path, config: &BenchConfig) -> Result<BenchReport, StorageError> {
+    let mut runs = Vec::with_capacity(config.workers.len());
+    for &workers in &config.workers {
+        runs.push(run_one(&dir.join(format!("w{workers}")), workers, config)?);
+    }
+    Ok(BenchReport { runs })
+}
+
+fn run_one(dir: &Path, workers: usize, config: &BenchConfig) -> Result<WorkerRun, StorageError> {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut store = ObjectStore::create(dir, StoreConfig::tiny()?)?;
+    let hot = config.hot_objects.max(1);
+    for object in 0..hot {
+        store.put_bytes(
+            &format!("hot-{object}"),
+            &hot_payload(object, config.object_bytes),
+        )?;
+    }
+    let server = Server::start(
+        store,
+        &ServeConfig {
+            workers,
+            queue_depth: (config.clients * 2).max(8),
+        },
+    );
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..config.clients.max(1))
+        .map(|c| {
+            let client = server.client();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (c as u64).wrapping_mul(0x9E37));
+                let mut latencies = Vec::with_capacity(config.requests_per_client);
+                let mut bytes = 0u64;
+                let mut errors = 0u64;
+                let born = Instant::now();
+                for i in 0..config.requests_per_client {
+                    let request = if config.put_every > 0 && (i + 1) % config.put_every == 0 {
+                        Request::Put {
+                            name: format!("c{c}-i{i}"),
+                            data: hot_payload(c * 1000 + i, 64),
+                        }
+                    } else {
+                        let object = rng.gen_range(0..config.hot_objects.max(1));
+                        let recover =
+                            config.recover_every > 0 && rng.gen_range(0..config.recover_every) == 0;
+                        Request::Fetch {
+                            target: format!("hot-{object}"),
+                            recover,
+                        }
+                    };
+                    // In open-loop mode latency starts at the scheduled
+                    // arrival, so queueing under offered load is visible.
+                    let due = match config.mode {
+                        LoadMode::Closed => Instant::now(),
+                        LoadMode::Open { interval_ms } => {
+                            let due = born + Duration::from_millis(interval_ms * i as u64);
+                            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            due
+                        }
+                    };
+                    let response = client.call(request);
+                    latencies.push(due.elapsed());
+                    match response {
+                        Response::Ok(body) => bytes += body.len() as u64,
+                        Response::Err(..) => errors += 1,
+                    }
+                }
+                (latencies, bytes, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut bytes = 0u64;
+    let mut errors = 0u64;
+    for client in clients {
+        let (lat, b, e) = client.join().expect("bench client panicked");
+        latencies.extend(lat);
+        bytes += b;
+        errors += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = server.stats();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    Ok(WorkerRun {
+        workers,
+        requests,
+        errors,
+        coalesced_fetches: stats.coalesced_fetches,
+        elapsed_secs: elapsed,
+        rps: requests as f64 / elapsed,
+        mb_per_s: bytes as f64 / (1024.0 * 1024.0) / elapsed,
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        max_ms: percentile_ms(&latencies, 100.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_clean_run_per_worker_count() {
+        let dir = std::env::temp_dir().join(format!("dna-serve-bench-{}", std::process::id()));
+        let config = BenchConfig {
+            workers: vec![1, 4],
+            clients: 4,
+            requests_per_client: 10,
+            hot_objects: 2,
+            object_bytes: 4 * 90,
+            put_every: 5,
+            recover_every: 4,
+            mode: LoadMode::Closed,
+            seed: 11,
+        };
+        let report = run_bench(&dir, &config).unwrap();
+        assert_eq!(report.runs.len(), 2);
+        for run in &report.runs {
+            assert_eq!(run.requests, 40);
+            assert_eq!(run.errors, 0, "bench workload must be error-free");
+            assert!(run.rps > 0.0);
+            assert!(run.p50_ms <= run.p99_ms && run.p99_ms <= run.max_ms);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"workers\": 1") && json.contains("\"workers\": 4"));
+        assert_eq!(report.to_table().lines().count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals() {
+        let dir = std::env::temp_dir().join(format!("dna-serve-bench-open-{}", std::process::id()));
+        let config = BenchConfig {
+            workers: vec![2],
+            clients: 2,
+            requests_per_client: 6,
+            hot_objects: 1,
+            object_bytes: 90,
+            put_every: 0,
+            recover_every: 0,
+            mode: LoadMode::Open { interval_ms: 5 },
+            seed: 3,
+        };
+        let report = run_bench(&dir, &config).unwrap();
+        let run = &report.runs[0];
+        assert_eq!(run.errors, 0);
+        // 6 arrivals spaced 5 ms apart cannot finish faster than the
+        // schedule allows.
+        assert!(run.elapsed_secs >= 0.025, "elapsed {}", run.elapsed_secs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,7 +5,9 @@
 #
 # Runs the perf_pipeline + perf_components + ablation_object_fetch
 # criterion benches at smoke scale and records min/median/mean
-# wall-clock per bench in microseconds.
+# wall-clock per bench in microseconds, then runs the serve-mode
+# worker sweep (dnastore bench-serve) and records its p50/p99/rps
+# rows under a "serve" key.
 # scripts/bench_baseline_<tag>.tsv (name<TAB>min_us per line — the
 # numbers captured before an optimization lands) must exist: each entry
 # gets "baseline_min" and "speedup_min" = baseline / current, which is
@@ -28,7 +30,8 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SERVE="$(mktemp)"
+trap 'rm -f "$RAW" "$SERVE"' EXIT
 
 DNA_REPRO_SCALE=smoke cargo bench -p dna-bench \
     --bench perf_pipeline --bench perf_components \
@@ -65,7 +68,16 @@ END {
                 base[name[i]], base[name[i]] / minv[i]
         printf "}%s\n", (i < count - 1) ? "," : ""
     }
-    printf "  }\n}\n"
+    printf "  },\n"
 }' "$RAW" > "BENCH_${TAG}.json"
+
+# Serve-mode worker sweep: p50/p99 latency, rps, MB/s, and coalesced
+# fetch counts per worker count, spliced in as the "serve" key. The
+# 8-vs-1-worker rps ratio is the throughput-service acceptance number.
+cargo run --release -p dna-skew-cli --bin dnastore -- bench-serve \
+    --json "$SERVE"
+printf '  "serve": ' >> "BENCH_${TAG}.json"
+cat "$SERVE" >> "BENCH_${TAG}.json"
+printf '}\n' >> "BENCH_${TAG}.json"
 
 echo "wrote BENCH_${TAG}.json"

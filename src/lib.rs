@@ -17,6 +17,7 @@
 //! | [`storage`] | the pipeline: Baseline / **Gini** / **DnaMapper** |
 //! | [`object`] | streaming object store: survival capsules, manifest, primer-addressed fetch |
 //! | [`chaos`] | adversarial fault injection, four-way verdicts, the silent-corruption hunt |
+//! | [`server`] | service mode: bounded queue, pooled decode workers, fetch coalescing, loopback TCP |
 //!
 //! # Quick start
 //!
@@ -101,6 +102,7 @@ pub use dna_media as media;
 pub use dna_object as object;
 pub use dna_parallel as parallel;
 pub use dna_reed_solomon as reed_solomon;
+pub use dna_server as server;
 pub use dna_storage as storage;
 pub use dna_strand as strand;
 
@@ -120,6 +122,7 @@ pub mod prelude {
     };
     pub use dna_media::{GrayImage, JpegLikeCodec};
     pub use dna_object::{FetchOptions, FetchReport, Manifest, ObjectStore, StoreConfig};
+    pub use dna_server::{serve_tcp, LocalClient, ServeConfig, Server};
     pub use dna_storage::{
         min_coverage, min_coverage_with, quality_sweep, Archive, ArchiveCodec, BaselineLayout,
         CodecParams, DecodeReport, FileEntry, GiniLayout, Layout, Pipeline, PipelineBuilder,

@@ -368,6 +368,124 @@ const OBJECT_GOLDEN: [&str; 1] = [
     "objects=2 capsules=7 manifest_hash=0xdfdb066fbf6496b9 fetch_capsules=3 fetch_units=7 fetch_reads=105",
 ];
 
+/// The serve-mode conformance cell: an in-process server (4 decode
+/// workers, bounded queue) over a tiny store, driven by a deterministic
+/// mixed workload. Phase A seeds three objects sequentially; phase B
+/// runs three *concurrent* clients, each with a fixed read-only trace;
+/// phase C mutates and lists sequentially. Each client's concatenated
+/// wire-encoded response stream is hashed — read-only concurrency means
+/// every interleaving must produce byte-identical per-client streams,
+/// whatever the worker count, thread count, or coalescing pattern.
+fn serve_cell_summary() -> String {
+    use dna_skew::object::{ObjectStore, StoreConfig};
+    use dna_skew::server::protocol::{write_response, Request, Response};
+    use dna_skew::server::{ServeConfig, Server};
+
+    fn stream_hash(responses: &[Response]) -> u64 {
+        let mut bytes = Vec::new();
+        for response in responses {
+            write_response(&mut bytes, response).expect("in-memory write");
+        }
+        fnv64(&bytes)
+    }
+    fn fetch(target: &str, recover: bool) -> Request {
+        Request::Fetch {
+            target: target.into(),
+            recover,
+        }
+    }
+
+    let dir =
+        std::env::temp_dir().join(format!("dna-skew-conformance-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        ObjectStore::create(&dir, StoreConfig::tiny().expect("tiny config")).expect("create");
+    let server = Server::start(
+        store,
+        &ServeConfig {
+            workers: 4,
+            queue_depth: 16,
+        },
+    );
+    let client = server.client();
+
+    // Phase A: sequential puts — object ids are deterministic.
+    let alpha: Vec<u8> = (0..200u32)
+        .map(|i| (i.wrapping_mul(131) % 256) as u8)
+        .collect();
+    let beta = vec![0u8; 300]; // zero-heavy: exercises the compressed path
+    let gamma: Vec<u8> = (0..150u32)
+        .map(|i| (i.wrapping_mul(17) % 256) as u8)
+        .collect();
+    let puts = vec![
+        client.put("alpha.bin", alpha),
+        client.put("beta.bin", beta),
+        client.put("gamma.bin", gamma),
+    ];
+    let seed_hash = stream_hash(&puts);
+
+    // Phase B: concurrent clients, read-only fixed traces (direct
+    // fetches, recovery fetches, listings, a miss).
+    let traces: [Vec<Request>; 3] = [
+        vec![
+            fetch("alpha.bin", false),
+            fetch("beta.bin", false),
+            fetch("alpha.bin", true),
+            Request::Ls,
+        ],
+        vec![
+            fetch("beta.bin", false),
+            fetch("gamma.bin", true),
+            fetch("alpha.bin", false),
+            fetch("alpha.bin", false),
+        ],
+        vec![
+            fetch("gamma.bin", false),
+            fetch("missing.bin", false),
+            Request::Ls,
+            fetch("beta.bin", true),
+        ],
+    ];
+    let clients: Vec<_> = traces
+        .into_iter()
+        .map(|trace| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                let responses: Vec<_> = trace.into_iter().map(|r| client.call(r)).collect();
+                stream_hash(&responses)
+            })
+        })
+        .collect();
+    let hashes: Vec<u64> = clients
+        .into_iter()
+        .map(|c| c.join().expect("serve client"))
+        .collect();
+
+    // Phase C: sequential mutation, then the post-state listing.
+    let post = vec![
+        client.del("gamma.bin"),
+        client.fetch("gamma.bin", false),
+        client.ls(),
+    ];
+    let post_hash = stream_hash(&post);
+
+    drop(client);
+    server.shutdown().expect("sole owner at shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+    format!(
+        "serve seed={seed_hash:#018x} c0={:#018x} c1={:#018x} c2={:#018x} post={post_hash:#018x}",
+        hashes[0], hashes[1], hashes[2],
+    )
+}
+
+/// Golden serve-mode summary. Regenerate after an *intentional* wire or
+/// store format change with `DNA_SKEW_BLESS=1`. A diff here without a
+/// format change means serve-mode responses depend on scheduling — the
+/// exact nondeterminism the worker/coalescing design must exclude.
+const SERVE_GOLDEN: [&str; 1] = [
+    "serve seed=0x3ee2939e38c27133 c0=0x69f3be19bc75f2ea c1=0x541c146eb91ac811 c2=0xaf16fb5fb53ace93 post=0x9d99a35056686f89",
+];
+
 /// The chaos-campaign conformance cell: every built-in adversarial
 /// preset (pool faults and object-store byte faults) at a pinned seed
 /// and a reduced trial count. Each line pins one scenario's four-way
@@ -497,6 +615,34 @@ fn chaos_campaign_is_thread_count_invariant() {
             &compute_chaos_summary(),
             &CHAOS_GOLDEN,
             &format!("chaos, DNA_SKEW_THREADS={threads}"),
+        );
+    }
+    match original {
+        Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
+        None => std::env::remove_var("DNA_SKEW_THREADS"),
+    }
+}
+
+#[test]
+fn serve_mode_matches_golden_report() {
+    let _guard = env_guard();
+    assert_matches(
+        &[serve_cell_summary()],
+        &SERVE_GOLDEN,
+        "serve, default thread count",
+    );
+}
+
+#[test]
+fn serve_mode_is_thread_count_invariant() {
+    let _guard = env_guard();
+    let original = std::env::var("DNA_SKEW_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("DNA_SKEW_THREADS", threads);
+        assert_matches(
+            &[serve_cell_summary()],
+            &SERVE_GOLDEN,
+            &format!("serve, DNA_SKEW_THREADS={threads}"),
         );
     }
     match original {
