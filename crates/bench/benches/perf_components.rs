@@ -50,6 +50,52 @@ fn bench_gf(c: &mut Criterion) {
             black_box(acc[0])
         })
     });
+    // Forced-scalar reference rows for the dispatched kernels above: the
+    // pairwise gap is the measured SIMD speedup on this machine.
+    c.bench_function("gf256_mul_table_slice_scalar_1k", |b| {
+        b.iter_batched(
+            || elems.clone(),
+            |mut xs| {
+                table.mul_slice_in(dna_gf::dispatch::Kernel::Scalar, &mut xs);
+                black_box(xs)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut acc_scalar = vec![0u16; 1024];
+    c.bench_function("gf256_mul_add_slice_scalar_1k", |b| {
+        b.iter(|| {
+            table.mul_add_slice_in(dna_gf::dispatch::Kernel::Scalar, &mut acc_scalar, &elems);
+            black_box(acc_scalar[0])
+        })
+    });
+    // The batched multi-root syndrome kernel against its per-root form:
+    // 47 roots over a 255-symbol word, the RS(208,47) decode shape.
+    let roots: Vec<dna_gf::MulTable> = (1..=47i64).map(|j| f.mul_table(f.alpha_pow(j))).collect();
+    let word: Vec<u16> = (0..255).map(|i| (i * 11 % 256) as u16).collect();
+    let mut synd = Vec::with_capacity(roots.len());
+    c.bench_function("gf256_syndromes_block_47x255", |b| {
+        b.iter(|| {
+            dna_gf::horner_eval_block_in(
+                dna_gf::dispatch::SimdMode::Auto,
+                &roots,
+                &word,
+                &mut synd,
+            );
+            black_box(synd[0])
+        })
+    });
+    c.bench_function("gf256_syndromes_per_root_47x255", |b| {
+        b.iter(|| {
+            dna_gf::horner_eval_block_in(
+                dna_gf::dispatch::SimdMode::Scalar,
+                &roots,
+                &word,
+                &mut synd,
+            );
+            black_box(synd[0])
+        })
+    });
     let f16 = Field::gf65536();
     let wide: Vec<u16> = (0..1024).map(|i| (i * 52_711 % 65_536) as u16).collect();
     let wide_table = f16.mul_table(0xBEEF);
@@ -138,8 +184,33 @@ fn bench_align_and_consensus(c: &mut Criterion) {
     c.bench_function("consensus_two_way_n10_l124", |b| {
         b.iter(|| black_box(BmaTwoWay::default().reconstruct(&reads, 124)))
     });
+    // All-reads-agree consensus: the u64 chunk-probe fast path.
+    let clean_reads = vec![a.clone(); 10];
+    c.bench_function("consensus_two_way_clean_n10_l124", |b| {
+        b.iter(|| black_box(BmaTwoWay::default().reconstruct(&clean_reads, 124)))
+    });
     c.bench_function("consensus_iterative_n10_l124", |b| {
         b.iter(|| black_box(IterativeReconstructor::default().reconstruct(&reads, 124)))
+    });
+}
+
+fn bench_strand_pack(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let strand = DnaString::random(4096, &mut rng);
+    let bases = strand.as_slice();
+    let mut packed = vec![0u8; dna_strand::bits::packed_base_len(bases.len())];
+    c.bench_function("strand_pack_bases_4k", |b| {
+        b.iter(|| {
+            dna_strand::bits::pack_bases_into(bases, &mut packed);
+            black_box(packed[0])
+        })
+    });
+    let mut out = Vec::with_capacity(bases.len());
+    c.bench_function("strand_unpack_bases_4k", |b| {
+        b.iter(|| {
+            dna_strand::bits::unpack_bases_into(&packed, bases.len(), &mut out);
+            black_box(out.len())
+        })
     });
 }
 
@@ -168,6 +239,6 @@ fn bench_crypto_and_media(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gf, bench_rs, bench_align_and_consensus, bench_crypto_and_media
+    targets = bench_gf, bench_rs, bench_align_and_consensus, bench_strand_pack, bench_crypto_and_media
 }
 criterion_main!(benches);

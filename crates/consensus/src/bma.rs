@@ -50,6 +50,61 @@ fn at<const FWD: bool>(r: &[Base], c: usize) -> Base {
     }
 }
 
+/// The next 8 scan-order bases of a read packed one byte per base into a
+/// `u64` — the chunked unanimity comparison key. Requires `c + 8 ≤ len`.
+#[inline]
+fn window8<const FWD: bool>(r: &[Base], c: usize) -> u64 {
+    let mut w = 0u64;
+    for i in 0..8 {
+        w = (w << 8) | u64::from(at::<FWD>(r, c + i) as u8);
+    }
+    w
+}
+
+/// The 8-column unanimity fast path: when every non-exhausted read has at
+/// least 8 characters left and their next-8 windows are all equal, the
+/// scalar scan would run 8 consecutive unanimous iterations — emit those 8
+/// characters and advance every active cursor by 8 in one step, comparing
+/// whole [`window8`] words instead of 8 per-column voting passes. Returns
+/// `false` (taking no action) whenever the next 8 iterations could be
+/// anything else, including the all-exhausted padding case.
+#[inline]
+fn probe8<const FWD: bool>(
+    reads: &[DnaString],
+    cursors: &mut [usize],
+    out: &mut DnaString,
+) -> bool {
+    let mut first: Option<(usize, u64)> = None;
+    for (k, (r, &c)) in reads.iter().zip(cursors.iter()).enumerate() {
+        let r = r.as_slice();
+        if c >= r.len() {
+            continue; // exhausted reads never vote or advance
+        }
+        if c + 8 > r.len() {
+            return false; // would exhaust mid-chunk: scalar handles it
+        }
+        match (first, window8::<FWD>(r, c)) {
+            (None, w) => first = Some((k, w)),
+            (Some((_, fw)), w) if fw != w => return false,
+            _ => {}
+        }
+    }
+    let Some((k, _)) = first else {
+        return false;
+    };
+    let r = reads[k].as_slice();
+    let c = cursors[k];
+    for i in 0..8 {
+        out.push(at::<FWD>(r, c + i));
+    }
+    for (r, cursor) in reads.iter().zip(cursors.iter_mut()) {
+        if *cursor < r.len() {
+            *cursor += 8;
+        }
+    }
+    true
+}
+
 impl BmaOneWay {
     /// Dispatches the const-generic scan core on the direction.
     ///
@@ -81,7 +136,26 @@ impl BmaOneWay {
         let w = self.lookahead;
         let mut window: Vec<Option<Base>> = Vec::with_capacity(w);
         let mut window_counts: Vec<[usize; 4]> = vec![[0; 4]; w];
-        for _ in 0..target_len {
+        let chunked = dna_gf::dispatch::accelerated();
+        // The chunk probe only pays when reads are agreeing for whole
+        // 8-column stretches; on disagreement-dense input it would be
+        // pure overhead on top of the scalar probe. Arm it adaptively:
+        // disarm after a failed probe, re-arm after 4 consecutive
+        // unanimous scalar columns. (Policy only affects *when* the probe
+        // runs — output is identical either way.)
+        let mut armed = chunked;
+        let mut streak = 0usize;
+        while out.len() < target_len {
+            // 1a'. Chunked unanimity probe (`DNA_SKEW_SIMD=scalar`
+            // disables it): compare whole 8-column windows while the
+            // reads keep agreeing — identical to 8 scalar iterations.
+            if armed && target_len - out.len() >= 8 {
+                if probe8::<FWD>(reads, &mut cursors, &mut out) {
+                    continue;
+                }
+                armed = false;
+                streak = 0;
+            }
             // 1a. Unanimity probe: at sequencing error rates the active
             // reads almost always agree, in which case the vote, window
             // estimation, and repair passes are all dead work — every
@@ -114,8 +188,15 @@ impl BmaOneWay {
                     }
                 }
                 out.push(first);
+                if chunked && !armed {
+                    streak += 1;
+                    if streak >= 4 {
+                        armed = true;
+                    }
+                }
                 continue;
             }
+            streak = 0;
 
             // 1b. Current-character vote among active reads; plurality
             // with ties toward the lexicographically smallest base keeps
@@ -345,6 +426,25 @@ mod tests {
         let got = BmaTwoWay::default().reconstruct(&[], 10);
         assert_eq!(got.len(), 10);
         assert!(got.iter().all(|&b| b == Base::A));
+    }
+
+    #[test]
+    fn chunked_probe_is_identical_to_scalar_mode() {
+        use dna_gf::dispatch::{self, SimdMode};
+        let mut rng = StdRng::seed_from_u64(6);
+        let ch = IdsChannel::new(ErrorModel::uniform(0.04));
+        for len in [7usize, 8, 9, 64, 123, 200] {
+            let original = DnaString::random(len, &mut rng);
+            let reads = ch.transmit_many(&original, 5, &mut rng);
+            for algo in [BmaTwoWay::new(2), BmaTwoWay::new(3)] {
+                dispatch::force_mode(Some(SimdMode::Scalar));
+                let scalar = algo.reconstruct(&reads, len);
+                dispatch::force_mode(Some(SimdMode::Auto));
+                let chunked = algo.reconstruct(&reads, len);
+                dispatch::force_mode(None);
+                assert_eq!(scalar, chunked, "len={len}");
+            }
+        }
     }
 
     #[test]

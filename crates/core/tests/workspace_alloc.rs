@@ -3,6 +3,10 @@
 //! (column assembly, erasure maps, received-codeword scratch, the whole
 //! Reed–Solomon stage), leaving only the per-call outputs (payload,
 //! report) and the consensus layer's working strands.
+//!
+//! The single-worker proof runs under both `DNA_SKEW_SIMD` dispatch
+//! modes: the SIMD/batched kernels must add zero steady-state
+//! allocations of their own.
 
 use dna_channel::{CoverageModel, ErrorModel};
 use dna_storage::{CodecParams, DecodeWorkspace, Layout, Pipeline};
@@ -49,6 +53,15 @@ fn allocations_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
 
 #[test]
 fn warm_workspace_decode_allocates_strictly_less_and_is_steady() {
+    use dna_gf::dispatch::{self, SimdMode};
+    for mode in [SimdMode::Scalar, SimdMode::Auto] {
+        dispatch::force_mode(Some(mode));
+        warm_workspace_case();
+    }
+    dispatch::force_mode(None);
+}
+
+fn warm_workspace_case() {
     let params = CodecParams::new(dna_gf::Field::gf256(), 8, 40, 10, 8).unwrap();
     let pipeline = Pipeline::new(
         params,

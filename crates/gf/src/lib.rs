@@ -12,9 +12,12 @@
 //!
 //! Hot loops should use the table-driven kernels — [`Field::mul_table`] /
 //! [`MulTable`] for fixed constants, [`Field::mul_slice`] /
-//! [`Field::mul_add_slice`] for per-call constants — instead of scalar
-//! [`Field::mul`]; the kernel design is documented in `PERFORMANCE.md` at
-//! the repository root.
+//! [`Field::mul_add_slice`] for per-call constants, [`horner_eval_block`]
+//! for multi-root syndromes — instead of scalar [`Field::mul`]; the kernel
+//! design is documented in `PERFORMANCE.md` at the repository root. Slice
+//! kernels pick SIMD or scalar implementations once per process via
+//! [`dispatch`] (override with `DNA_SKEW_SIMD=scalar`); every accelerated
+//! path is byte-identical to its scalar reference.
 //!
 //! # Examples
 //!
@@ -32,16 +35,22 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one module:
+// `simd`, which wraps `std::arch` intrinsics behind runtime detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 mod field;
 mod mul_table;
 pub mod poly;
+mod simd;
 mod tables;
 
 pub use field::Field;
-pub use mul_table::MulTable;
+pub use mul_table::{
+    horner_all_zero, horner_all_zero_in, horner_eval_block, horner_eval_block_in, MulTable,
+};
 
 use std::error::Error;
 use std::fmt;

@@ -8,7 +8,24 @@
 //! with no branches. This is the standard trick production RS/fountain
 //! pipelines use, and it is what the workspace's zero-allocation decode
 //! kernels are built on (see `PERFORMANCE.md` at the repository root).
+//!
+//! On top of the tables sit two dispatched accelerations (selected once
+//! per process by [`crate::dispatch`], forced off by
+//! `DNA_SKEW_SIMD=scalar`):
+//!
+//! - byte-wide fields carry split low/high-nibble product LUTs next to
+//!   the full table, which the SSSE3 slice kernels shuffle 16 lanes at a
+//!   time ([`MulTable::mul_slice`] / [`MulTable::mul_add_slice`] and the
+//!   per-call-constant [`Field::mul_slice`] / [`Field::mul_add_slice`]);
+//! - [`horner_eval_block`] streams a word **once** through a register
+//!   block of up to 8 per-root Horner accumulators instead of one pass
+//!   per root — the multi-root syndrome kernel.
+//!
+//! Every accelerated path is exact field arithmetic and byte-identical
+//! to the scalar reference loops.
 
+use crate::dispatch::{self, Kernel, SimdMode};
+use crate::simd::NibbleTable;
 use crate::Field;
 
 /// A precomputed `x ↦ c·x` table over GF(2^m) for one fixed constant `c`.
@@ -16,7 +33,8 @@ use crate::Field;
 /// Construction is `O(2^m)`; every product afterwards is a single table
 /// load with no zero-branches. Fields with `m ≤ 8` (notably GF(256), the
 /// laptop-scale field) use a dedicated byte-entry table: 256 bytes for
-/// GF(256), so a handful of tables stay resident in L1.
+/// GF(256), so a handful of tables stay resident in L1 — plus the two
+/// 16-entry nibble LUTs the SIMD slice kernels shuffle through.
 ///
 /// # Examples
 ///
@@ -36,7 +54,9 @@ pub struct MulTable {
 #[derive(Debug, Clone)]
 enum Repr {
     /// `m ≤ 8`: products fit a byte; GF(256) tables are 4 cache lines.
-    Byte(Box<[u8]>),
+    /// The split nibble LUTs (`lo[n] = c·n`, `hi[n] = c·(n·16)`) feed the
+    /// SSSE3 `_mm_shuffle_epi8` slice kernels.
+    Byte { full: Box<[u8]>, nib: NibbleTable },
     /// `m > 8`: full-width entries.
     Wide(Box<[u16]>),
 }
@@ -47,9 +67,12 @@ impl MulTable {
         debug_assert!((c as usize) < field.order());
         let order = field.order();
         if field.width() <= 8 {
-            let table: Box<[u8]> = (0..order as u16).map(|x| field.mul(c, x) as u8).collect();
+            let full: Box<[u8]> = (0..order as u16).map(|x| field.mul(c, x) as u8).collect();
             MulTable {
-                repr: Repr::Byte(table),
+                repr: Repr::Byte {
+                    full,
+                    nib: NibbleTable::build(field, c),
+                },
             }
         } else {
             let table: Box<[u16]> = (0..=(order - 1) as u16).map(|x| field.mul(c, x)).collect();
@@ -62,7 +85,7 @@ impl MulTable {
     /// Number of entries (the field order `2^m`).
     pub fn len(&self) -> usize {
         match &self.repr {
-            Repr::Byte(t) => t.len(),
+            Repr::Byte { full, .. } => full.len(),
             Repr::Wide(t) => t.len(),
         }
     }
@@ -80,7 +103,7 @@ impl MulTable {
     #[inline]
     pub fn mul(&self, x: u16) -> u16 {
         match &self.repr {
-            Repr::Byte(t) => u16::from(t[x as usize]),
+            Repr::Byte { full, .. } => u16::from(full[x as usize]),
             Repr::Wide(t) => t[x as usize],
         }
     }
@@ -93,15 +116,16 @@ impl MulTable {
 
     /// Evaluates the polynomial whose coefficients are given in
     /// **descending** degree order at this table's constant, by folding
-    /// [`MulTable::horner_step`] over `coeffs`. This is the syndrome
-    /// kernel: a received word in transmission order *is* its polynomial's
-    /// descending coefficients.
+    /// [`MulTable::horner_step`] over `coeffs`. This is the single-root
+    /// syndrome kernel; decode paths that need *every* root use
+    /// [`horner_eval_block`], which streams `coeffs` once for a whole
+    /// block of roots.
     pub fn horner_eval(&self, coeffs: &[u16]) -> u16 {
         match &self.repr {
-            Repr::Byte(t) => {
+            Repr::Byte { full, .. } => {
                 let mut acc = 0u16;
                 for &c in coeffs {
-                    acc = u16::from(t[acc as usize]) ^ c;
+                    acc = u16::from(full[acc as usize]) ^ c;
                 }
                 acc
             }
@@ -115,12 +139,28 @@ impl MulTable {
         }
     }
 
-    /// Multiplies every element of `xs` by the constant, in place.
+    /// Multiplies every element of `xs` by the constant, in place, via
+    /// the kernel selected by [`dispatch::kernel`].
     pub fn mul_slice(&self, xs: &mut [u16]) {
+        self.mul_slice_in(dispatch::kernel(), xs);
+    }
+
+    /// [`MulTable::mul_slice`] through an explicit kernel — the entry
+    /// point dispatch-identity tests use to compare the scalar reference
+    /// against the SIMD path in one process. Requesting
+    /// [`Kernel::Ssse3`] on a target without it falls back to scalar.
+    pub fn mul_slice_in(&self, kernel: Kernel, xs: &mut [u16]) {
         match &self.repr {
-            Repr::Byte(t) => {
-                for x in xs {
-                    *x = u16::from(t[*x as usize]);
+            Repr::Byte { full, nib } => {
+                let mut start = 0usize;
+                #[cfg(target_arch = "x86_64")]
+                if kernel == Kernel::Ssse3 && std::is_x86_feature_detected!("ssse3") {
+                    crate::simd::mul_slice_ssse3(nib, xs);
+                    start = crate::simd::simd_head_len(xs.len());
+                }
+                let _ = (kernel, nib);
+                for x in &mut xs[start..] {
+                    *x = u16::from(full[*x as usize]);
                 }
             }
             Repr::Wide(t) => {
@@ -131,17 +171,35 @@ impl MulTable {
         }
     }
 
-    /// Fused multiply-accumulate: `acc[i] ^= c·src[i]` for every `i`.
+    /// Fused multiply-accumulate: `acc[i] ^= c·src[i]` for every `i`,
+    /// via the kernel selected by [`dispatch::kernel`].
     ///
     /// # Panics
     ///
     /// Panics when the slices have different lengths.
     pub fn mul_add_slice(&self, acc: &mut [u16], src: &[u16]) {
+        self.mul_add_slice_in(dispatch::kernel(), acc, src);
+    }
+
+    /// [`MulTable::mul_add_slice`] through an explicit kernel (see
+    /// [`MulTable::mul_slice_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn mul_add_slice_in(&self, kernel: Kernel, acc: &mut [u16], src: &[u16]) {
         assert_eq!(acc.len(), src.len(), "mul_add_slice length mismatch");
         match &self.repr {
-            Repr::Byte(t) => {
-                for (a, &s) in acc.iter_mut().zip(src) {
-                    *a ^= u16::from(t[s as usize]);
+            Repr::Byte { full, nib } => {
+                let mut start = 0usize;
+                #[cfg(target_arch = "x86_64")]
+                if kernel == Kernel::Ssse3 && std::is_x86_feature_detected!("ssse3") {
+                    crate::simd::mul_add_slice_ssse3(nib, acc, src);
+                    start = crate::simd::simd_head_len(acc.len());
+                }
+                let _ = (kernel, nib);
+                for (a, &s) in acc[start..].iter_mut().zip(&src[start..]) {
+                    *a ^= u16::from(full[s as usize]);
                 }
             }
             Repr::Wide(t) => {
@@ -151,7 +209,114 @@ impl MulTable {
             }
         }
     }
+
+    /// The full byte product table, when this is a byte-wide table.
+    fn byte_table(&self) -> Option<&[u8]> {
+        match &self.repr {
+            Repr::Byte { full, .. } => Some(full),
+            Repr::Wide(_) => None,
+        }
+    }
 }
+
+/// Evaluates the same descending-order polynomial at *every* table's
+/// constant — the batched multi-root syndrome kernel. The scalar
+/// reference runs one Horner pass over `coeffs` per root; the dispatched
+/// form (any target, unless `DNA_SKEW_SIMD=scalar`) streams `coeffs`
+/// **once per block of up to 8 roots**, keeping the block's accumulators
+/// in registers, which is both one memory pass instead of `E` and an
+/// 8-way independent-chain ILP win. Results are identical — every step
+/// is the same exact table load and XOR.
+///
+/// `out` is cleared and filled with one evaluation per table, in order.
+/// Wide (`m > 8`) tables always use the per-root reference: blocking
+/// their 128 KiB tables would thrash L2 instead of helping.
+pub fn horner_eval_block(tables: &[MulTable], coeffs: &[u16], out: &mut Vec<u16>) {
+    horner_eval_block_in(dispatch::mode(), tables, coeffs, out);
+}
+
+/// [`horner_eval_block`] under an explicit mode — the comparison entry
+/// point for dispatch-identity tests.
+pub fn horner_eval_block_in(
+    mode: SimdMode,
+    tables: &[MulTable],
+    coeffs: &[u16],
+    out: &mut Vec<u16>,
+) {
+    out.clear();
+    out.reserve(tables.len());
+    if mode == SimdMode::Scalar || tables.first().is_none_or(|t| t.byte_table().is_none()) {
+        out.extend(tables.iter().map(|t| t.horner_eval(coeffs)));
+        return;
+    }
+    let mut rest = tables;
+    while rest.len() >= 8 {
+        let (blk, r) = rest.split_at(8);
+        out.extend_from_slice(&horner_block_byte::<8>(blk, coeffs));
+        rest = r;
+    }
+    if rest.len() >= 4 {
+        let (blk, r) = rest.split_at(4);
+        out.extend_from_slice(&horner_block_byte::<4>(blk, coeffs));
+        rest = r;
+    }
+    out.extend(rest.iter().map(|t| t.horner_eval(coeffs)));
+}
+
+/// Whether the polynomial evaluates to zero at **every** table's constant
+/// (all syndromes vanish — the `is_codeword` kernel). Exits early at the
+/// first non-zero evaluation: per root in scalar mode, per block of roots
+/// in the dispatched form.
+pub fn horner_all_zero(tables: &[MulTable], coeffs: &[u16]) -> bool {
+    horner_all_zero_in(dispatch::mode(), tables, coeffs)
+}
+
+/// [`horner_all_zero`] under an explicit mode (see
+/// [`horner_eval_block_in`]).
+pub fn horner_all_zero_in(mode: SimdMode, tables: &[MulTable], coeffs: &[u16]) -> bool {
+    if mode == SimdMode::Scalar || tables.first().is_none_or(|t| t.byte_table().is_none()) {
+        return tables.iter().all(|t| t.horner_eval(coeffs) == 0);
+    }
+    let mut rest = tables;
+    while rest.len() >= 8 {
+        let (blk, r) = rest.split_at(8);
+        if horner_block_byte::<8>(blk, coeffs).iter().any(|&v| v != 0) {
+            return false;
+        }
+        rest = r;
+    }
+    if rest.len() >= 4 {
+        let (blk, r) = rest.split_at(4);
+        if horner_block_byte::<4>(blk, coeffs).iter().any(|&v| v != 0) {
+            return false;
+        }
+        rest = r;
+    }
+    rest.iter().all(|t| t.horner_eval(coeffs) == 0)
+}
+
+/// One register block of `B` simultaneous byte-table Horner chains: one
+/// pass over `coeffs`, `B` independent accumulators. Every table must be
+/// byte-wide (the callers guarantee it by checking the first table — a
+/// table list always comes from one field).
+fn horner_block_byte<const B: usize>(tables: &[MulTable], coeffs: &[u16]) -> [u16; B] {
+    debug_assert_eq!(tables.len(), B);
+    let mut tabs: [&[u8]; B] = [&[]; B];
+    for (slot, t) in tabs.iter_mut().zip(tables) {
+        *slot = t.byte_table().expect("blocked Horner requires byte tables");
+    }
+    let mut acc = [0u16; B];
+    for &c in coeffs {
+        for j in 0..B {
+            acc[j] = u16::from(tabs[j][usize::from(acc[j])]) ^ c;
+        }
+    }
+    acc
+}
+
+/// The slice length below which building on-the-fly nibble LUTs for a
+/// per-call constant costs more than it saves.
+const FIELD_SIMD_MIN_LEN: usize = 32;
 
 impl Field {
     /// Precomputes the `x ↦ c·x` product table for the constant `c` — the
@@ -166,9 +331,12 @@ impl Field {
     }
 
     /// Multiplies every element of `xs` by the scalar `c` in place without
-    /// building a table: `log(c)` is looked up once and each element costs
-    /// one exp-load plus a zero-branch. Prefer [`Field::mul_table`] when
-    /// the constant is reused across many calls.
+    /// building a full table: `log(c)` is looked up once and each element
+    /// costs one exp-load plus a zero-branch. On byte-wide fields, long
+    /// slices route through the SSSE3 nibble kernel when dispatched
+    /// (two 16-entry LUTs are built on the fly — 32 products — then 16
+    /// lanes per shuffle pass). Prefer [`Field::mul_table`] when the
+    /// constant is reused across many calls.
     pub fn mul_slice(&self, xs: &mut [u16], c: u16) {
         if c == 0 {
             xs.fill(0);
@@ -177,16 +345,28 @@ impl Field {
         if c == 1 {
             return;
         }
+        let mut start = 0usize;
+        #[cfg(target_arch = "x86_64")]
+        if self.width() <= 8
+            && xs.len() >= FIELD_SIMD_MIN_LEN
+            && dispatch::kernel() == Kernel::Ssse3
+        {
+            let nib = NibbleTable::build(self, c);
+            crate::simd::mul_slice_ssse3(&nib, xs);
+            start = crate::simd::simd_head_len(xs.len());
+        }
         let logc = self.log(c).expect("c is non-zero") as usize;
-        for x in xs {
+        for x in &mut xs[start..] {
             *x = self.mul_exp_log(*x, logc);
         }
     }
 
     /// Fused multiply-accumulate without a table: `acc[i] ^= c·src[i]`.
     /// The scalar's log is looked up once; zero elements of `src` cost one
-    /// branch. This is the kernel for polynomial updates whose constant
-    /// changes every call (Berlekamp–Massey, locator products).
+    /// branch. Long byte-field slices route through the SSSE3 nibble
+    /// kernel when dispatched, as in [`Field::mul_slice`]. This is the
+    /// kernel for polynomial updates whose constant changes every call
+    /// (Berlekamp–Massey, locator products).
     ///
     /// # Panics
     ///
@@ -196,8 +376,18 @@ impl Field {
         if c == 0 {
             return;
         }
+        let mut start = 0usize;
+        #[cfg(target_arch = "x86_64")]
+        if self.width() <= 8
+            && acc.len() >= FIELD_SIMD_MIN_LEN
+            && dispatch::kernel() == Kernel::Ssse3
+        {
+            let nib = NibbleTable::build(self, c);
+            crate::simd::mul_add_slice_ssse3(&nib, acc, src);
+            start = crate::simd::simd_head_len(acc.len());
+        }
         let logc = self.log(c).expect("c is non-zero") as usize;
-        for (a, &s) in acc.iter_mut().zip(src) {
+        for (a, &s) in acc[start..].iter_mut().zip(&src[start..]) {
             *a ^= self.mul_exp_log(s, logc);
         }
     }
@@ -289,6 +479,20 @@ mod tests {
     }
 
     #[test]
+    fn forced_kernels_agree_on_awkward_lengths() {
+        let f = Field::gf256();
+        let t = f.mul_table(0xA7);
+        for len in [0usize, 1, 15, 16, 17, 33, 255] {
+            let src: Vec<u16> = (0..len).map(|i| (i * 13 % 256) as u16).collect();
+            let mut scalar = src.clone();
+            let mut dispatched = src.clone();
+            t.mul_slice_in(Kernel::Scalar, &mut scalar);
+            t.mul_slice_in(dispatch::kernel(), &mut dispatched);
+            assert_eq!(scalar, dispatched, "len={len}");
+        }
+    }
+
+    #[test]
     fn wide_field_slice_kernels_match() {
         let f = Field::gf65536();
         let src: Vec<u16> = (0..64).map(|i| i * 1021 + 3).collect();
@@ -304,6 +508,26 @@ mod tests {
             for (a, &s) in acc.iter().zip(&src) {
                 assert_eq!(*a, 0xAAAA ^ f.mul(c, s));
             }
+        }
+    }
+
+    #[test]
+    fn blocked_horner_matches_per_root_both_fields() {
+        for field in [Field::gf256(), Field::gf65536()] {
+            let max = field.group_order().min(1000) as u16;
+            let tables: Vec<MulTable> = (0..23u16)
+                .map(|j| field.mul_table(field.alpha_pow(i64::from(j) + 1)))
+                .collect();
+            let word: Vec<u16> = (0..255u16).map(|i| i % max).collect();
+            let per_root: Vec<u16> = tables.iter().map(|t| t.horner_eval(&word)).collect();
+            let mut blocked = Vec::new();
+            horner_eval_block_in(SimdMode::Auto, &tables, &word, &mut blocked);
+            assert_eq!(blocked, per_root);
+            let mut scalar = Vec::new();
+            horner_eval_block_in(SimdMode::Scalar, &tables, &word, &mut scalar);
+            assert_eq!(scalar, per_root);
+            assert!(!horner_all_zero_in(SimdMode::Auto, &tables, &word));
+            assert!(horner_all_zero_in(SimdMode::Auto, &tables, &[]));
         }
     }
 }

@@ -326,25 +326,18 @@ impl CapsuleHeader {
 
 /// Packed length of one strand of `bases` bases.
 pub fn packed_strand_len(bases: usize) -> usize {
-    bases.div_ceil(4)
+    dna_strand::bits::packed_base_len(bases)
 }
 
-/// Packs bases four to a byte, low bits first.
+/// Packs bases four to a byte, low bits first, via the dispatched
+/// word-at-a-time kernel in [`dna_strand::bits`].
 pub fn pack_bases(bases: &[Base]) -> Vec<u8> {
-    let mut out = vec![0u8; packed_strand_len(bases.len())];
-    for (i, b) in bases.iter().enumerate() {
-        out[i / 4] |= b.to_bits() << ((i % 4) * 2);
-    }
-    out
+    dna_strand::bits::pack_bases(bases)
 }
 
 /// Inverse of [`pack_bases`] for a known base count.
 pub fn unpack_bases(packed: &[u8], bases: usize) -> DnaString {
-    let mut out = DnaString::with_capacity(bases);
-    for i in 0..bases {
-        out.push(Base::from_bits(packed[i / 4] >> ((i % 4) * 2)));
-    }
-    out
+    DnaString::from_bases(dna_strand::bits::unpack_bases(packed, bases))
 }
 
 /// Byte length of a capsule's strand+trailer section.

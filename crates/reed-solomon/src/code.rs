@@ -221,16 +221,18 @@ impl ReedSolomon {
     }
 
     /// Computes the `E` syndromes `S_j = r(α^j)`, `j = 1..=E`, into `out`
-    /// via the per-root Horner kernels.
-    pub(crate) fn syndromes_into(&self, received: &[u16], out: &mut Vec<u16>) {
-        out.clear();
-        out.extend(self.tables.roots.iter().map(|t| t.horner_eval(received)));
+    /// via the batched multi-root Horner kernel ([`dna_gf::horner_eval_block`]):
+    /// one streaming pass over `received` per register block of up to 8
+    /// roots, instead of `E` independent passes. `DNA_SKEW_SIMD=scalar`
+    /// forces the per-root reference; results are identical either way.
+    pub fn syndromes_into(&self, received: &[u16], out: &mut Vec<u16>) {
+        dna_gf::horner_eval_block(&self.tables.roots, received, out);
     }
 
     /// Whether every syndrome of `word` vanishes; exits at the first
-    /// non-zero syndrome.
+    /// non-zero syndrome (block of syndromes under batched dispatch).
     pub(crate) fn syndromes_vanish(&self, word: &[u16]) -> bool {
-        self.tables.roots.iter().all(|t| t.horner_eval(word) == 0)
+        dna_gf::horner_all_zero(&self.tables.roots, word)
     }
 
     /// Returns `true` when all syndromes of `word` vanish (i.e. `word` is a

@@ -116,6 +116,37 @@ proptest! {
     }
 
     #[test]
+    fn decode_and_syndromes_identical_across_dispatch_modes(s in scenario()) {
+        use dna_gf::dispatch::{self, SimdMode};
+        let rs = ReedSolomon::new(Field::gf256(), s.data_len, s.parity_len).unwrap();
+        let clean = rs.encode(&s.data).unwrap();
+        let mut noisy = clean.clone();
+        for &(pos, mask) in &s.errors {
+            noisy[pos] ^= mask;
+        }
+        for &pos in &s.erasures {
+            noisy[pos] = 0;
+        }
+        dispatch::force_mode(Some(SimdMode::Scalar));
+        let mut synd_scalar = Vec::new();
+        rs.syndromes_into(&noisy, &mut synd_scalar);
+        let clean_scalar = rs.is_codeword(&noisy);
+        let mut cw_scalar = noisy.clone();
+        let res_scalar = rs.decode(&mut cw_scalar, &s.erasures);
+        dispatch::force_mode(Some(SimdMode::Auto));
+        let mut synd_auto = Vec::new();
+        rs.syndromes_into(&noisy, &mut synd_auto);
+        let clean_auto = rs.is_codeword(&noisy);
+        let mut cw_auto = noisy.clone();
+        let res_auto = rs.decode(&mut cw_auto, &s.erasures);
+        dispatch::force_mode(None);
+        prop_assert_eq!(synd_scalar, synd_auto);
+        prop_assert_eq!(clean_scalar, clean_auto);
+        prop_assert_eq!(res_scalar, res_auto);
+        prop_assert_eq!(cw_scalar, cw_auto);
+    }
+
+    #[test]
     fn failed_decode_never_mutates(
         data in proptest::collection::vec(0u16..256, 8..20),
         seed in any::<u64>(),

@@ -1,7 +1,13 @@
 //! Bit-packing helpers: slicing byte payloads into m-bit Reed–Solomon
-//! symbols and back. All packing is MSB-first.
+//! symbols and back (MSB-first), plus the 2-bit base pack/unpack kernels
+//! used by the capsule strand sections (four bases per byte, low bits
+//! first). The base kernels have a word-at-a-time fast path — 32 bases
+//! per `u64` — selected by [`dna_gf::dispatch`] and byte-identical to the
+//! scalar reference (`DNA_SKEW_SIMD=scalar` forces the reference).
 
+use crate::Base;
 use crate::StrandError;
+use dna_gf::dispatch::{self, SimdMode};
 
 /// Packs `bytes` into `width`-bit symbols (MSB-first), zero-padding the
 /// final symbol. `width` must be in 1..=16.
@@ -114,6 +120,133 @@ pub fn set_bit(bytes: &mut [u8], i: usize, value: bool) {
     }
 }
 
+/// Packed byte length of `n_bases` 2-bit bases (four per byte).
+pub fn packed_base_len(n_bases: usize) -> usize {
+    n_bases.div_ceil(4)
+}
+
+/// Packs bases four to a byte, low bits first (base `i` occupies bits
+/// `2·(i mod 4)` of byte `i / 4`), into a fresh buffer.
+pub fn pack_bases(bases: &[Base]) -> Vec<u8> {
+    let mut out = vec![0u8; packed_base_len(bases.len())];
+    pack_bases_into(bases, &mut out);
+    out
+}
+
+/// [`pack_bases`] into a caller-provided buffer of exactly
+/// [`packed_base_len`] bytes, via the dispatched kernel.
+///
+/// # Panics
+///
+/// Panics when `out` has the wrong length.
+pub fn pack_bases_into(bases: &[Base], out: &mut [u8]) {
+    pack_bases_into_in(dispatch::mode(), bases, out);
+}
+
+/// [`pack_bases_into`] under an explicit dispatch mode — the comparison
+/// entry point for dispatch-identity tests. The accelerated form
+/// assembles 32 bases per `u64` store; the scalar reference shifts one
+/// base at a time. Outputs are identical.
+///
+/// # Panics
+///
+/// Panics when `out` has the wrong length.
+pub fn pack_bases_into_in(mode: SimdMode, bases: &[Base], out: &mut [u8]) {
+    assert_eq!(
+        out.len(),
+        packed_base_len(bases.len()),
+        "pack_bases_into output length mismatch"
+    );
+    if mode == SimdMode::Scalar {
+        out.fill(0);
+        for (i, b) in bases.iter().enumerate() {
+            out[i / 4] |= b.to_bits() << ((i % 4) * 2);
+        }
+        return;
+    }
+    // Word-at-a-time: 32 bases become one u64 (base i at bit 2·i), whose
+    // little-endian bytes are exactly the four-per-byte low-bits-first
+    // layout of the scalar loop.
+    let head = bases.len() & !31;
+    for (blk, slot) in bases[..head]
+        .chunks_exact(32)
+        .zip(out[..head / 4].chunks_exact_mut(8))
+    {
+        let mut word = 0u64;
+        for (i, b) in blk.iter().enumerate() {
+            word |= u64::from(b.to_bits()) << (2 * i);
+        }
+        slot.copy_from_slice(&word.to_le_bytes());
+    }
+    for (blk, slot) in bases[head..].chunks(4).zip(&mut out[head / 4..]) {
+        let mut byte = 0u8;
+        for (j, b) in blk.iter().enumerate() {
+            byte |= b.to_bits() << (2 * j);
+        }
+        *slot = byte;
+    }
+}
+
+/// Inverse of [`pack_bases`] for a known base count.
+///
+/// # Panics
+///
+/// Panics when `packed` is shorter than [`packed_base_len`] bytes.
+pub fn unpack_bases(packed: &[u8], n_bases: usize) -> Vec<Base> {
+    let mut out = Vec::with_capacity(n_bases);
+    unpack_bases_into(packed, n_bases, &mut out);
+    out
+}
+
+/// [`unpack_bases`] appending into a caller-provided vector (cleared
+/// first), via the dispatched kernel.
+///
+/// # Panics
+///
+/// Panics when `packed` is shorter than [`packed_base_len`] bytes.
+pub fn unpack_bases_into(packed: &[u8], n_bases: usize, out: &mut Vec<Base>) {
+    unpack_bases_into_in(dispatch::mode(), packed, n_bases, out);
+}
+
+/// [`unpack_bases_into`] under an explicit dispatch mode (see
+/// [`pack_bases_into_in`]). The accelerated form loads 8 packed bytes per
+/// `u64` and emits 32 bases from register shifts.
+///
+/// # Panics
+///
+/// Panics when `packed` is shorter than [`packed_base_len`] bytes.
+pub fn unpack_bases_into_in(mode: SimdMode, packed: &[u8], n_bases: usize, out: &mut Vec<Base>) {
+    assert!(
+        packed.len() >= packed_base_len(n_bases),
+        "unpack_bases input too short"
+    );
+    out.clear();
+    out.reserve(n_bases);
+    if mode == SimdMode::Scalar {
+        for i in 0..n_bases {
+            out.push(Base::from_bits(packed[i / 4] >> ((i % 4) * 2)));
+        }
+        return;
+    }
+    // Fill by slice writes instead of per-base pushes: resize once, then
+    // each u64 load fans out into a fixed 32-element window (no length
+    // bookkeeping in the inner loop).
+    let head = n_bases & !31;
+    out.resize(n_bases, Base::A);
+    for (blk, dst) in packed[..head / 4]
+        .chunks_exact(8)
+        .zip(out[..head].chunks_exact_mut(32))
+    {
+        let word = u64::from_le_bytes(blk.try_into().expect("8-byte chunk"));
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = Base::from_bits((word >> (2 * i)) as u8);
+        }
+    }
+    for (i, slot) in out.iter_mut().enumerate().skip(head) {
+        *slot = Base::from_bits(packed[i / 4] >> ((i % 4) * 2));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +285,27 @@ mod tests {
     #[test]
     fn insufficient_symbols_is_an_error() {
         assert!(symbols_to_bytes(&[0xAB], 8, 2).is_err());
+    }
+
+    #[test]
+    fn base_packing_round_trips_both_modes() {
+        let bases: Vec<Base> = (0..131).map(|i| Base::from_bits(i as u8)).collect();
+        for len in [0usize, 1, 3, 4, 31, 32, 33, 64, 131] {
+            let slice = &bases[..len];
+            let mut scalar = vec![0u8; packed_base_len(len)];
+            let mut fast = vec![0xAAu8; packed_base_len(len)];
+            pack_bases_into_in(SimdMode::Scalar, slice, &mut scalar);
+            pack_bases_into_in(SimdMode::Auto, slice, &mut fast);
+            assert_eq!(scalar, fast, "pack len={len}");
+            let mut back_s = Vec::new();
+            let mut back_f = Vec::new();
+            unpack_bases_into_in(SimdMode::Scalar, &scalar, len, &mut back_s);
+            unpack_bases_into_in(SimdMode::Auto, &scalar, len, &mut back_f);
+            assert_eq!(back_s, slice, "unpack len={len}");
+            assert_eq!(back_f, slice, "unpack auto len={len}");
+            assert_eq!(pack_bases(slice), scalar);
+            assert_eq!(unpack_bases(&scalar, len), slice);
+        }
     }
 
     #[test]

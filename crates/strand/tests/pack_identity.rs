@@ -1,0 +1,50 @@
+//! Dispatch-identity properties for the 2-bit base pack/unpack kernels:
+//! the word-at-a-time path must be byte-identical to the scalar
+//! reference over random strands, including empty inputs, lengths on and
+//! off the 32-base word boundary, and uniform all-A / all-T strands.
+
+use dna_gf::dispatch::SimdMode;
+use dna_strand::bits::{
+    pack_bases, pack_bases_into_in, packed_base_len, unpack_bases, unpack_bases_into_in,
+};
+use dna_strand::Base;
+use proptest::prelude::*;
+
+fn bases(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    proptest::collection::vec((0u8..4).prop_map(Base::from_bits), 0..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn pack_identical_across_modes(bases in bases(200)) {
+        let mut scalar = vec![0u8; packed_base_len(bases.len())];
+        let mut word = vec![0xFFu8; packed_base_len(bases.len())];
+        pack_bases_into_in(SimdMode::Scalar, &bases, &mut scalar);
+        pack_bases_into_in(SimdMode::Auto, &bases, &mut word);
+        prop_assert_eq!(&scalar, &word);
+        prop_assert_eq!(&pack_bases(&bases), &scalar);
+    }
+
+    #[test]
+    fn unpack_identical_across_modes_and_round_trips(bases in bases(200)) {
+        let packed = pack_bases(&bases);
+        let mut scalar = Vec::new();
+        let mut word = Vec::new();
+        unpack_bases_into_in(SimdMode::Scalar, &packed, bases.len(), &mut scalar);
+        unpack_bases_into_in(SimdMode::Auto, &packed, bases.len(), &mut word);
+        prop_assert_eq!(&scalar, &word);
+        prop_assert_eq!(&scalar, &bases);
+        prop_assert_eq!(unpack_bases(&packed, bases.len()), bases);
+    }
+
+    #[test]
+    fn uniform_strands_round_trip(len in 0usize..150, bits in 0u8..4) {
+        let bases = vec![Base::from_bits(bits); len];
+        let mut scalar = vec![0u8; packed_base_len(len)];
+        let mut word = vec![0u8; packed_base_len(len)];
+        pack_bases_into_in(SimdMode::Scalar, &bases, &mut scalar);
+        pack_bases_into_in(SimdMode::Auto, &bases, &mut word);
+        prop_assert_eq!(&scalar, &word);
+        prop_assert_eq!(unpack_bases(&scalar, len), bases);
+    }
+}
