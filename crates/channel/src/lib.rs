@@ -60,7 +60,7 @@ pub use backend::{unit_seed, SequencingBackend, SimulatedSequencer, TraceReplay}
 pub use channel::IdsChannel;
 pub use coverage::CoverageModel;
 pub use error_model::ErrorModel;
-pub use model::{BurstModel, ChannelModel, PcrBias, PositionProfile};
+pub use model::{BurstModel, ChannelModel, ConstraintStress, PcrBias, PositionProfile};
 pub use pool::{Cluster, ReadPool};
 
 use std::error::Error;

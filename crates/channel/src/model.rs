@@ -261,6 +261,169 @@ impl BurstModel {
     }
 }
 
+/// Constraint-correlated error stress: content-dependent rate
+/// multipliers that punish biologically hostile strand content.
+///
+/// Real synthesis and sequencing chemistry degrades on exactly the
+/// content the synthesis constraints forbid: polymerases slip on long
+/// homopolymer runs, and GC-extreme regions melt or bind anomalously.
+/// This term makes the simulated channel agree — each position's
+/// sub/ins/del rates are multiplied by
+///
+/// * `1 + run_gain · (run − run_threshold)` when the position sits in a
+///   homopolymer run longer than `run_threshold`, and
+/// * `1 + gc_gain · extremity`, where *extremity* is how far the local
+///   GC fraction (over a `gc_window`-base window centered on the
+///   position) falls outside the `[min_gc, max_gc]` band.
+///
+/// Compliant strands (run ≤ threshold, GC inside the band everywhere)
+/// see multiplier 1.0 at every position — their noise is untouched — so
+/// the term separates constrained transcoders from unconstrained ones
+/// at identical base rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstraintStress {
+    run_threshold: usize,
+    run_gain: f64,
+    gc_window: usize,
+    gc_gain: f64,
+    min_gc: f64,
+    max_gc: f64,
+}
+
+impl ConstraintStress {
+    /// A validated stress term with the conventional GC band `[0.4, 0.6]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProfile`] when a gain is negative
+    /// or non-finite, or a size is zero.
+    pub fn new(
+        run_threshold: usize,
+        run_gain: f64,
+        gc_window: usize,
+        gc_gain: f64,
+    ) -> Result<ConstraintStress, ChannelError> {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        if !ok(run_gain) || !ok(gc_gain) {
+            return Err(ChannelError::InvalidProfile(format!(
+                "constraint-stress gains must be finite and non-negative, got \
+                 run_gain={run_gain} gc_gain={gc_gain}"
+            )));
+        }
+        if run_threshold == 0 || gc_window == 0 {
+            return Err(ChannelError::InvalidProfile(format!(
+                "constraint-stress run_threshold ({run_threshold}) and gc_window \
+                 ({gc_window}) must be positive"
+            )));
+        }
+        Ok(ConstraintStress {
+            run_threshold,
+            run_gain,
+            gc_window,
+            gc_gain,
+            min_gc: 0.4,
+            max_gc: 0.6,
+        })
+    }
+
+    /// Replaces the compliant GC band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProfile`] for bounds outside
+    /// `[0, 1]` or reversed.
+    pub fn with_gc_band(
+        mut self,
+        min_gc: f64,
+        max_gc: f64,
+    ) -> Result<ConstraintStress, ChannelError> {
+        if !(0.0..=1.0).contains(&min_gc) || !(0.0..=1.0).contains(&max_gc) || min_gc > max_gc {
+            return Err(ChannelError::InvalidProfile(format!(
+                "constraint-stress GC band [{min_gc}, {max_gc}] must be an ordered \
+                 sub-interval of [0, 1]"
+            )));
+        }
+        self.min_gc = min_gc;
+        self.max_gc = max_gc;
+        Ok(self)
+    }
+
+    /// Runs longer than this attract extra error.
+    pub fn run_threshold(&self) -> usize {
+        self.run_threshold
+    }
+
+    /// Extra multiplier per base of excess homopolymer run.
+    pub fn run_gain(&self) -> f64 {
+        self.run_gain
+    }
+
+    /// Window (in bases) for the local GC fraction.
+    pub fn gc_window(&self) -> usize {
+        self.gc_window
+    }
+
+    /// Multiplier strength per unit of GC extremity.
+    pub fn gc_gain(&self) -> f64 {
+        self.gc_gain
+    }
+
+    /// The per-position rate multipliers for a transmitted strand —
+    /// computed once per strand (two linear passes) and then indexed by
+    /// the per-base transmit loop.
+    pub fn multipliers(&self, strand: &DnaString) -> Vec<f64> {
+        let n = strand.len();
+        let mut out = vec![1.0f64; n];
+        if n == 0 {
+            return out;
+        }
+        let bases = strand.as_slice();
+        // Homopolymer component: every base of an over-long run shares
+        // the run's excess-length penalty.
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && bases[j] == bases[i] {
+                j += 1;
+            }
+            let run = j - i;
+            if run > self.run_threshold {
+                let extra = 1.0 + self.run_gain * (run - self.run_threshold) as f64;
+                for slot in &mut out[i..j] {
+                    *slot *= extra;
+                }
+            }
+            i = j;
+        }
+        // GC component: windowed fraction via one prefix-sum pass.
+        let mut prefix = vec![0usize; n + 1];
+        for (k, b) in bases.iter().enumerate() {
+            prefix[k + 1] = prefix[k] + usize::from(b.is_gc());
+        }
+        let half = self.gc_window / 2;
+        for (pos, slot) in out.iter_mut().enumerate() {
+            let lo = pos.saturating_sub(half);
+            let hi = (pos + half + 1).min(n);
+            let gc = (prefix[hi] - prefix[lo]) as f64 / (hi - lo) as f64;
+            let extremity = (self.min_gc - gc).max(gc - self.max_gc).max(0.0);
+            if extremity > 0.0 {
+                *slot *= 1.0 + self.gc_gain * extremity;
+            }
+        }
+        out
+    }
+}
+
+impl Default for ConstraintStress {
+    /// The calibration used by the `constraint-stressed` preset: runs
+    /// beyond 3 and GC outside `[0.4, 0.6]` over a 16-base window, with
+    /// gains strong enough that unconstrained payloads measurably
+    /// underperform compliant ones at equal coverage.
+    fn default() -> ConstraintStress {
+        ConstraintStress::new(3, 1.0, 16, 5.0).expect("static stress parameters are valid")
+    }
+}
+
 /// A complete channel operating point: base IDS rates plus position- and
 /// strand-level reliability skew.
 ///
@@ -294,6 +457,7 @@ pub struct ChannelModel {
     dropout: f64,
     pcr: Option<PcrBias>,
     burst: Option<BurstModel>,
+    stress: Option<ConstraintStress>,
 }
 
 impl ChannelModel {
@@ -308,6 +472,7 @@ impl ChannelModel {
             dropout: 0.0,
             pcr: None,
             burst: None,
+            stress: None,
         }
     }
 
@@ -352,6 +517,21 @@ impl ChannelModel {
         ChannelModel::uniform(ErrorModel::uniform(p))
             .with_dropout(dropout)
             .expect("dropout must lie in [0, 1)")
+    }
+
+    /// A constraint-stressed preset at total rate `p`: the nanopore base
+    /// mix plus content-dependent multipliers ([`ConstraintStress`]) that
+    /// punish homopolymer runs beyond 3 and GC excursions outside
+    /// `[0.4, 0.6]` — the regime where biologically compliant
+    /// transcoders out-decode the unconstrained direct mapping at
+    /// identical coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn constraint_stressed(p: f64) -> ChannelModel {
+        ChannelModel::uniform(ErrorModel::nanopore(p))
+            .with_constraint_stress(ConstraintStress::default())
     }
 
     /// A bursty preset at total rate `p`: uniform thirds base rates plus
@@ -417,6 +597,13 @@ impl ChannelModel {
         Ok(self)
     }
 
+    /// Enables constraint-correlated error stress (already validated by
+    /// [`ConstraintStress::new`]).
+    pub fn with_constraint_stress(mut self, stress: ConstraintStress) -> ChannelModel {
+        self.stress = Some(stress);
+        self
+    }
+
     /// The base per-base rates.
     pub fn base(&self) -> &ErrorModel {
         &self.base
@@ -442,6 +629,11 @@ impl ChannelModel {
         self.burst.as_ref()
     }
 
+    /// The constraint-correlated stress term, when enabled.
+    pub fn constraint_stress(&self) -> Option<&ConstraintStress> {
+        self.stress.as_ref()
+    }
+
     /// Whether every extension is disabled — the flat channel whose pools
     /// are byte-identical to the pre-profile simulator.
     pub fn is_uniform(&self) -> bool {
@@ -449,6 +641,7 @@ impl ChannelModel {
             && self.dropout == 0.0
             && self.pcr.is_none()
             && self.burst.is_none()
+            && self.stress.is_none()
     }
 
     /// The effective `(sub, ins, del)` rates at `pos` of a strand of
@@ -471,7 +664,8 @@ impl ChannelModel {
     }
 
     /// Produces one noisy read of `strand` under this model (positional
-    /// rates and bursts; dropout and PCR bias act at the pool level — see
+    /// rates, content-dependent stress, and bursts; dropout and PCR bias
+    /// act at the pool level — see
     /// [`ReadPool::generate_with`](crate::ReadPool::generate_with)).
     pub fn transmit<R: Rng + ?Sized>(&self, strand: &DnaString, rng: &mut R) -> DnaString {
         let burst = match &self.burst {
@@ -479,6 +673,21 @@ impl ChannelModel {
             None => None,
         };
         let len = strand.len();
+        if let Some(stress) = &self.stress {
+            // Content-dependent multipliers are precomputed per strand
+            // (two linear passes), then composed onto the positional
+            // rates with the same ≤ 1 clamp.
+            let mult = stress.multipliers(strand);
+            return transmit_core(
+                strand,
+                |pos| {
+                    let (ps, pi, pd) = self.rates_at(pos, len);
+                    clamp_rates(ps * mult[pos], pi * mult[pos], pd * mult[pos])
+                },
+                burst,
+                rng,
+            );
+        }
         if self.profile.is_uniform() {
             // Hoist the (position-independent) rates out of the per-base
             // loop, as the plain channel always has.
@@ -488,6 +697,18 @@ impl ChannelModel {
             transmit_core(strand, |pos| self.rates_at(pos, len), burst, rng)
         }
     }
+}
+
+/// Normalizes an event-rate triple so its total never exceeds 1.
+fn clamp_rates(mut ps: f64, mut pi: f64, mut pd: f64) -> (f64, f64, f64) {
+    let total = ps + pi + pd;
+    if total > 1.0 {
+        let scale = 1.0 / total;
+        ps *= scale;
+        pi *= scale;
+        pd *= scale;
+    }
+    (ps, pi, pd)
 }
 
 impl From<ErrorModel> for ChannelModel {
@@ -601,5 +822,60 @@ mod tests {
         assert_eq!(ChannelModel::dropout_prone(0.03, 0.05).dropout(), 0.05);
         assert!(ChannelModel::bursty(0.03).burst().is_some());
         assert!(ChannelModel::uniform(ErrorModel::uniform(0.05)).is_uniform());
+        let stressed = ChannelModel::constraint_stressed(0.06);
+        assert!(stressed.constraint_stress().is_some());
+        assert!(!stressed.is_uniform());
+    }
+
+    #[test]
+    fn stress_multipliers_punish_runs_and_gc_extremes() {
+        let stress = ConstraintStress::new(3, 1.0, 16, 5.0).unwrap();
+        // A compliant strand sees multiplier 1.0 everywhere.
+        let compliant: DnaString = "ACGTACGTACGTACGT".parse().unwrap();
+        assert!(stress
+            .multipliers(&compliant)
+            .iter()
+            .all(|&m| (m - 1.0).abs() < 1e-12));
+        // A run of 6 (excess 3) triples the rate on the run's bases only
+        // — up to the GC component of its window.
+        let runny: DnaString = "ACGTGGGGGGACGTACGT".parse().unwrap();
+        let m = stress.multipliers(&runny);
+        assert!(m[4..10].iter().all(|&x| x >= 4.0), "{m:?}");
+        // GC-extreme content (all A/T) attracts the GC penalty even with
+        // no long runs.
+        let at_only: DnaString = "ATATATATATATATAT".parse().unwrap();
+        assert!(stress.multipliers(&at_only).iter().all(|&x| x > 1.0));
+    }
+
+    #[test]
+    fn stress_on_compliant_strands_keeps_noise_streams_identical() {
+        // The stress term must not perturb RNG draws for strands it does
+        // not penalize: same seed, same reads.
+        let strand: DnaString = "ACGTCAGTCGATCGATCAGTCATG".parse().unwrap();
+        let plain = ChannelModel::uniform(ErrorModel::uniform(0.08));
+        let stressed = plain
+            .clone()
+            .with_constraint_stress(ConstraintStress::new(3, 1.0, 16, 5.0).unwrap());
+        for seed in 0..20 {
+            let a = plain.transmit(&strand, &mut StdRng::seed_from_u64(seed));
+            let b = stressed.transmit(&strand, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn invalid_stress_parameters_are_rejected() {
+        assert!(ConstraintStress::new(0, 1.0, 16, 5.0).is_err());
+        assert!(ConstraintStress::new(3, -1.0, 16, 5.0).is_err());
+        assert!(ConstraintStress::new(3, 1.0, 0, 5.0).is_err());
+        assert!(ConstraintStress::new(3, 1.0, 16, f64::NAN).is_err());
+        assert!(ConstraintStress::new(3, 1.0, 16, 5.0)
+            .unwrap()
+            .with_gc_band(0.7, 0.3)
+            .is_err());
+        assert!(ConstraintStress::new(3, 1.0, 16, 5.0)
+            .unwrap()
+            .with_gc_band(0.3, 0.7)
+            .is_ok());
     }
 }

@@ -15,7 +15,7 @@ use dna_storage::{
     CodecParams, DecodeReport, Layout, Pipeline, PlannerWarning, ProtectionPlan, ProtectionPlanner,
     RecoveryPipeline, Scenario, SkewProfile, StorageError,
 };
-use dna_strand::DnaString;
+use dna_strand::{DnaString, TranscoderSpec};
 use std::fmt;
 use std::str::FromStr;
 
@@ -134,7 +134,11 @@ pub fn parse_error_model(s: &str) -> Result<ErrorModel, CliError> {
 /// - `dropout` — flat 6% rates; the suffix sets the **whole-strand
 ///   dropout probability** (default 5%), the knob the preset is named
 ///   after;
-/// - `bursty` — flat rates + contiguous indel bursts (default 6%).
+/// - `bursty` — flat rates + contiguous indel bursts (default 6%);
+/// - `constraint-stressed` — nanopore rates plus content-dependent
+///   multipliers: homopolymer runs past 3 and GC-extreme windows see
+///   elevated IDS rates, so constraint-violating strands pay for it at
+///   the channel (default 8%).
 ///
 /// Any base error-model `kind:rate` accepted by [`parse_error_model`]
 /// (e.g. `ngs:0.01`) is also accepted and runs as a flat channel.
@@ -169,12 +173,24 @@ pub fn parse_channel_model(s: &str) -> Result<ChannelModel, CliError> {
             .with_dropout(parse_rate(0.05)?)
             .map_err(|e| CliError::Usage(e.to_string())),
         "bursty" => Ok(ChannelModel::bursty(parse_rate(0.06)?)),
+        "constraint-stressed" => Ok(ChannelModel::constraint_stressed(parse_rate(0.08)?)),
         _ if BASE_KINDS.contains(&kind) => parse_error_model(s).map(ChannelModel::uniform),
         _ => Err(CliError::Usage(format!(
-            "unknown channel model {s:?} (uniform|nanopore-decay|pcr-skewed|dropout|bursty, \
-             or an error model kind:rate)"
+            "unknown channel model {s:?} (uniform|nanopore-decay|pcr-skewed|dropout|bursty|\
+             constraint-stressed, or an error model kind:rate)"
         ))),
     }
+}
+
+/// Parses `--transcoder direct|gc-padded|trellis|rotation`.
+pub fn parse_transcoder(s: &str) -> Result<TranscoderSpec, CliError> {
+    TranscoderSpec::parse(s).ok_or_else(|| {
+        let names: Vec<&str> = TranscoderSpec::ALL.iter().map(|t| t.name()).collect();
+        CliError::Usage(format!(
+            "unknown transcoder {s:?} (expected {})",
+            names.join("|")
+        ))
+    })
 }
 
 /// The clustering algorithm selected for unlabeled retrieval
@@ -280,6 +296,7 @@ fn planned_pipeline(
     plan: &PlanChoice,
     channel: &ChannelModel,
     coverage: f64,
+    transcoder: TranscoderSpec,
 ) -> Result<(Pipeline, Vec<PlannerWarning>), CliError> {
     let params = match parity_cols {
         Some(e) => {
@@ -293,7 +310,8 @@ fn planned_pipeline(
             )?
         }
         None => CodecParams::laptop()?,
-    };
+    }
+    .with_transcoder(transcoder);
     let builder = Pipeline::builder()
         .params(params.clone())
         .layout(layout.to_layout());
@@ -489,6 +507,7 @@ pub fn simulate_channel(
         seed,
         &PlanChoice::Uniform,
         None,
+        TranscoderSpec::Direct,
     )
     .map(|run| run.outcome)
 }
@@ -510,8 +529,9 @@ pub struct SimulationRun {
     pub warnings: Vec<PlannerWarning>,
 }
 
-/// [`simulate_channel`] with a protection policy and optional parity
-/// width (`--plan` / `--parity`).
+/// [`simulate_channel`] with a protection policy, optional parity width,
+/// and a byte→base transcoder (`--plan` / `--parity` / `--transcoder`).
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_planned(
     payload: &[u8],
     layout: LayoutChoice,
@@ -520,11 +540,14 @@ pub fn simulate_planned(
     seed: u64,
     plan: &PlanChoice,
     parity_cols: Option<usize>,
+    transcoder: TranscoderSpec,
 ) -> Result<SimulationRun, CliError> {
-    let (pipeline, warnings) = planned_pipeline(layout, parity_cols, plan, &channel, coverage)?;
+    let (pipeline, warnings) =
+        planned_pipeline(layout, parity_cols, plan, &channel, coverage, transcoder)?;
     let scenario = Scenario::with_channel(channel)
         .single_coverage(coverage)
-        .seed(seed);
+        .seed(seed)
+        .transcoder(transcoder);
     scenario.validate()?;
     let units = pipeline.encode_chunked(payload)?;
     let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
@@ -655,13 +678,36 @@ pub fn simulate_unlabeled(
 /// Opens the object store at `dir` for `pack`, creating a laptop-scale
 /// pool on first use.
 pub fn open_or_create_store(dir: &str) -> Result<ObjectStore, CliError> {
+    open_or_create_store_with(dir, TranscoderSpec::Direct)
+}
+
+/// [`open_or_create_store`] with a byte→base transcoder for pool
+/// creation (`pack --transcoder`). An *existing* pool keeps the
+/// transcoder recorded in its header: asking for a different one is a
+/// usage error rather than a silent mismatch.
+pub fn open_or_create_store_with(
+    dir: &str,
+    transcoder: TranscoderSpec,
+) -> Result<ObjectStore, CliError> {
     if std::path::Path::new(dir)
         .join(dna_object::POOL_FILE)
         .exists()
     {
-        Ok(ObjectStore::open(dir)?)
+        let store = ObjectStore::open(dir)?;
+        let recorded = store.header().transcoder;
+        if recorded != transcoder && transcoder != TranscoderSpec::Direct {
+            return Err(CliError::Usage(format!(
+                "pool at {dir} was written with the {} transcoder; --transcoder {} \
+                 cannot apply to an existing pool",
+                recorded.name(),
+                transcoder.name()
+            )));
+        }
+        Ok(store)
     } else {
-        Ok(ObjectStore::create(dir, StoreConfig::laptop()?)?)
+        let mut config = StoreConfig::laptop()?;
+        config.params = config.params.with_transcoder(transcoder);
+        Ok(ObjectStore::create(dir, config)?)
     }
 }
 
@@ -677,8 +723,12 @@ pub fn resolve_object(store: &ObjectStore, target: &str) -> Result<u64, CliError
 
 /// `pack`: streams each file into the store under its base name,
 /// returning `(id, name, bytes)` per file.
-pub fn pack_files(dir: &str, paths: &[String]) -> Result<Vec<(u64, String, u64)>, CliError> {
-    let mut store = open_or_create_store(dir)?;
+pub fn pack_files(
+    dir: &str,
+    paths: &[String],
+    transcoder: TranscoderSpec,
+) -> Result<Vec<(u64, String, u64)>, CliError> {
+    let mut store = open_or_create_store_with(dir, transcoder)?;
     let mut packed = Vec::with_capacity(paths.len());
     for path in paths {
         let name = std::path::Path::new(path)
@@ -771,6 +821,87 @@ mod tests {
         let err = parse_channel_model("martian").unwrap_err();
         assert!(err.to_string().contains("unknown channel model"), "{err}");
         assert!(parse_channel_model("martian:0.1").is_err());
+        let stressed = parse_channel_model("constraint-stressed").unwrap();
+        assert!(stressed.constraint_stress().is_some());
+        assert!((stressed.base().total_rate() - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transcoder_parsing() {
+        assert_eq!(parse_transcoder("direct").unwrap(), TranscoderSpec::Direct);
+        assert_eq!(
+            parse_transcoder("gc-padded").unwrap(),
+            TranscoderSpec::GcPadded
+        );
+        assert_eq!(
+            parse_transcoder("trellis").unwrap(),
+            TranscoderSpec::Trellis
+        );
+        assert_eq!(
+            parse_transcoder("rotation").unwrap(),
+            TranscoderSpec::Rotation
+        );
+        let err = parse_transcoder("base5").unwrap_err();
+        assert!(err.to_string().contains("unknown transcoder"), "{err}");
+    }
+
+    #[test]
+    fn every_transcoder_simulates_end_to_end() {
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i * 29 % 256) as u8).collect();
+        for spec in TranscoderSpec::ALL {
+            let run = simulate_planned(
+                &payload,
+                LayoutChoice::Gini,
+                parse_channel_model("uniform:0.03").unwrap(),
+                14.0,
+                9,
+                &PlanChoice::Uniform,
+                None,
+                spec,
+            )
+            .unwrap();
+            assert!(run.outcome.exact, "{spec:?}: {:?}", run.outcome);
+        }
+    }
+
+    #[test]
+    fn packed_pool_records_its_transcoder() {
+        let dir = std::env::temp_dir().join(format!(
+            "dnastore-cli-transcoded-pack-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("doc.bin");
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i * 11 % 256) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let store_dir = dir.join("pool");
+        let packed = pack_files(
+            store_dir.to_str().unwrap(),
+            &[input.to_str().unwrap().to_string()],
+            TranscoderSpec::Trellis,
+        )
+        .unwrap();
+        let id = packed[0].0;
+
+        // The pool header carries the transcoder; a plain reopen decodes.
+        let store = ObjectStore::open(&store_dir).unwrap();
+        assert_eq!(store.header().transcoder, TranscoderSpec::Trellis);
+        assert_eq!(store.header().version, 2);
+        assert_eq!(store.get(id).unwrap(), payload);
+        drop(store);
+
+        // Asking an existing pool for a different non-direct transcoder
+        // is a loud usage error, not a silent mismatch.
+        let err = open_or_create_store_with(store_dir.to_str().unwrap(), TranscoderSpec::GcPadded)
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot apply"), "{err}");
+        // The direct default means "whatever the pool says" on reopen.
+        let store =
+            open_or_create_store_with(store_dir.to_str().unwrap(), TranscoderSpec::Direct).unwrap();
+        assert_eq!(store.header().transcoder, TranscoderSpec::Trellis);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -890,6 +1021,7 @@ mod tests {
             13,
             &PlanChoice::Auto,
             Some(32),
+            TranscoderSpec::Direct,
         )
         .unwrap();
         assert!(!run.plan.is_uniform(), "skewed channel must skew the plan");
@@ -915,6 +1047,7 @@ mod tests {
             13,
             &PlanChoice::Uniform,
             Some(32),
+            TranscoderSpec::Direct,
         )
         .unwrap();
         assert!(uniform.plan.is_uniform_at(32));
@@ -935,6 +1068,7 @@ mod tests {
             13,
             &PlanChoice::Auto,
             None, // default parity 47: saturated
+            TranscoderSpec::Direct,
         )
         .unwrap();
         assert!(run.plan.is_uniform_at(47), "{:?}", run.plan);
@@ -958,6 +1092,7 @@ mod tests {
             13,
             &PlanChoice::Auto,
             None,
+            TranscoderSpec::Direct,
         )
         .unwrap();
         assert!(gini.plan.is_uniform_at(47));
@@ -974,6 +1109,7 @@ mod tests {
             1,
             &PlanChoice::Auto,
             Some(32),
+            TranscoderSpec::Direct,
         )
         .unwrap_err();
         assert!(err.to_string().contains("unequal protection"), "{err}");
@@ -992,6 +1128,7 @@ mod tests {
         let packed = pack_files(
             store_dir.to_str().unwrap(),
             &[input.to_str().unwrap().to_string()],
+            TranscoderSpec::Direct,
         )
         .unwrap();
         assert_eq!(packed.len(), 1);
@@ -1009,6 +1146,7 @@ mod tests {
         let again = pack_files(
             store_dir.to_str().unwrap(),
             &[input.to_str().unwrap().to_string()],
+            TranscoderSpec::Direct,
         );
         assert!(again.is_err(), "duplicate live name is rejected");
         let _ = std::fs::remove_dir_all(&dir);

@@ -13,9 +13,10 @@ use dna_object::ObjectStore;
 use dna_server::{run_bench, serve_tcp, BenchConfig, LoadMode, ServeConfig, Server};
 use dna_skew_cli::{
     decode, encode, open_or_create_store, pack_files, parse_channel_model, parse_error_model,
-    parse_plan_arg, resolve_object, simulate_planned, simulate_unlabeled, CliError,
-    ClustererChoice, LayoutChoice, PlanChoice,
+    parse_plan_arg, parse_transcoder, resolve_object, simulate_planned, simulate_unlabeled,
+    CliError, ClustererChoice, LayoutChoice, PlanChoice,
 };
+use dna_strand::TranscoderSpec;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -28,8 +29,9 @@ USAGE:
   dnastore simulate --input <file> [--layout …] [--errors kind:rate | --channel preset[:rate]]
                     [--coverage N] [--seed N] [--plan auto|uniform|file:<path>]
                     [--parity E] [--tsv <path>]
+                    [--transcoder direct|gc-padded|trellis|rotation]
                     [--unlabeled [--clusterer greedy|anchored]]
-  dnastore pack     <file>... --out <pool-dir>
+  dnastore pack     <file>... --out <pool-dir> [--transcoder …]
   dnastore fetch    <object-id|name> --store <pool-dir> [--output <file>]
   dnastore ls       --store <pool-dir>
   dnastore serve    --store <pool-dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
@@ -39,8 +41,13 @@ USAGE:
   dnastore chaos    [--seed N] [--trials N] [--scenario <substring>]
 
 error model kinds: uniform, ngs, nanopore, subs, indels, enzymatic (rate in [0,1])
-channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty
-                   (position- and strand-aware models; rate optional)
+channel presets:   uniform, nanopore-decay, pcr-skewed, dropout, bursty,
+                   constraint-stressed (position-, strand-, and
+                   content-aware models; rate optional)
+transcoders:       direct (2 bits/base, default), gc-padded (GC-balancing
+                   pad bases), trellis (base-3, homopolymer-free),
+                   rotation (1 bit/base) — the byte->base mapping strands
+                   are written with; pack records it in the pool header.
 protection plans:  uniform (default), auto (skew-profiled unequal protection),
                    file:<path> (one parity count per row codeword).
                    --parity overrides the per-row parity width (default 47);
@@ -141,6 +148,11 @@ fn run() -> Result<(), CliError> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(LayoutChoice::Gini);
+    let transcoder = flags
+        .get("transcoder")
+        .map(|s| parse_transcoder(s))
+        .transpose()?
+        .unwrap_or(TranscoderSpec::Direct);
     match command.as_str() {
         "encode" => {
             let input = std::fs::read(required(&flags, "input")?)?;
@@ -212,18 +224,29 @@ fn run() -> Result<(), CliError> {
                     "--unlabeled does not combine with --plan/--parity yet".into(),
                 ));
             }
+            if unlabeled && transcoder != TranscoderSpec::Direct {
+                return Err(CliError::Usage(
+                    "--unlabeled requires the direct transcoder (unlabeled recovery \
+                     demultiplexes by the direct index layout)"
+                        .into(),
+                ));
+            }
             let base_rate = channel.base().total_rate();
             let run = if unlabeled {
                 simulate_unlabeled(&input, layout, channel, coverage, seed, clusterer)?
             } else {
-                simulate_planned(&input, layout, channel, coverage, seed, &plan, parity)?
+                simulate_planned(
+                    &input, layout, channel, coverage, seed, &plan, parity, transcoder,
+                )?
             };
             for warning in &run.warnings {
                 eprintln!("dnastore: warning: {warning}");
             }
             let outcome = &run.outcome;
             println!(
-                "layout {layout:?} | base errors {:.2}% | coverage {coverage} | plan {}{}",
+                "layout {layout:?} | transcoder {} | base errors {:.2}% | coverage {coverage} \
+                 | plan {}{}",
+                transcoder.name(),
                 base_rate * 100.0,
                 run.plan.summary(),
                 if unlabeled {
@@ -265,7 +288,7 @@ fn run() -> Result<(), CliError> {
             if positionals.is_empty() {
                 return Err(CliError::Usage("pack needs at least one <file>".into()));
             }
-            for (id, name, bytes) in pack_files(out, &positionals)? {
+            for (id, name, bytes) in pack_files(out, &positionals, transcoder)? {
                 println!("packed {name} -> object {id} ({bytes} bytes) in {out}");
             }
         }

@@ -41,7 +41,7 @@ use crate::StorageError;
 use dna_consensus::{BmaTwoWay, TraceReconstructor};
 use dna_gf::Field;
 use dna_reed_solomon::{CodeFamily, ReedSolomon};
-use dna_strand::{Primer, PrimerLibrary};
+use dna_strand::{Primer, PrimerLibrary, TranscoderSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -66,6 +66,7 @@ pub struct PipelineBuilder {
     parity_cols: Option<usize>,
     index_bits: Option<u8>,
     primer_len: Option<usize>,
+    transcoder: Option<TranscoderSpec>,
     layout: Arc<dyn UnitLayout>,
     protection: Protection,
     consensus: Option<Arc<dyn TraceReconstructor + Send + Sync>>,
@@ -103,6 +104,7 @@ impl Default for PipelineBuilder {
             parity_cols: None,
             index_bits: None,
             primer_len: None,
+            transcoder: None,
             layout: Arc::new(BaselineLayout),
             protection: Protection::Uniform,
             consensus: None,
@@ -162,6 +164,13 @@ impl PipelineBuilder {
     /// Overrides the primer length per side, in bases (0 = no primers).
     pub fn primer_len(mut self, primer_len: usize) -> Self {
         self.primer_len = Some(primer_len);
+        self
+    }
+
+    /// Overrides the payload transcoder (byte → base layout; default
+    /// [`TranscoderSpec::Direct`], the paper's 2-bits-per-base mapping).
+    pub fn transcoder(mut self, transcoder: TranscoderSpec) -> Self {
+        self.transcoder = Some(transcoder);
         self
     }
 
@@ -271,6 +280,10 @@ impl PipelineBuilder {
                         })?,
                 )?
                 .with_primer_len(base.as_ref().map_or(0, CodecParams::primer_len))
+                .with_transcoder(
+                    base.as_ref()
+                        .map_or(TranscoderSpec::Direct, CodecParams::transcoder),
+                )
             }
             (None, false) => {
                 return Err(StorageError::InvalidParams(
@@ -278,8 +291,12 @@ impl PipelineBuilder {
                 ))
             }
         };
-        Ok(match self.primer_len {
+        let base = match self.primer_len {
             Some(len) => base.with_primer_len(len),
+            None => base,
+        };
+        Ok(match self.transcoder {
+            Some(spec) => base.with_transcoder(spec),
             None => base,
         })
     }
@@ -444,6 +461,30 @@ mod tests {
             .unwrap();
         assert_eq!(widened.params().parity_cols(), 3);
         assert_eq!(widened.params().data_cols(), 10);
+    }
+
+    #[test]
+    fn transcoder_survives_override_rebuild() {
+        // Geometry overrides rebuild CodecParams from scratch; the
+        // transcoder must be re-applied like primer_len, not silently
+        // reset to Direct.
+        let p = Pipeline::builder()
+            .params(
+                CodecParams::tiny()
+                    .unwrap()
+                    .with_transcoder(TranscoderSpec::Trellis),
+            )
+            .parity_cols(3)
+            .build()
+            .unwrap();
+        assert_eq!(p.params().transcoder(), TranscoderSpec::Trellis);
+
+        let q = Pipeline::builder()
+            .params(CodecParams::tiny().unwrap())
+            .transcoder(TranscoderSpec::GcPadded)
+            .build()
+            .unwrap();
+        assert_eq!(q.params().transcoder(), TranscoderSpec::GcPadded);
     }
 
     #[test]

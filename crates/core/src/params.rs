@@ -2,6 +2,7 @@
 
 use crate::StorageError;
 use dna_gf::Field;
+use dna_strand::{PayloadGeometry, TranscoderSpec};
 
 /// Geometry of one encoding unit (paper §2.2, §6.1.1).
 ///
@@ -22,6 +23,7 @@ pub struct CodecParams {
     parity_cols: usize,
     index_bits: u8,
     primer_len: usize,
+    transcoder: TranscoderSpec,
 }
 
 impl CodecParams {
@@ -77,6 +79,7 @@ impl CodecParams {
             parity_cols,
             index_bits,
             primer_len: 0,
+            transcoder: TranscoderSpec::Direct,
         })
     }
 
@@ -120,6 +123,28 @@ impl CodecParams {
     pub fn with_primer_len(mut self, len: usize) -> CodecParams {
         self.primer_len = len;
         self
+    }
+
+    /// Builder-style: select the payload transcoder. Strand lengths
+    /// ([`CodecParams::strand_payload_bases`] and everything derived from
+    /// them) follow the transcoder's fixed rate.
+    pub fn with_transcoder(mut self, transcoder: TranscoderSpec) -> CodecParams {
+        self.transcoder = transcoder;
+        self
+    }
+
+    /// The payload transcoder (byte → base layout between the primers).
+    pub fn transcoder(&self) -> TranscoderSpec {
+        self.transcoder
+    }
+
+    /// The logical payload shape handed to the transcoder.
+    pub fn payload_geometry(&self) -> PayloadGeometry {
+        PayloadGeometry {
+            index_bits: self.index_bits,
+            rows: self.rows,
+            symbol_bits: self.symbol_bits(),
+        }
     }
 
     /// The Galois field of the Reed–Solomon layer.
@@ -172,9 +197,10 @@ impl CodecParams {
         self.rows * self.data_cols * usize::from(self.symbol_bits()) / 8
     }
 
-    /// Length of the index + data portion of each strand, in bases.
+    /// Length of the index + data portion of each strand, in bases,
+    /// under the selected transcoder.
     pub fn strand_payload_bases(&self) -> usize {
-        usize::from(self.index_bits) / 2 + self.rows * usize::from(self.symbol_bits()) / 2
+        self.transcoder.payload_bases(self.payload_geometry())
     }
 
     /// Full strand length including primers, in bases.
@@ -230,5 +256,22 @@ mod tests {
     fn primer_builder_extends_strands() {
         let p = CodecParams::tiny().unwrap().with_primer_len(12);
         assert_eq!(p.strand_bases(), p.strand_payload_bases() + 24);
+    }
+
+    #[test]
+    fn transcoder_choice_drives_strand_length() {
+        let p = CodecParams::laptop().unwrap();
+        assert_eq!(p.transcoder(), TranscoderSpec::Direct);
+        assert_eq!(p.strand_payload_bases(), 124);
+        // 6 trits for the 8-bit index + 30 × 6 trits = 186 data trits,
+        // plus ⌊186/8⌋ = 23 balance bases.
+        let trellis = p.clone().with_transcoder(TranscoderSpec::Trellis);
+        assert_eq!(trellis.strand_payload_bases(), 209);
+        // 1 bit/base: 8 + 30 × 8.
+        let rotation = p.clone().with_transcoder(TranscoderSpec::Rotation);
+        assert_eq!(rotation.strand_payload_bases(), 248);
+        // Direct layout + ⌈124/4⌉-base corrective pad.
+        let padded = p.with_transcoder(TranscoderSpec::GcPadded);
+        assert_eq!(padded.strand_payload_bases(), 155);
     }
 }

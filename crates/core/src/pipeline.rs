@@ -18,8 +18,7 @@ use dna_channel::{
 };
 use dna_consensus::TraceReconstructor;
 use dna_reed_solomon::{CodeFamily, ReedSolomon, RsError};
-use dna_strand::codec::DirectCodec;
-use dna_strand::{bits, decode_index, encode_index_into, DnaString, Primer};
+use dna_strand::{bits, DnaString, Primer, StrandTranscoder};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -189,6 +188,10 @@ pub struct Pipeline {
     /// plan) so the per-unit hot paths never re-derive (or re-allocate)
     /// them.
     cw_positions: Arc<Vec<Vec<(usize, usize)>>>,
+    /// The payload transcoder, built once from
+    /// [`CodecParams::transcoder`] so the per-strand hot paths never
+    /// re-dispatch on the spec.
+    transcoder: Arc<dyn StrandTranscoder>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -234,6 +237,7 @@ impl Pipeline {
         default_retrieve: RetrieveOptions,
         recovery: Option<RecoveryPipeline>,
     ) -> Pipeline {
+        let transcoder = params.transcoder().build();
         Pipeline {
             params,
             layout,
@@ -244,7 +248,14 @@ impl Pipeline {
             default_retrieve,
             recovery,
             cw_positions: Arc::new(cw_positions),
+            transcoder,
         }
+    }
+
+    /// The payload transcoder in effect (built from
+    /// [`CodecParams::transcoder`]).
+    pub fn transcoder(&self) -> &dyn StrandTranscoder {
+        self.transcoder.as_ref()
     }
 
     /// Replaces the consensus algorithm (e.g. the iterative reconstructor).
@@ -375,18 +386,22 @@ impl Pipeline {
                 }
             }
         }
-        // Assemble strands: [primer] index | column symbols [primer].
-        // Symbols and indexes append in place — no per-symbol allocation.
+        // Assemble strands: [primer] transcoded(index | column symbols)
+        // [primer]. The transcoder appends in place — no per-symbol
+        // allocation beyond one reused column buffer.
+        let geom = self.params.payload_geometry();
         let mut strands = Vec::with_capacity(self.params.cols());
+        let mut column = vec![0u16; self.params.rows()];
         for c in 0..self.params.cols() {
             let mut strand = DnaString::with_capacity(self.params.strand_bases());
             if let Some((left, _)) = &self.primers {
                 strand.extend(left.strand().iter().copied());
             }
-            encode_index_into(c as u32, self.params.index_bits(), &mut strand)?;
-            for r in 0..self.params.rows() {
-                DirectCodec.encode_symbol_into(matrix.get(r, c), m, &mut strand)?;
+            for (r, slot) in column.iter_mut().enumerate() {
+                *slot = matrix.get(r, c);
             }
+            self.transcoder
+                .encode_payload_into(c as u32, &column, geom, &mut strand)?;
             if let Some((_, right)) = &self.primers {
                 strand.extend(right.strand().iter().copied());
             }
@@ -555,8 +570,7 @@ impl Pipeline {
         let cols = self.params.cols();
         let rows = self.params.rows();
         let m = self.params.symbol_bits();
-        let index_bases = usize::from(self.params.index_bits()) / 2;
-        let sym_bases = usize::from(m) / 2;
+        let geom = self.params.payload_geometry();
         // Split the workspace into disjoint buffers and rebuild each from
         // scratch; nothing from a previous decode can leak through.
         let DecodeWorkspace {
@@ -596,7 +610,7 @@ impl Pipeline {
             let idx = if opts.trust_cluster_sources {
                 cluster.source as u32
             } else {
-                decode_index(&strand[..index_bases], self.params.index_bits())?
+                self.transcoder.decode_index(strand, geom)?
             };
             let idx = idx as usize;
             if idx >= cols {
@@ -608,8 +622,7 @@ impl Pipeline {
                 continue;
             }
             for r in 0..rows {
-                let start = index_bases + r * sym_bases;
-                let sym = DirectCodec.decode_symbol(&strand[start..start + sym_bases], m)?;
+                let sym = self.transcoder.decode_symbol(strand, r, geom)?;
                 matrix.set(r, idx, sym);
             }
             present[idx] = true;

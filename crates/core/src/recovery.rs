@@ -20,6 +20,14 @@
 //!    clusters voting for the same column are merged (they are fragments
 //!    of one molecule), invalid-vote clusters are orphaned.
 //!
+//! The demultiplex step reads the index through the **direct** 2-bit
+//! layout only — per-read index decode predates the pluggable
+//! transcoders and has not been generalized. The CLI therefore rejects
+//! `simulate --unlabeled` combined with a non-direct `--transcoder`;
+//! lifting that restriction means teaching step 3 to consult
+//! [`dna_strand::TranscoderSpec::field_span`] and the transcoder's
+//! `decode_index` for the per-read vote.
+//!
 //! The outcome is the `Vec<Cluster>` shape the existing decode path has
 //! always consumed, plus a [`RecoveryReport`] scoring the reconstruction
 //! (cluster purity, completeness, misassigned/orphaned reads, and the

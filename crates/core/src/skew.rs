@@ -86,10 +86,13 @@ impl SkewProfile {
     }
 
     /// Predicts the per-read symbol error probability of each row from a
-    /// channel's position-dependent rates: row `r` occupies the
-    /// `symbol_bits/2` bases starting at
-    /// `primer_len + index_bits/2 + r·symbol_bits/2` of every strand, and
-    /// a symbol is wrong when any of its bases suffers an event.
+    /// channel's position-dependent rates. Row `r`'s strand footprint is
+    /// the transcoder's post-transcoding field span
+    /// ([`dna_strand::TranscoderSpec::field_span`]) shifted past the
+    /// left primer, and
+    /// a symbol is wrong when any base in that span suffers an event —
+    /// so constrained transcoders that spread or relocate a row's bases
+    /// shift its predicted skew accordingly.
     ///
     /// This is the *pre-consensus* skew; chain with
     /// [`SkewProfile::attenuated`] to model reconstruction at a target
@@ -97,13 +100,15 @@ impl SkewProfile {
     /// [`SkewProfile::from_reports`].
     pub fn analytic(channel: &ChannelModel, params: &CodecParams) -> SkewProfile {
         let len = params.strand_bases();
-        let sym_bases = usize::from(params.symbol_bits()) / 2;
-        let offset = params.primer_len() + usize::from(params.index_bits()) / 2;
+        let geom = params.payload_geometry();
+        let spec = params.transcoder();
         let rates = (0..params.rows())
             .map(|r| {
+                let (start, span) = spec.field_span(1 + r, geom);
+                let offset = params.primer_len() + start;
                 let mut survive = 1.0f64;
-                for b in 0..sym_bases {
-                    let (ps, pi, pd) = channel.rates_at(offset + r * sym_bases + b, len);
+                for b in 0..span {
+                    let (ps, pi, pd) = channel.rates_at(offset + b, len);
                     survive *= (1.0 - (ps + pi + pd)).max(0.0);
                 }
                 1.0 - survive

@@ -16,7 +16,7 @@
 
 use crate::checksum::{crc32, crc64};
 use dna_storage::{CodecParams, Layout, StorageError};
-use dna_strand::{Base, DnaString, Primer, PrimerLibrary};
+use dna_strand::{Base, DnaString, Primer, PrimerLibrary, TranscoderSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -106,9 +106,14 @@ impl LayoutKind {
 
 /// The pool file header: everything needed to rebuild the codec and walk
 /// the capsule records.
+///
+/// Version 1 pools predate the pluggable transcoder and always use the
+/// direct 2-bit layout (the byte at offset 19 was a zero pad). Version 2
+/// records the [`TranscoderSpec`] id in that byte; writers emit version 1
+/// for direct pools so their files stay byte-identical to old tooling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolHeader {
-    /// Format version (currently 1).
+    /// Format version (1 = direct-only, 2 = carries a transcoder id).
     pub version: u16,
     /// Symbol width of the GF field (4, 8, or 16 bits).
     pub field_width: u8,
@@ -122,6 +127,8 @@ pub struct PoolHeader {
     pub parity_cols: u16,
     /// Index width in bits.
     pub index_bits: u8,
+    /// Byte→base transcoder the pool's strands were written with.
+    pub transcoder: TranscoderSpec,
     /// Primer length in bases (> 0: primers are the address space).
     pub primer_len: u16,
     /// Data units per capsule (super-capsules may exceed this).
@@ -144,7 +151,7 @@ impl PoolHeader {
         buf.extend_from_slice(&self.data_cols.to_le_bytes());
         buf.extend_from_slice(&self.parity_cols.to_le_bytes());
         buf.push(self.index_bits);
-        buf.push(0); // pad
+        buf.push(self.transcoder.id());
         buf.extend_from_slice(&self.primer_len.to_le_bytes());
         buf.extend_from_slice(&self.units_per_capsule.to_le_bytes());
         buf.extend_from_slice(&self.pool_seed.to_le_bytes());
@@ -168,9 +175,23 @@ impl PoolHeader {
             return Err(corrupt("pool header CRC mismatch"));
         }
         let version = u16::from_le_bytes(buf[8..10].try_into().unwrap());
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(corrupt(format!("unsupported pool version {version}")));
         }
+        // Version 1 pools wrote a zero pad at offset 19 and always use the
+        // direct layout; version 2 records the transcoder id there.
+        let transcoder = if version == 1 {
+            if buf[19] != 0 {
+                return Err(corrupt(format!(
+                    "version 1 pool with nonzero pad byte {}",
+                    buf[19]
+                )));
+            }
+            TranscoderSpec::Direct
+        } else {
+            TranscoderSpec::from_id(buf[19])
+                .ok_or_else(|| corrupt(format!("unknown transcoder id {}", buf[19])))?
+        };
         Ok(PoolHeader {
             version,
             field_width: buf[10],
@@ -179,6 +200,7 @@ impl PoolHeader {
             data_cols: u16::from_le_bytes(buf[14..16].try_into().unwrap()),
             parity_cols: u16::from_le_bytes(buf[16..18].try_into().unwrap()),
             index_bits: buf[18],
+            transcoder,
             primer_len: u16::from_le_bytes(buf[20..22].try_into().unwrap()),
             units_per_capsule: u32::from_le_bytes(buf[22..26].try_into().unwrap()),
             pool_seed: u64::from_le_bytes(buf[26..34].try_into().unwrap()),
@@ -206,7 +228,8 @@ impl PoolHeader {
             usize::from(self.parity_cols),
             self.index_bits,
         )?
-        .with_primer_len(usize::from(self.primer_len)))
+        .with_primer_len(usize::from(self.primer_len))
+        .with_transcoder(self.transcoder))
     }
 
     /// Total columns (molecules) per unit.
@@ -528,6 +551,7 @@ mod tests {
             data_cols: 10,
             parity_cols: 5,
             index_bits: 4,
+            transcoder: TranscoderSpec::Direct,
             primer_len: 12,
             units_per_capsule: 3,
             pool_seed: 99,
@@ -546,6 +570,55 @@ mod tests {
         let params = back.params().unwrap();
         assert_eq!(params.rows(), 6);
         assert_eq!(params.primer_len(), 12);
+        assert_eq!(params.transcoder(), TranscoderSpec::Direct);
+    }
+
+    #[test]
+    fn v2_header_round_trips_transcoder() {
+        let mut h = sample_header();
+        h.version = 2;
+        h.transcoder = TranscoderSpec::Trellis;
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(buf[19], TranscoderSpec::Trellis.id());
+        let back = PoolHeader::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.params().unwrap().transcoder(), TranscoderSpec::Trellis);
+    }
+
+    #[test]
+    fn legacy_v1_header_decodes_as_direct_and_rejects_nonzero_pad() {
+        // A pre-transcoder pool: version 1, zero pad byte at offset 19.
+        let mut buf = Vec::new();
+        sample_header().write_to(&mut buf).unwrap();
+        assert_eq!(buf[19], 0, "direct pools keep the historical zero pad");
+        let back = PoolHeader::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.transcoder, TranscoderSpec::Direct);
+
+        // A v1 header with a nonzero pad byte is corrupt, not a transcoder.
+        buf[19] = TranscoderSpec::Trellis.id();
+        let crc = crc32(&buf[..42]);
+        buf[42..46].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            PoolHeader::read_from(&mut buf.as_slice()),
+            Err(StorageError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_header_rejects_unknown_transcoder_id() {
+        let mut h = sample_header();
+        h.version = 2;
+        h.transcoder = TranscoderSpec::GcPadded;
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        buf[19] = 200;
+        let crc = crc32(&buf[..42]);
+        buf[42..46].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            PoolHeader::read_from(&mut buf.as_slice()),
+            Err(StorageError::ManifestCorrupt { .. })
+        ));
     }
 
     #[test]

@@ -170,8 +170,9 @@ pub struct RotationCodec;
 
 impl RotationCodec {
     /// The two candidate successors of `prev` — the lexicographically first
-    /// two bases that differ from it.
-    fn choices(prev: Option<Base>) -> [Base; 2] {
+    /// two bases that differ from it. Shared with the rotation transcoder
+    /// so the two decoders cannot diverge.
+    pub(crate) fn choices(prev: Option<Base>) -> [Base; 2] {
         let mut picks = [Base::A; 2];
         let mut k = 0;
         for b in Base::ALL {

@@ -1,15 +1,39 @@
 //! Biochemical constraint checks for synthesizability and sequencing
 //! friendliness (paper §2.1: homopolymer avoidance and GC balance).
 
-use crate::DnaString;
+use crate::{DnaString, StrandError};
 
-/// Fraction of bases that are G or C, in `[0, 1]`. Empty strands report 0.
+/// Fraction of bases that are G or C, in `[0, 1]`.
+///
+/// Empty strands report 0 as a sentinel — there is no meaningful GC
+/// fraction of zero bases. [`ConstraintSet::check`] therefore treats
+/// empty strands as *vacuously* inside any GC window rather than
+/// comparing this sentinel against `min_gc` (which used to reject empty
+/// strands whenever `min_gc > 0`).
 pub fn gc_content(strand: &DnaString) -> f64 {
     if strand.is_empty() {
         return 0.0;
     }
     let gc = strand.iter().filter(|b| b.is_gc()).count();
     gc as f64 / strand.len() as f64
+}
+
+/// Length of the leading run of identical bases (0 for empty strands).
+/// Together with [`trailing_run`] this bounds how much a junction with a
+/// neighboring sequence can extend a homopolymer.
+pub fn leading_run(strand: &DnaString) -> usize {
+    match strand.iter().next() {
+        Some(&first) => strand.iter().take_while(|&&b| b == first).count(),
+        None => 0,
+    }
+}
+
+/// Length of the trailing run of identical bases (0 for empty strands).
+pub fn trailing_run(strand: &DnaString) -> usize {
+    match strand.iter().next_back() {
+        Some(&last) => strand.iter().rev().take_while(|&&b| b == last).count(),
+        None => 0,
+    }
 }
 
 /// Length of the longest run of identical consecutive bases (a
@@ -50,8 +74,12 @@ pub struct ConstraintSet {
 }
 
 impl ConstraintSet {
-    /// Builds a constraint set; GC bounds are clamped into `[0, 1]` and
-    /// ordered, `max_run` of 0 is treated as "no limit".
+    /// Builds a constraint set, *normalizing* nonsensical arguments: GC
+    /// bounds are clamped into `[0, 1]` and ordered, and `max_run` of 0
+    /// is treated as "no limit". This forgiving behavior is deliberate
+    /// for programmatic construction; user-supplied configuration should
+    /// go through [`ConstraintSet::try_new`], which rejects the same
+    /// inputs loudly instead of silently reinterpreting them.
     pub fn new(min_gc: f64, max_gc: f64, max_run: usize) -> ConstraintSet {
         let lo = min_gc.clamp(0.0, 1.0);
         let hi = max_gc.clamp(0.0, 1.0);
@@ -62,6 +90,38 @@ impl ConstraintSet {
         }
     }
 
+    /// Builds a constraint set, rejecting arguments [`ConstraintSet::new`]
+    /// would silently normalize: GC bounds outside `[0, 1]` (or NaN),
+    /// reversed bounds, and a `max_run` of 0 (which `new` reinterprets
+    /// as "unlimited" — almost never what a config file meant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrandError::InvalidConstraint`] naming the offending
+    /// argument.
+    pub fn try_new(min_gc: f64, max_gc: f64, max_run: usize) -> Result<ConstraintSet, StrandError> {
+        if !(0.0..=1.0).contains(&min_gc) || !(0.0..=1.0).contains(&max_gc) {
+            return Err(StrandError::InvalidConstraint {
+                reason: "GC bounds must lie in [0, 1]",
+            });
+        }
+        if min_gc > max_gc {
+            return Err(StrandError::InvalidConstraint {
+                reason: "GC bounds are reversed (min_gc > max_gc)",
+            });
+        }
+        if max_run == 0 {
+            return Err(StrandError::InvalidConstraint {
+                reason: "max homopolymer run of 0 would forbid every non-empty strand",
+            });
+        }
+        Ok(ConstraintSet {
+            min_gc,
+            max_gc,
+            max_run,
+        })
+    }
+
     /// The conventional primer-design constraints: GC in 40–60%, no
     /// homopolymer longer than 3.
     pub fn primer_default() -> ConstraintSet {
@@ -69,9 +129,44 @@ impl ConstraintSet {
     }
 
     /// Whether `strand` satisfies every constraint.
+    ///
+    /// The empty strand is vacuously compliant: it has no GC fraction to
+    /// fall outside the window (see [`gc_content`]) and its longest run
+    /// is 0.
     pub fn check(&self, strand: &DnaString) -> bool {
+        if strand.is_empty() {
+            return true;
+        }
         let gc = gc_content(strand);
         gc >= self.min_gc && gc <= self.max_gc && max_homopolymer_run(strand) <= self.max_run
+    }
+
+    /// Whether a primer is safe to glue against arbitrary payload on the
+    /// side(s) it touches: its leading and trailing runs must leave
+    /// headroom for at least one identical neighboring base without
+    /// exceeding `max_run`. A primer ending in `GGG` under `max_run = 3`
+    /// fails — any payload starting with `G` would form an unchecked run
+    /// of 4 across the junction.
+    pub fn junction_safe(&self, primer: &DnaString) -> bool {
+        if self.max_run == usize::MAX {
+            return true;
+        }
+        leading_run(primer) < self.max_run && trailing_run(primer) < self.max_run
+    }
+
+    /// Lower GC bound.
+    pub fn min_gc(&self) -> f64 {
+        self.min_gc
+    }
+
+    /// Upper GC bound.
+    pub fn max_gc(&self) -> f64 {
+        self.max_gc
+    }
+
+    /// Longest allowed homopolymer run (`usize::MAX` means unlimited).
+    pub fn max_run(&self) -> usize {
+        self.max_run
     }
 }
 
@@ -121,5 +216,66 @@ mod tests {
         let rules = ConstraintSet::new(0.9, 0.1, 0);
         assert!(rules.check(&s("GGGGGAAAAA"))); // GC 0.5, run 5 allowed
         assert!(!rules.check(&s("GGGGGGGGGG"))); // GC 1.0 outside [0.1, 0.9]
+    }
+
+    #[test]
+    fn empty_strand_is_vacuously_compliant() {
+        // Regression: gc_content's 0.0-for-empty sentinel used to be
+        // compared against min_gc, so any set with min_gc > 0 rejected
+        // the empty strand. Empty passes GC bounds and reports run 0.
+        let rules = ConstraintSet::new(0.4, 0.6, 3);
+        assert!(rules.check(&DnaString::new()));
+        assert_eq!(gc_content(&DnaString::new()), 0.0);
+        assert_eq!(max_homopolymer_run(&DnaString::new()), 0);
+        // Non-empty strands outside the window still fail.
+        assert!(!rules.check(&s("AATT")));
+    }
+
+    #[test]
+    fn try_new_rejects_what_new_normalizes() {
+        use crate::StrandError;
+        assert!(matches!(
+            ConstraintSet::try_new(0.9, 0.1, 3),
+            Err(StrandError::InvalidConstraint { reason }) if reason.contains("reversed")
+        ));
+        assert!(matches!(
+            ConstraintSet::try_new(-0.2, 0.6, 3),
+            Err(StrandError::InvalidConstraint { reason }) if reason.contains("[0, 1]")
+        ));
+        assert!(matches!(
+            ConstraintSet::try_new(0.4, 1.7, 3),
+            Err(StrandError::InvalidConstraint { .. })
+        ));
+        assert!(matches!(
+            ConstraintSet::try_new(0.4, f64::NAN, 3),
+            Err(StrandError::InvalidConstraint { .. })
+        ));
+        assert!(matches!(
+            ConstraintSet::try_new(0.4, 0.6, 0),
+            Err(StrandError::InvalidConstraint { reason }) if reason.contains("run")
+        ));
+        let ok = ConstraintSet::try_new(0.4, 0.6, 3).unwrap();
+        assert_eq!(ok, ConstraintSet::primer_default());
+    }
+
+    #[test]
+    fn edge_runs_and_junction_safety() {
+        assert_eq!(leading_run(&s("GGGAC")), 3);
+        assert_eq!(trailing_run(&s("ACGGG")), 3);
+        assert_eq!(leading_run(&s("ACGT")), 1);
+        assert_eq!(leading_run(&DnaString::new()), 0);
+        assert_eq!(trailing_run(&DnaString::new()), 0);
+
+        let rules = ConstraintSet::new(0.0, 1.0, 3);
+        // A primer ending in GGG passes check() alone but glued to a
+        // payload starting with G it forms a run of 4 — junction-unsafe.
+        let bad = s("ACAGGG");
+        assert!(rules.check(&bad));
+        assert!(!rules.junction_safe(&bad));
+        assert!(rules.junction_safe(&s("ACAGGT")));
+        // Leading runs matter for the right primer's upstream junction.
+        assert!(!rules.junction_safe(&s("TTTACG")));
+        // Unlimited run ⇒ every primer is junction-safe.
+        assert!(ConstraintSet::new(0.0, 1.0, 0).junction_safe(&bad));
     }
 }

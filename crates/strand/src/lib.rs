@@ -31,11 +31,13 @@ pub mod constraints;
 mod index;
 mod primer;
 mod strand;
+pub mod transcode;
 
 pub use base::Base;
 pub use index::{decode_index, encode_index, encode_index_into};
 pub use primer::{Primer, PrimerLibrary};
 pub use strand::DnaString;
+pub use transcode::{PayloadGeometry, StrandTranscoder, TranscoderSpec};
 
 use std::error::Error;
 use std::fmt;
@@ -70,6 +72,15 @@ pub enum StrandError {
         /// How many were requested.
         requested: usize,
     },
+    /// A constraint configuration is self-contradictory or nonsensical
+    /// (reversed GC bounds, bounds outside `[0, 1]`, or a zero
+    /// homopolymer limit). Produced by
+    /// [`constraints::ConstraintSet::try_new`]; the clamping
+    /// [`constraints::ConstraintSet::new`] never reports it.
+    InvalidConstraint {
+        /// Human-readable description of what was wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for StrandError {
@@ -87,6 +98,9 @@ impl fmt::Display for StrandError {
             }
             StrandError::PrimerSearchExhausted { found, requested } => {
                 write!(f, "primer search found only {found} of {requested} primers")
+            }
+            StrandError::InvalidConstraint { reason } => {
+                write!(f, "invalid constraint configuration: {reason}")
             }
         }
     }

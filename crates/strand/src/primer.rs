@@ -91,6 +91,13 @@ impl PrimerLibrary {
 
     /// Like [`PrimerLibrary::generate`] with caller-provided constraints.
     ///
+    /// Candidates must satisfy `rules` *and* be junction-safe under
+    /// them ([`ConstraintSet::junction_safe`]): a primer is always glued
+    /// to arbitrary payload, so a terminal run at the homopolymer limit
+    /// would let any matching payload base push the assembled strand
+    /// over it — a violation [`ConstraintSet::check`] on the primer
+    /// alone can never see.
+    ///
     /// # Errors
     ///
     /// Returns [`StrandError::PrimerSearchExhausted`] when the attempt
@@ -111,7 +118,7 @@ impl PrimerLibrary {
             let mut found = false;
             for _ in 0..budget_per_primer {
                 let candidate = DnaString::random(len, rng);
-                if !rules.check(&candidate) {
+                if !rules.check(&candidate) || !rules.junction_safe(&candidate) {
                     continue;
                 }
                 let distant = lib.primers.iter().all(|p| {
@@ -209,5 +216,82 @@ mod tests {
         let lib = PrimerLibrary::default();
         assert!(lib.is_empty());
         assert!(lib.get(0).is_none());
+    }
+
+    /// Replays the pre-fix candidate filter (constraint check only, no
+    /// junction screening) and returns the primer it would have selected.
+    fn pre_fix_first_primer(seed: u64, len: usize, rules: &ConstraintSet) -> DnaString {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let candidate = DnaString::random(len, &mut rng);
+            if rules.check(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Seed where the old filter's first accepted 20-base candidate ends
+    /// (or starts) with a run at the homopolymer cap: gluing any payload
+    /// starting with the same base breaches `max_run` across the junction,
+    /// invisible to a per-primer `check`. Found with
+    /// `scan_for_junction_unsafe_seed` below.
+    const JUNCTION_UNSAFE_SEED: u64 = 8;
+
+    #[test]
+    #[ignore = "seed scanner, run by hand to re-pin JUNCTION_UNSAFE_SEED"]
+    fn scan_for_junction_unsafe_seed() {
+        let rules = ConstraintSet::primer_default();
+        for seed in 0u64..1000 {
+            let p = pre_fix_first_primer(seed, 20, &rules);
+            if !rules.junction_safe(&p) {
+                println!("seed {seed}: pre-fix primer {p} is junction-unsafe");
+                return;
+            }
+        }
+        panic!("no junction-unsafe seed in range");
+    }
+
+    #[test]
+    fn junction_screening_rejects_edge_run_primers() {
+        let rules = ConstraintSet::primer_default();
+
+        // The bug really existed: at this seed the old filter shipped a
+        // primer whose edge run equals max_run, so an assembled
+        // [primer][payload] strand violates the constraint the moment the
+        // payload continues the run.
+        let old = pre_fix_first_primer(JUNCTION_UNSAFE_SEED, 20, &rules);
+        assert!(rules.check(&old), "old candidate passes the naive check");
+        assert!(
+            !rules.junction_safe(&old),
+            "seed no longer reproduces the bug; re-pin JUNCTION_UNSAFE_SEED"
+        );
+        // Materialize the violation end-to-end: extend the bad edge with
+        // one matching payload base and watch the assembled strand fail.
+        let assembled = if constraints::trailing_run(&old) >= rules.max_run() {
+            let mut bases = old.as_slice().to_vec();
+            bases.push(old.as_slice()[old.len() - 1]);
+            DnaString::from_bases(bases)
+        } else {
+            let mut bases = vec![old.as_slice()[0]];
+            bases.extend_from_slice(old.as_slice());
+            DnaString::from_bases(bases)
+        };
+        assert!(
+            !rules.check(&assembled),
+            "junction run should breach max_run"
+        );
+
+        // The fixed generator skips that candidate and every primer it
+        // returns is junction-safe.
+        let mut rng = StdRng::seed_from_u64(JUNCTION_UNSAFE_SEED);
+        let lib = PrimerLibrary::generate(4, 20, 6, &mut rng).unwrap();
+        for p in lib.primers() {
+            assert!(rules.junction_safe(p.strand()));
+        }
+        assert_ne!(
+            lib.primers()[0].strand(),
+            &old,
+            "the junction-unsafe candidate must have been skipped"
+        );
     }
 }

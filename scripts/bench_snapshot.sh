@@ -31,7 +31,8 @@ fi
 
 RAW="$(mktemp)"
 SERVE="$(mktemp)"
-trap 'rm -f "$RAW" "$SERVE"' EXIT
+ABL="$(mktemp)"
+trap 'rm -f "$RAW" "$SERVE" "$ABL"' EXIT
 
 DNA_REPRO_SCALE=smoke cargo bench -p dna-bench \
     --bench perf_pipeline --bench perf_components \
@@ -70,6 +71,24 @@ END {
     }
     printf "  },\n"
 }' "$RAW" > "BENCH_${TAG}.json"
+
+# Transcoder ablation: density (bits/base), constraint compliance, and
+# exact-decode rate per (transcoder, channel preset), spliced in as the
+# "ablation_transcoder" key. These are quality rows, not timings — see
+# crates/bench/benches/ablation_transcoder.rs for the acceptance story
+# (trellis at 100% compliance matches direct under nanopore-decay; the
+# constraint-stressed channel breaks the unconstrained direct layout).
+DNA_REPRO_SCALE=smoke cargo bench -p dna-bench \
+    --bench ablation_transcoder | tee "$ABL"
+printf '  "ablation_transcoder": ' >> "BENCH_${TAG}.json"
+awk -F'\t' '
+BEGIN { n = 0; printf "[" }
+NF == 5 && $1 != "transcoder" {
+    if (n++) printf ","
+    printf "\n    {\"transcoder\": \"%s\", \"preset\": \"%s\", \"density_bits_per_base\": %s, \"compliance_pct\": %s, \"exact_decode_pct\": %s}", \
+        $1, $2, $3, $4, $5
+}
+END { printf "\n  ],\n" }' "$ABL" >> "BENCH_${TAG}.json"
 
 # Serve-mode worker sweep: p50/p99 latency, rps, MB/s, and coalesced
 # fetch counts per worker count, spliced in as the "serve" key. The

@@ -23,6 +23,7 @@
 use dna_skew::channel as dna_channel;
 use dna_skew::prelude::*;
 use dna_skew::storage::Scenario;
+use dna_skew::strand::TranscoderSpec;
 use std::sync::Mutex;
 
 /// Serializes every test in this binary: the thread-invariance test
@@ -185,6 +186,77 @@ fn compute_matrix() -> Vec<String> {
     out.push(planned_cell_summary());
     out
 }
+
+/// One transcoded cell: the tiny pipeline re-based onto a non-direct
+/// [`TranscoderSpec`], run through the same pinned-seed encode →
+/// sequence → decode loop. Constraint-respecting transcoders must keep
+/// decoding deterministically whatever the strand layout.
+fn transcoded_cell_summary(spec: TranscoderSpec, preset: &str, channel: &ChannelModel) -> String {
+    let cov = 8.0;
+    let pipeline = Pipeline::builder()
+        .params(
+            CodecParams::tiny()
+                .expect("tiny params")
+                .with_transcoder(spec),
+        )
+        .layout(Layout::Baseline)
+        .build()
+        .expect("transcoded tiny pipeline");
+    let scenario = Scenario::with_channel(channel.clone())
+        .single_coverage(cov)
+        .seed(MATRIX_SEED)
+        .transcoder(spec);
+    scenario.validate().expect("matrix scenarios are valid");
+    let units = pipeline.encode_chunked(&matrix_payload()).expect("encode");
+    let pools = pipeline.sequence_batch(&scenario.backend(), &units, scenario.seed);
+    let clusters: Vec<Vec<Cluster>> = pools.iter().map(|p| p.at_coverage(cov)).collect();
+    let mut decoded = Vec::new();
+    let (mut lost, mut corrected, mut failed) = (0usize, 0usize, 0usize);
+    for (bytes, report) in pipeline.decode_batch(&clusters).expect("decode") {
+        decoded.extend_from_slice(&bytes);
+        lost += report.lost_columns;
+        corrected += report.total_corrected();
+        failed += report.failed_codewords();
+    }
+    format!(
+        "transcoder={} preset={preset} cov={cov} hash={:#018x} lost={lost} corrected={corrected} failed={failed}",
+        spec.name(),
+        fnv64(&decoded)
+    )
+}
+
+fn compute_transcoded_matrix() -> Vec<String> {
+    let mut out = Vec::new();
+    for spec in [
+        TranscoderSpec::GcPadded,
+        TranscoderSpec::Trellis,
+        TranscoderSpec::Rotation,
+    ] {
+        for (preset, channel) in [
+            ("nanopore-decay:0.06", ChannelModel::nanopore_decay(0.06)),
+            (
+                "constraint-stressed:0.06",
+                ChannelModel::constraint_stressed(0.06),
+            ),
+        ] {
+            out.push(transcoded_cell_summary(spec, preset, &channel));
+        }
+    }
+    out
+}
+
+/// Golden transcoded-cell summaries at `MATRIX_SEED`. Regenerate after
+/// an *intentional* transcoder layout change with `DNA_SKEW_BLESS=1`
+/// like the main matrix — an unintentional diff means a transcoder's
+/// base layout (and so every pool written with it) drifted.
+const TRANSCODED_GOLDEN: [&str; 6] = [
+    "transcoder=gc-padded preset=nanopore-decay:0.06 cov=8 hash=0x7441d7e2f2760db4 lost=0 corrected=4 failed=0",
+    "transcoder=gc-padded preset=constraint-stressed:0.06 cov=8 hash=0x7441d7e2f2760db4 lost=0 corrected=5 failed=0",
+    "transcoder=trellis preset=nanopore-decay:0.06 cov=8 hash=0x7441d7e2f2760db4 lost=1 corrected=7 failed=0",
+    "transcoder=trellis preset=constraint-stressed:0.06 cov=8 hash=0x7441d7e2f2760db4 lost=1 corrected=13 failed=0",
+    "transcoder=rotation preset=nanopore-decay:0.06 cov=8 hash=0x7441d7e2f2760db4 lost=0 corrected=5 failed=0",
+    "transcoder=rotation preset=constraint-stressed:0.06 cov=8 hash=0x7441d7e2f2760db4 lost=0 corrected=4 failed=0",
+];
 
 /// Golden summaries. The four `preset=uniform` lines were captured from
 /// the pre-channel-model release and freeze the uniform path's exact
@@ -551,6 +623,34 @@ fn assert_matches_golden(matrix: &[String], context: &str) {
 fn conformance_matrix_matches_golden_reports() {
     let _guard = env_guard();
     assert_matches_golden(&compute_matrix(), "default thread count");
+}
+
+#[test]
+fn transcoded_matrix_matches_golden_reports() {
+    let _guard = env_guard();
+    assert_matches(
+        &compute_transcoded_matrix(),
+        &TRANSCODED_GOLDEN,
+        "transcoded, default thread count",
+    );
+}
+
+#[test]
+fn transcoded_matrix_is_thread_count_invariant() {
+    let _guard = env_guard();
+    let original = std::env::var("DNA_SKEW_THREADS").ok();
+    for threads in ["1", "8"] {
+        std::env::set_var("DNA_SKEW_THREADS", threads);
+        assert_matches(
+            &compute_transcoded_matrix(),
+            &TRANSCODED_GOLDEN,
+            &format!("transcoded, DNA_SKEW_THREADS={threads}"),
+        );
+    }
+    match original {
+        Some(v) => std::env::set_var("DNA_SKEW_THREADS", v),
+        None => std::env::remove_var("DNA_SKEW_THREADS"),
+    }
 }
 
 #[test]
